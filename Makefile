@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+figures:
+	$(GO) run ./cmd/nncbench -figure=all -scale=small
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/players
+	$(GO) run ./examples/checkins
+	$(GO) run ./examples/tradeoff
+	$(GO) run ./examples/nncore
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt
+
+verify:
+	$(GO) run ./cmd/nncbench -verify -scale=small
+
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/dataio
+	$(GO) test -fuzz=FuzzOpen -fuzztime=30s ./internal/pager

@@ -1,0 +1,345 @@
+package spatialdom
+
+// Benchmarks regenerating the paper's evaluation, one per figure (see
+// DESIGN.md §3 and EXPERIMENTS.md). Dataset sizes are scaled down from the
+// paper's 100k×40 grid so the whole suite runs in minutes on one core; the
+// comparison SHAPES between operators are the reproduction target. Custom
+// metrics report the figure's y-axis: candidates/query for the
+// effectiveness figures (10, 11), wall time for the efficiency figures
+// (12, 13, and ns/op everywhere), and instance comparisons for the
+// Appendix C ablation (16).
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=Fig10 -benchtime=5x
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/harness"
+)
+
+// benchSpec is the scaled-down Table 2 defaults used by the benchmarks.
+const (
+	benchN       = 600
+	benchMd      = 8
+	benchHd      = 400.0
+	benchMq      = 6
+	benchHq      = 200.0
+	benchQueries = 4
+	benchSeed    = 20150531 // SIGMOD'15 opening day
+)
+
+type benchData struct {
+	idx     *core.Index
+	queries []*Object
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]benchData{}
+)
+
+// dataFor builds (and caches) a dataset + workload for a parameter set.
+func dataFor(b *testing.B, key string, p datagen.Params, mq int, hq float64) benchData {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if d, ok := benchCache[key]; ok {
+		return d
+	}
+	ds := datagen.Generate(p)
+	idx, err := core.NewIndex(ds.Objects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := benchData{idx: idx, queries: ds.Queries(benchQueries, mq, hq, benchSeed+7777)}
+	benchCache[key] = d
+	return d
+}
+
+func defaultParams(centers datagen.CenterDist, n int) datagen.Params {
+	return datagen.Params{N: n, M: benchMd, EdgeLen: benchHd, Centers: centers, Seed: benchSeed}
+}
+
+// runSearches runs the workload round-robin for b.N iterations and reports
+// the average candidate count.
+func runSearches(b *testing.B, d benchData, op Operator, cfg FilterConfig) {
+	b.Helper()
+	var candidates, comparisons float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := d.queries[i%len(d.queries)]
+		res := d.idx.SearchOpts(q, op, core.SearchOptions{Filters: cfg})
+		candidates += float64(len(res.Candidates))
+		comparisons += float64(res.Stats.InstanceComparisons)
+	}
+	b.ReportMetric(candidates/float64(b.N), "candidates/query")
+	b.ReportMetric(comparisons/float64(b.N), "comparisons/query")
+}
+
+// figure10Datasets mirrors the Figure 10/12 dataset suite.
+func figure10Datasets() []struct {
+	label string
+	p     datagen.Params
+} {
+	return []struct {
+		label string
+		p     datagen.Params
+	}{
+		{"A-N", defaultParams(datagen.AntiCorrelated, benchN)},
+		{"E-N", defaultParams(datagen.Independent, benchN)},
+		{"HOUSE", defaultParams(datagen.HouseLike, benchN)},
+		{"CA", func() datagen.Params {
+			p := defaultParams(datagen.Clustered, benchN/2)
+			p.Clusters = 8
+			return p
+		}()},
+		{"NBA", defaultParams(datagen.NBALike, benchN/4)},
+		{"GW", func() datagen.Params {
+			p := defaultParams(datagen.GWLike, benchN)
+			p.Clusters = 40
+			return p
+		}()},
+		{"USA", func() datagen.Params {
+			p := defaultParams(datagen.Clustered, benchN*2)
+			p.Clusters = 60
+			return p
+		}()},
+	}
+}
+
+// BenchmarkFig10 — candidate size per dataset per operator (Figure 10).
+// The candidates/query metric is the figure's y-axis.
+func BenchmarkFig10(b *testing.B) {
+	for _, ds := range figure10Datasets() {
+		for _, op := range Operators {
+			b.Run(fmt.Sprintf("%s/%s", ds.label, op), func(b *testing.B) {
+				d := dataFor(b, ds.label, ds.p, benchMq, benchHq)
+				runSearches(b, d, op, AllFilters)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12 — query response time per dataset per operator
+// (Figure 12); ns/op is the figure's y-axis.
+func BenchmarkFig12(b *testing.B) {
+	for _, ds := range figure10Datasets() {
+		for _, op := range Operators {
+			b.Run(fmt.Sprintf("%s/%s", ds.label, op), func(b *testing.B) {
+				d := dataFor(b, ds.label, ds.p, benchMq, benchHq)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.idx.Search(d.queries[i%len(d.queries)], op)
+				}
+			})
+		}
+	}
+}
+
+// sweepCases enumerates the Figure 11/13 parameter sweeps (a–f).
+func sweepCases() []struct {
+	sub   string
+	label string
+	p     datagen.Params
+	mq    int
+	hq    float64
+} {
+	type cse = struct {
+		sub   string
+		label string
+		p     datagen.Params
+		mq    int
+		hq    float64
+	}
+	var out []cse
+	add := func(sub, label string, p datagen.Params, mq int, hq float64) {
+		out = append(out, cse{sub, label, p, mq, hq})
+	}
+	base := defaultParams(datagen.AntiCorrelated, benchN)
+	for _, v := range []int{4, 8, 16} { // (a) m_d
+		p := base
+		p.M = v
+		add("a_md", fmt.Sprint(v), p, benchMq, benchHq)
+	}
+	for _, v := range []float64{100, 300, 500} { // (b) h_d
+		p := base
+		p.EdgeLen = v
+		add("b_hd", fmt.Sprint(v), p, benchMq, benchHq)
+	}
+	for _, v := range []int{3, 6, 12} { // (c) m_q
+		add("c_mq", fmt.Sprint(v), base, v, benchHq)
+	}
+	for _, v := range []float64{100, 300, 500} { // (d) h_q
+		add("d_hq", fmt.Sprint(v), base, benchMq, v)
+	}
+	for _, v := range []int{300, 600, 1200} { // (e) n, USA-like
+		p := defaultParams(datagen.Clustered, v)
+		p.Clusters = 60
+		add("e_n", fmt.Sprint(v), p, benchMq, benchHq)
+	}
+	for _, v := range []int{2, 3, 4, 5} { // (f) d
+		p := base
+		p.Dim = v
+		add("f_d", fmt.Sprint(v), p, benchMq, benchHq)
+	}
+	return out
+}
+
+// BenchmarkFig11 — candidate size vs each Table 2 parameter (Figure 11,
+// subfigures a–f); candidates/query is the y-axis.
+func BenchmarkFig11(b *testing.B) {
+	for _, c := range sweepCases() {
+		for _, op := range Operators {
+			b.Run(fmt.Sprintf("%s=%s/%s", c.sub, c.label, op), func(b *testing.B) {
+				key := fmt.Sprintf("sweep/%s/%s/%d/%g", c.sub, c.label, c.mq, c.hq)
+				d := dataFor(b, key, c.p, c.mq, c.hq)
+				runSearches(b, d, op, AllFilters)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13 — response time vs each Table 2 parameter (Figure 13,
+// subfigures a–f); ns/op is the y-axis.
+func BenchmarkFig13(b *testing.B) {
+	for _, c := range sweepCases() {
+		for _, op := range Operators {
+			b.Run(fmt.Sprintf("%s=%s/%s", c.sub, c.label, op), func(b *testing.B) {
+				key := fmt.Sprintf("sweep/%s/%s/%d/%g", c.sub, c.label, c.mq, c.hq)
+				d := dataFor(b, key, c.p, c.mq, c.hq)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.idx.Search(d.queries[i%len(d.queries)], op)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 — the progressive property under PSD (Figure 14): time to
+// the first candidate and to half the candidates, as fractions of the full
+// response time.
+func BenchmarkFig14(b *testing.B) {
+	p := defaultParams(datagen.Clustered, benchN*2)
+	p.Clusters = 60
+	d := dataFor(b, "fig14", p, benchMq, benchHq)
+	var first, half, full float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := d.queries[i%len(d.queries)]
+		var emits []time.Duration
+		res := d.idx.SearchOpts(q, PSD, core.SearchOptions{
+			Filters:     AllFilters,
+			OnCandidate: func(c Candidate) { emits = append(emits, c.Elapsed) },
+		})
+		if len(emits) == 0 {
+			continue
+		}
+		first += float64(emits[0]) / float64(res.Elapsed)
+		half += float64(emits[(len(emits)-1)/2]) / float64(res.Elapsed)
+		full++
+	}
+	if full > 0 {
+		b.ReportMetric(first/full*100, "%time-to-first")
+		b.ReportMetric(half/full*100, "%time-to-half")
+	}
+}
+
+// BenchmarkFig16 — the Appendix C filtering ablation: average instance
+// comparisons under each filter stack (BF, L, LP, LG, LGP, All) for the
+// three proposed operators on HOUSE-like data.
+func BenchmarkFig16(b *testing.B) {
+	p := defaultParams(datagen.HouseLike, benchN/2)
+	for _, op := range []Operator{SSD, SSSD, PSD} {
+		for _, cfg := range harness.AblationConfigs() {
+			b.Run(fmt.Sprintf("%s/%s", op, cfg.Label), func(b *testing.B) {
+				d := dataFor(b, "fig16", p, benchMq, benchHq)
+				runSearches(b, d, op, cfg.Cfg)
+			})
+		}
+	}
+}
+
+// --- micro-benchmarks of the building blocks ---------------------------------
+
+// BenchmarkDominanceCheck times a single pairwise dominance decision per
+// operator with all filters enabled.
+func BenchmarkDominanceCheck(b *testing.B) {
+	ds := datagen.Generate(defaultParams(datagen.AntiCorrelated, 64))
+	qs := ds.Queries(1, benchMq, benchHq, 3)
+	for _, op := range Operators {
+		b.Run(op.String(), func(b *testing.B) {
+			checker := core.NewChecker(qs[0], op, AllFilters)
+			objs := ds.Objects
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := objs[i%len(objs)]
+				v := objs[(i*7+1)%len(objs)]
+				if u == v {
+					continue
+				}
+				checker.Dominates(u, v)
+			}
+		})
+	}
+}
+
+// BenchmarkIndexBuild times global R-tree construction.
+func BenchmarkIndexBuild(b *testing.B) {
+	ds := datagen.Generate(defaultParams(datagen.AntiCorrelated, benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewIndex(ds.Objects); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchK — cost of the k-skyband extension as k grows.
+func BenchmarkSearchK(b *testing.B) {
+	p := defaultParams(datagen.AntiCorrelated, benchN)
+	d := dataFor(b, "A-N", p, benchMq, benchHq)
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var candidates float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := d.idx.SearchK(d.queries[i%len(d.queries)], SSSD, k)
+				candidates += float64(len(res.Candidates))
+			}
+			b.ReportMetric(candidates/float64(b.N), "candidates/query")
+		})
+	}
+}
+
+// BenchmarkMetric — dominance-search cost under each distance metric.
+func BenchmarkMetric(b *testing.B) {
+	p := defaultParams(datagen.AntiCorrelated, benchN)
+	d := dataFor(b, "A-N", p, benchMq, benchHq)
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+		b.Run(m.Name(), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.idx.SearchOpts(d.queries[i%len(d.queries)], SSSD,
+					core.SearchOptions{Filters: AllFilters, Metric: m})
+			}
+		})
+	}
+}
+
+// BenchmarkEMD times one Earth Mover's distance evaluation.
+func BenchmarkEMD(b *testing.B) {
+	ds := datagen.Generate(defaultParams(datagen.AntiCorrelated, 8))
+	qs := ds.Queries(1, benchMq, benchHq, 3)
+	f := EMDFunc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Scores(ds.Objects[:1], qs[0])
+	}
+}

@@ -1,0 +1,119 @@
+// Command nncclient queries a running nncserver.
+//
+// Usage:
+//
+//	nncclient -addr=http://localhost:8080 -op=PSD -q="5000,5000,5000;5100,5050,4900"
+//	nncclient -addr=http://localhost:8080 -health
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "http://localhost:8080", "nncserver base URL")
+		op     = flag.String("op", "PSD", "operator: SSD, SSSD, PSD, FSD, F+SD")
+		k      = flag.Int("k", 1, "k-NN candidates")
+		metric = flag.String("metric", "", "metric: euclidean, manhattan, chebyshev")
+		q      = flag.String("q", "", "query instances, e.g. \"1,2,3;4,5,6\"")
+		health = flag.Bool("health", false, "just check /healthz")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if *health {
+		resp, err := client.Get(*addr + "/healthz")
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(os.Stdout, resp.Body)
+		fmt.Println()
+		return
+	}
+
+	instances, err := parseInstances(*q)
+	if err != nil {
+		fatal(err)
+	}
+	body, err := json.Marshal(map[string]interface{}{
+		"instances": instances,
+		"operator":  *op,
+		"k":         *k,
+		"metric":    *metric,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := client.Post(*addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw))))
+	}
+	var out struct {
+		Operator   string `json:"operator"`
+		K          int    `json:"k"`
+		Candidates []struct {
+			ID         int     `json:"id"`
+			Label      string  `json:"label"`
+			MinDist    float64 `json:"min_dist"`
+			Dominators int     `json:"dominators"`
+		} `json:"candidates"`
+		Examined  int   `json:"examined"`
+		ElapsedUS int64 `json:"elapsed_us"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (k=%d): %d candidates, %d objects examined, %dµs server-side\n\n",
+		out.Operator, out.K, len(out.Candidates), out.Examined, out.ElapsedUS)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tid\tlabel\tmin dist\tdominators")
+	for i, c := range out.Candidates {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.2f\t%d\n", i+1, c.ID, c.Label, c.MinDist, c.Dominators)
+	}
+	tw.Flush()
+}
+
+// parseInstances parses "x1,x2,...;y1,y2,..." into rows.
+func parseInstances(s string) ([][]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("missing -q query instances")
+	}
+	var out [][]float64
+	for _, row := range strings.Split(s, ";") {
+		var pt []float64
+		for _, cell := range strings.Split(row, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad coordinate %q", cell)
+			}
+			pt = append(pt, v)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command nncdisk demonstrates the disk-resident index: it builds a page
+// file holding the object heap and the global R-tree, then runs NNC
+// queries through a bounded buffer pool and reports candidates together
+// with the I/O profile (page accesses, physical reads, pool hit rate).
+//
+// Usage:
+//
+//	nncdisk -n=5000 -m=10 -op=sssd -frames=128
+//	nncdisk -input=objects.csv -file=objects.pg -op=psd
+//	nncdisk -file=objects.pg -reuse -op=ssd     # reopen an existing file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/dataio"
+	"spatialdom/internal/diskindex"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+)
+
+var opNames = map[string]core.Operator{
+	"ssd": core.SSD, "sssd": core.SSSD, "psd": core.PSD, "fsd": core.FSD, "f+sd": core.FPlusSD,
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 2000, "number of objects to generate")
+		m       = flag.Int("m", 10, "average instances per object")
+		mq      = flag.Int("mq", 8, "query instances")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		input   = flag.String("input", "", "load objects from CSV instead of generating")
+		file    = flag.String("file", "", "page file path (default: a temp file)")
+		reuse   = flag.Bool("reuse", false, "reopen an existing page file built by a previous run")
+		frames  = flag.Int("frames", 128, "buffer pool frames")
+		op      = flag.String("op", "all", "operator: ssd, sssd, psd, fsd, f+sd, all")
+		queries = flag.Int("queries", 3, "number of queries to run")
+	)
+	flag.Parse()
+
+	path := *file
+	if path == "" {
+		f, err := os.CreateTemp("", "spatialdom-*.pg")
+		if err != nil {
+			fatal(err)
+		}
+		path = f.Name()
+		f.Close()
+		os.Remove(path)
+		defer os.Remove(path)
+	}
+
+	var (
+		idx *diskindex.Index
+		qs  []*uncertain.Object
+	)
+	if *reuse {
+		pf, err := pager.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer pf.Close()
+		idx, err = diskindex.Open(pager.NewPool(pf, *frames), 1)
+		if err != nil {
+			fatal(err)
+		}
+		// Queries are regenerated from the seed against the index extent.
+		ds := datagen.Generate(datagen.Params{N: 10, M: *mq, Seed: *seed, Dim: idx.Dim()})
+		qs = ds.Queries(*queries, *mq, 200, *seed+99)
+		fmt.Printf("reopened %s: %s\n\n", path, idx)
+	} else {
+		var objs []*uncertain.Object
+		if *input != "" {
+			var err error
+			objs, err = dataio.ReadFile(*input)
+			if err != nil {
+				fatal(err)
+			}
+			qs = []*uncertain.Object{objs[0]}
+			objs = objs[1:]
+		} else {
+			ds := datagen.Generate(datagen.Params{N: *n, M: *m, Seed: *seed})
+			objs = ds.Objects
+			qs = ds.Queries(*queries, *mq, 200, *seed+99)
+		}
+		pf, err := pager.Create(path, pager.PageSize)
+		if err != nil {
+			fatal(err)
+		}
+		defer pf.Close()
+		idx, err = diskindex.Build(pager.NewPool(pf, *frames), objs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("built %s: %s\n\n", path, idx)
+	}
+
+	ops := []core.Operator{core.SSD, core.SSSD, core.PSD, core.FSD, core.FPlusSD}
+	if *op != "all" {
+		o, ok := opNames[strings.ToLower(*op)]
+		if !ok {
+			fatal(fmt.Errorf("unknown -op %q", *op))
+		}
+		ops = []core.Operator{o}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\toperator\tcandidates\tpage accesses\treads\thit rate\ttime")
+	for qi, q := range qs {
+		for _, o := range ops {
+			idx.ResetCache()
+			res, err := idx.Search(q, o, core.AllFilters)
+			if err != nil {
+				fatal(err)
+			}
+			ids := res.IDs()
+			sort.Ints(ids)
+			acc := res.IO.Hits + res.IO.Misses
+			rate := 0.0
+			if acc > 0 {
+				rate = float64(res.IO.Hits) / float64(acc) * 100
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%.0f%%\t%v\n",
+				qi, o, len(res.Candidates), acc, res.IO.Reads, rate, res.Elapsed.Round(0))
+		}
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

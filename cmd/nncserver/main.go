@@ -1,0 +1,89 @@
+// Command nncserver serves NN-candidate queries over HTTP.
+//
+// Usage:
+//
+//	nncserver -n=5000 -m=10 -addr=:8080          # generated dataset
+//	nncserver -input=objects.csv -addr=:8080     # CSV dataset
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/objects
+//	curl -X POST localhost:8080/query -d '{
+//	  "instances": [[5000,5000,5000],[5100,5050,4900]],
+//	  "operator": "PSD", "k": 1
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/dataio"
+	"spatialdom/internal/server"
+	"spatialdom/internal/uncertain"
+)
+
+var distNames = map[string]datagen.CenterDist{
+	"anti":  datagen.AntiCorrelated,
+	"indep": datagen.Independent,
+	"house": datagen.HouseLike,
+	"nba":   datagen.NBALike,
+	"gw":    datagen.GWLike,
+	"clust": datagen.Clustered,
+}
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		n     = flag.Int("n", 2000, "number of objects to generate")
+		m     = flag.Int("m", 10, "average instances per object")
+		dist  = flag.String("dist", "anti", "dataset: anti, indep, house, nba, gw, clust")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		input = flag.String("input", "", "load objects from CSV instead of generating")
+	)
+	flag.Parse()
+
+	var objs []*uncertain.Object
+	if *input != "" {
+		var err error
+		objs, err = dataio.ReadFile(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d objects from %s", len(objs), *input)
+	} else {
+		centers, ok := distNames[*dist]
+		if !ok {
+			log.Fatalf("unknown -dist %q", *dist)
+		}
+		ds := datagen.Generate(datagen.Params{N: *n, M: *m, Centers: centers, Seed: *seed})
+		objs = ds.Objects
+		log.Printf("generated %d %s objects", len(objs), centers)
+	}
+
+	srv, err := server.New(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(srv),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving NN-candidate queries on %s", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// logging is a minimal request logger.
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Println(fmt.Sprintf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond)))
+	})
+}

@@ -1,0 +1,75 @@
+package spatialdom
+
+import (
+	"spatialdom/internal/core"
+	"spatialdom/internal/diskindex"
+	"spatialdom/internal/pager"
+)
+
+// DiskIndex is the disk-resident form of the index: objects and the global
+// R-tree live in a page file (4096-byte pages) behind an LRU buffer pool,
+// and every search reports its exact I/O profile. See internal/diskindex.
+type DiskIndex struct {
+	inner *diskindex.Index
+	file  *pager.PageFile
+}
+
+// DiskResult is a disk search outcome.
+type DiskResult = diskindex.Result
+
+// DiskIOStats reports buffer-pool and page-file counters.
+type DiskIOStats = diskindex.IOStats
+
+// BuildDiskIndex creates (or truncates) a page file at path and writes the
+// objects and their R-tree into it. frames bounds the buffer pool (each
+// frame holds one 4096-byte page).
+func BuildDiskIndex(path string, objs []*Object, frames int) (*DiskIndex, error) {
+	pf, err := pager.Create(path, pager.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := diskindex.Build(pager.NewPool(pf, frames), objs)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	return &DiskIndex{inner: idx, file: pf}, nil
+}
+
+// OpenDiskIndex reattaches to a page file previously written by
+// BuildDiskIndex.
+func OpenDiskIndex(path string, frames int) (*DiskIndex, error) {
+	pf, err := pager.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// BuildDiskIndex's super page is always the first allocated page.
+	idx, err := diskindex.Open(pager.NewPool(pf, frames), 1)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	return &DiskIndex{inner: idx, file: pf}, nil
+}
+
+// Len returns the number of indexed objects.
+func (d *DiskIndex) Len() int { return d.inner.Len() }
+
+// Dim returns the dimensionality.
+func (d *DiskIndex) Dim() int { return d.inner.Dim() }
+
+// Search runs Algorithm 1 against the disk structures.
+func (d *DiskIndex) Search(q *Object, op Operator) (*DiskResult, error) {
+	return d.inner.Search(q, op, core.AllFilters)
+}
+
+// SearchK computes the k-NN candidates on disk.
+func (d *DiskIndex) SearchK(q *Object, op Operator, k int) (*DiskResult, error) {
+	return d.inner.SearchK(q, op, k, core.AllFilters)
+}
+
+// ResetCache drops the decoded-object cache for cold-cache measurements.
+func (d *DiskIndex) ResetCache() { d.inner.ResetCache() }
+
+// Close flushes and closes the underlying page file.
+func (d *DiskIndex) Close() error { return d.file.Close() }

@@ -1,0 +1,113 @@
+// Players: multi-valued objects in the style of the paper's NBA use case.
+// Each player is described by per-game stat lines (points, assists,
+// rebounds); the query is a target stat profile. Different NN functions
+// disagree about the "most similar player" — consistency beats peak
+// performance under expected distance, peaks win under min distance, and
+// EMD weighs the whole distribution — which is exactly why a user without
+// a fixed function in mind wants the NN candidate set.
+//
+//	go run ./examples/players
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"spatialdom"
+)
+
+// player generates per-game stat lines around a mean profile with a
+// player-specific variance (streaky vs consistent).
+func player(id int, name string, games int, mean [3]float64, spread float64, rng *rand.Rand) *spatialdom.Object {
+	rows := make([][]float64, games)
+	for g := range rows {
+		rows[g] = []float64{
+			clamp(mean[0] + rng.NormFloat64()*spread*mean[0]),
+			clamp(mean[1] + rng.NormFloat64()*spread*mean[1]),
+			clamp(mean[2] + rng.NormFloat64()*spread*mean[2]),
+		}
+	}
+	o, err := spatialdom.NewObject(id, rows, nil) // equal game weights
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o.SetLabel(name)
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	players := []*spatialdom.Object{
+		player(1, "steady-sam", 40, [3]float64{23, 4, 8}, 0.06, rng),
+		player(2, "streaky-stella", 40, [3]float64{19, 6, 6}, 0.50, rng),
+		player(3, "playmaker-pat", 40, [3]float64{14, 11, 4}, 0.20, rng),
+		player(4, "glassman-gus", 40, [3]float64{12, 3, 13}, 0.20, rng),
+		player(5, "rookie-rae", 25, [3]float64{17, 6, 5}, 0.35, rng),
+		player(6, "bench-bo", 30, [3]float64{6, 2, 2}, 0.30, rng),
+	}
+
+	// Query: "find players like this 19/6/6 profile" — itself given as a
+	// handful of representative stat lines.
+	query, err := spatialdom.NewObject(0, [][]float64{
+		{19, 6, 6}, {21, 5, 7}, {17, 7, 5},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Most similar player according to each NN function:")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  function\tfamily\tnearest player")
+	funcs := []spatialdom.NNFunc{
+		spatialdom.MinDistFunc(),
+		spatialdom.MaxDistFunc(),
+		spatialdom.ExpectedDistFunc(),
+		spatialdom.QuantileDistFunc(0.5),
+		spatialdom.NNProbFunc(),
+		spatialdom.ExpectedRankFunc(),
+		spatialdom.HausdorffFunc(),
+		spatialdom.EMDFunc(),
+	}
+	picked := map[string]bool{}
+	for _, f := range funcs {
+		nn := spatialdom.NearestNeighbor(players, query, f)
+		picked[nn.Label()] = true
+		fmt.Fprintf(tw, "  %s\t%v\t%s\n", f.Name(), f.Family(), nn.Label())
+	}
+	tw.Flush()
+
+	idx, err := spatialdom.NewIndex(players)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := idx.Search(query, spatialdom.PSD)
+	inSet := map[string]bool{}
+	var names []string
+	for _, c := range res.Candidates {
+		inSet[c.Object.Label()] = true
+		names = append(names, c.Object.Label())
+	}
+	fmt.Printf("\nNN candidates under P-SD (optimal for N1∪N2∪N3): %v\n", names)
+
+	for name := range picked {
+		if !inSet[name] {
+			log.Fatalf("BUG: %s is an NN under some function but missing from the candidates", name)
+		}
+	}
+	fmt.Println("every per-function nearest neighbor is inside the candidate set ✓")
+
+	// The baseline keeps more players around without covering any more
+	// functions.
+	fsd := idx.Search(query, spatialdom.FPlusSD)
+	fmt.Printf("F+SD baseline would keep %d candidates instead of %d.\n",
+		len(fsd.Candidates), len(res.Candidates))
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a handful of multi-instance objects, index them, and
+// compute nearest-neighbor candidates under each spatial dominance
+// operator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatialdom"
+)
+
+func main() {
+	// Three objects, each a cloud of weighted instances (e.g. possible
+	// locations of a moving user). Weights are normalized automatically.
+	alice, err := spatialdom.NewObject(1, [][]float64{
+		{1.0, 1.0}, {1.5, 0.5}, {2.0, 1.5},
+	}, []float64{2, 1, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice.SetLabel("alice")
+
+	bob, err := spatialdom.NewObject(2, [][]float64{
+		{4.0, 0.0}, {4.5, 1.0},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob.SetLabel("bob")
+
+	carol, err := spatialdom.NewObject(3, [][]float64{
+		{9.0, 9.0}, {10.0, 8.5}, {9.5, 9.5},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	carol.SetLabel("carol")
+
+	// The query is itself multi-instance: say, an imprecise GPS fix.
+	query, err := spatialdom.NewObject(0, [][]float64{
+		{0.0, 0.0}, {0.5, 0.5},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx, err := spatialdom.NewIndex([]*spatialdom.Object{alice, bob, carol})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate sets nest along the cover chain: a stronger operator
+	// covers more NN functions but keeps more candidates.
+	fmt.Println("NN candidates per operator (cover chain SSD ⊆ SSSD ⊆ PSD ⊆ FSD ⊆ F+SD):")
+	for _, op := range spatialdom.Operators {
+		res := idx.Search(query, op)
+		names := make([]string, 0, len(res.Candidates))
+		for _, c := range res.Candidates {
+			names = append(names, c.Object.Label())
+		}
+		fmt.Printf("  %-5v -> %v\n", op, names)
+	}
+
+	// Pairwise dominance can also be checked directly.
+	checker := spatialdom.NewChecker(query, spatialdom.PSD, spatialdom.AllFilters)
+	fmt.Printf("\nP-SD(alice, carol | query) = %v\n", checker.Dominates(alice, carol))
+	fmt.Printf("P-SD(carol, alice | query) = %v\n", checker.Dominates(carol, alice))
+
+	// And individual NN functions still work when you know which one you
+	// want — the candidates above are guaranteed to contain each answer.
+	objs := []*spatialdom.Object{alice, bob, carol}
+	for _, f := range []spatialdom.NNFunc{
+		spatialdom.ExpectedDistFunc(),
+		spatialdom.MaxDistFunc(),
+		spatialdom.EMDFunc(),
+	} {
+		fmt.Printf("NN under %-9s = %s\n", f.Name(), spatialdom.NearestNeighbor(objs, query, f).Label())
+	}
+}

@@ -1,0 +1,3 @@
+module spatialdom
+
+go 1.22

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"math"
+
+	"spatialdom/internal/distr"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/rtree"
+	"spatialdom/internal/uncertain"
+)
+
+// Checker decides spatial dominance between objects for one fixed query,
+// caching per-object distance distributions, statistics, local-tree level
+// bounds and hull-distance matrices across checks. A Checker is not safe
+// for concurrent use.
+//
+// Object identity is the object ID: callers must give distinct IDs to
+// distinct objects.
+type Checker struct {
+	query   *uncertain.Object
+	op      Operator
+	cfg     FilterConfig
+	eps     float64
+	metric  geom.Metric
+	euclid  bool         // fast paths for the default metric
+	hullIdx []int        // indices into query instances used by point-level checks
+	hullPts []geom.Point // the corresponding points
+	qMBR    geom.Rect
+
+	// Stats accumulates work counters; reset or read between searches.
+	Stats Stats
+
+	cache map[int]*objCache
+}
+
+// NewChecker returns a dominance checker for the given query, operator, and
+// filter configuration, under the Euclidean metric.
+func NewChecker(query *uncertain.Object, op Operator, cfg FilterConfig) *Checker {
+	return NewCheckerMetric(query, op, cfg, geom.Euclidean)
+}
+
+// NewCheckerMetric is NewChecker under an arbitrary metric. Non-Euclidean
+// metrics disable the convex-hull reduction (its bisector argument is
+// L2-specific) and the local-R-tree shortcuts whose bounds assume L2, but
+// keep every other filter; verdicts are metric-exact.
+func NewCheckerMetric(query *uncertain.Object, op Operator, cfg FilterConfig, m geom.Metric) *Checker {
+	c := &Checker{
+		query:  query,
+		op:     op,
+		cfg:    cfg,
+		eps:    distr.Eps,
+		metric: m,
+		euclid: m == geom.Euclidean,
+		qMBR:   query.MBR(),
+		cache:  make(map[int]*objCache),
+	}
+	if cfg.Geometric && c.euclid {
+		c.hullIdx = query.HullIndices()
+	} else {
+		c.hullIdx = make([]int, query.Len())
+		for i := range c.hullIdx {
+			c.hullIdx[i] = i
+		}
+	}
+	c.hullPts = make([]geom.Point, len(c.hullIdx))
+	for i, j := range c.hullIdx {
+		c.hullPts[i] = query.Instance(j)
+	}
+	return c
+}
+
+// Metric returns the metric the checker evaluates distances under.
+func (c *Checker) Metric() geom.Metric { return c.metric }
+
+// Query returns the query object the checker was built for.
+func (c *Checker) Query() *uncertain.Object { return c.query }
+
+// Operator returns the operator the checker decides.
+func (c *Checker) Operator() Operator { return c.op }
+
+// Dominates reports whether SD(u, v, Q) holds under the checker's operator.
+func (c *Checker) Dominates(u, v *uncertain.Object) bool {
+	c.Stats.DominanceChecks++
+	switch c.op {
+	case SSD:
+		return c.ssd(u, v)
+	case SSSD:
+		return c.sssd(u, v)
+	case PSD:
+		return c.psd(u, v)
+	case FSD:
+		return c.fsd(u, v)
+	case FPlusSD:
+		return c.fplussd(u, v)
+	default:
+		panic("core: unknown operator")
+	}
+}
+
+// --- per-object cache --------------------------------------------------------
+
+type objCache struct {
+	obj *uncertain.Object
+
+	distQOK bool
+	distQ   distr.Distribution // U_Q
+
+	perQ []distr.Distribution // U_q per query instance (lazy, all at once)
+
+	statOK                     bool
+	statMin, statMean, statMax float64
+	perQStat                   [][3]float64 // min/mean/max of U_q per query instance
+
+	hullD    [][]float64 // per instance: distances to every hull point
+	distTree *rtree.Tree // R-tree over hullD rows (P-SD network construction)
+
+	sphereOK bool
+	sphere   geom.Sphere // bounding sphere, radius under the checker's metric
+
+	levels     []*levelBounds                  // S-SD level bounds, index = local-tree level
+	perQLevels map[int][][2]distr.Distribution // SS-SD per-level, per-q (lb, ub)
+}
+
+func (c *Checker) cacheOf(o *uncertain.Object) *objCache {
+	if oc, ok := c.cache[o.ID()]; ok {
+		return oc
+	}
+	oc := &objCache{obj: o}
+	c.cache[o.ID()] = oc
+	return oc
+}
+
+// distQ returns the cached U_Q, building it on first use.
+func (c *Checker) distQ(o *uncertain.Object) distr.Distribution {
+	oc := c.cacheOf(o)
+	if !oc.distQOK {
+		if c.euclid {
+			oc.distQ = distr.Between(o, c.query)
+		} else {
+			oc.distQ = distr.BetweenFunc(o, c.query, c.metric.Dist)
+		}
+		oc.distQOK = true
+		c.Stats.InstanceComparisons += int64(o.Len() * c.query.Len())
+	}
+	return oc.distQ
+}
+
+// perQ returns the cached per-query-instance distributions U_q.
+func (c *Checker) perQ(o *uncertain.Object) []distr.Distribution {
+	oc := c.cacheOf(o)
+	if oc.perQ == nil {
+		oc.perQ = make([]distr.Distribution, c.query.Len())
+		for j := 0; j < c.query.Len(); j++ {
+			if c.euclid {
+				oc.perQ[j] = distr.BetweenInstance(o, c.query.Instance(j))
+			} else {
+				oc.perQ[j] = distr.BetweenInstanceFunc(o, c.query.Instance(j), c.metric.Dist)
+			}
+		}
+		c.Stats.InstanceComparisons += int64(o.Len() * c.query.Len())
+	}
+	return oc.perQ
+}
+
+// statsOf returns cached min/mean/max of U_Q. The per-query-instance
+// statistics are built separately by perQStatsOf so that S-SD checks never
+// pay for them.
+func (c *Checker) statsOf(o *uncertain.Object) *objCache {
+	oc := c.cacheOf(o)
+	if !oc.statOK {
+		dq := c.distQ(o)
+		oc.statMin, oc.statMean, oc.statMax = dq.Min(), dq.Mean(), dq.Max()
+		oc.statOK = true
+	}
+	return oc
+}
+
+// perQStatsOf returns cached min/mean/max of each U_q.
+func (c *Checker) perQStatsOf(o *uncertain.Object) *objCache {
+	oc := c.cacheOf(o)
+	if oc.perQStat == nil {
+		per := c.perQ(o)
+		oc.perQStat = make([][3]float64, len(per))
+		for j, d := range per {
+			oc.perQStat[j] = [3]float64{d.Min(), d.Mean(), d.Max()}
+		}
+	}
+	return oc
+}
+
+// hullDists returns, for each instance of o, its distances to every hull
+// point of the query (the k-dimensional distance-space mapping of Section
+// 5.1.2).
+func (c *Checker) hullDists(o *uncertain.Object) [][]float64 {
+	oc := c.cacheOf(o)
+	if oc.hullD == nil {
+		oc.hullD = make([][]float64, o.Len())
+		for i := 0; i < o.Len(); i++ {
+			row := make([]float64, len(c.hullPts))
+			for k, q := range c.hullPts {
+				row[k] = c.metric.Dist(o.Instance(i), q)
+			}
+			oc.hullD[i] = row
+		}
+		c.Stats.InstanceComparisons += int64(o.Len() * len(c.hullPts))
+	}
+	return oc.hullD
+}
+
+// cmp returns a counting callback for stochastic-order scans.
+func (c *Checker) cmp() func() {
+	return func() { c.Stats.InstanceComparisons++ }
+}
+
+// sphereOf returns the object's bounding hypersphere with the radius
+// re-measured under the checker's metric (Ritter's center is metric-
+// agnostic; any center yields a valid bound once the radius covers every
+// instance).
+func (c *Checker) sphereOf(o *uncertain.Object) geom.Sphere {
+	oc := c.cacheOf(o)
+	if !oc.sphereOK {
+		s := geom.BoundingSphere(o.Points())
+		if !c.euclid {
+			r := 0.0
+			for i := 0; i < o.Len(); i++ {
+				if d := c.metric.Dist(s.Center, o.Instance(i)); d > r {
+					r = d
+				}
+			}
+			s.Radius = r * (1 + 1e-12)
+		}
+		oc.sphere = s
+		oc.sphereOK = true
+		c.Stats.InstanceComparisons += int64(o.Len())
+	}
+	return oc.sphere
+}
+
+// sphereValidate is cover-based validation on bounding hyperspheres (the
+// Long et al. [25] filter the paper points to after Theorem 4): for every
+// hull query instance, δ(q,c_U)+r_U <= δ(q,c_V)−r_V. Spheres beat MBRs on
+// round instance clouds, whose empty MBR corners inflate the max-distance
+// bound.
+func (c *Checker) sphereValidate(u, v *uncertain.Object) (holds, strict bool) {
+	su, sv := c.sphereOf(u), c.sphereOf(v)
+	holds = true
+	for _, q := range c.hullPts {
+		maxU := c.metric.Dist(q, su.Center) + su.Radius
+		minV := c.metric.Dist(q, sv.Center) - sv.Radius
+		if maxU > minV {
+			return false, false
+		}
+		if maxU < minV {
+			strict = true
+		}
+	}
+	return holds, strict
+}
+
+// geoValidate tries MBR validation, then (when enabled) sphere validation,
+// recording which one fired.
+func (c *Checker) geoValidate(u, v *uncertain.Object) (holds, strict bool) {
+	if holds, strict = c.mbrValidate(u, v); holds {
+		c.Stats.MBRValidations++
+		return holds, strict
+	}
+	if !c.cfg.SphereValidation {
+		return false, false
+	}
+	if holds, strict = c.sphereValidate(u, v); holds {
+		c.Stats.SphereValidations++
+	}
+	return holds, strict
+}
+
+// --- MBR-level validation (Theorem 4) ----------------------------------------
+
+// mbrValidate decides cover-based validation: F-SD between the MBRs of u
+// and v w.r.t. the query instances. It returns (holds, strict): strict
+// means some query instance separates the MBRs with a strict inequality, in
+// which case U_Q ≠ V_Q is guaranteed and the validation may conclude
+// dominance outright.
+func (c *Checker) mbrValidate(u, v *uncertain.Object) (holds, strict bool) {
+	ub, vb := u.MBR(), v.MBR()
+	holds = true
+	for _, q := range c.hullPts {
+		var maxU, minV float64
+		if c.euclid {
+			maxU = ub.MaxSqDistPoint(q)
+			minV = vb.MinSqDistPoint(q)
+		} else {
+			maxU = c.metric.MaxDistRect(q, ub)
+			minV = c.metric.MinDistRect(q, vb)
+		}
+		if maxU > minV {
+			return false, false
+		}
+		if maxU < minV {
+			strict = true
+		}
+	}
+	return holds, strict
+}
+
+// --- S-SD ---------------------------------------------------------------------
+
+func (c *Checker) ssd(u, v *uncertain.Object) bool {
+	if c.cfg.Geometric {
+		if holds, strict := c.geoValidate(u, v); holds && strict {
+			return true
+		}
+	}
+	if c.cfg.StatPruning {
+		su, sv := c.statsOf(u), c.statsOf(v)
+		if su.statMin > sv.statMin+c.eps || su.statMean > sv.statMean+c.eps || su.statMax > sv.statMax+c.eps {
+			c.Stats.StatPrunes++
+			return false
+		}
+	}
+	if c.cfg.LevelByLevel {
+		if dec, ok := c.levelDecideSSD(u, v); ok {
+			c.Stats.LevelDecisions++
+			return dec
+		}
+	}
+	du, dv := c.distQ(u), c.distQ(v)
+	if !distr.StochasticLE(du, dv, c.eps, c.cmp()) {
+		return false
+	}
+	return !distr.Equal(du, dv, c.eps)
+}
+
+// --- SS-SD --------------------------------------------------------------------
+
+func (c *Checker) sssd(u, v *uncertain.Object) bool {
+	if c.cfg.Geometric {
+		if holds, strict := c.geoValidate(u, v); holds && strict {
+			return true
+		}
+	}
+	if c.cfg.StatPruning {
+		su, sv := c.statsOf(u), c.statsOf(v)
+		// Cover-based pruning: ¬S-SD (by statistics) implies ¬SS-SD.
+		if su.statMin > sv.statMin+c.eps || su.statMean > sv.statMean+c.eps || su.statMax > sv.statMax+c.eps {
+			c.Stats.StatPrunes++
+			return false
+		}
+		// Per-query-instance statistics.
+		su, sv = c.perQStatsOf(u), c.perQStatsOf(v)
+		for j := range su.perQStat {
+			a, b := su.perQStat[j], sv.perQStat[j]
+			if a[0] > b[0]+c.eps || a[1] > b[1]+c.eps || a[2] > b[2]+c.eps {
+				c.Stats.StatPrunes++
+				return false
+			}
+		}
+	}
+	if c.cfg.LevelByLevel {
+		if dec, ok := c.levelDecideSSSD(u, v); ok {
+			c.Stats.LevelDecisions++
+			return dec
+		}
+	}
+	pu, pv := c.perQ(u), c.perQ(v)
+	for j := range pu {
+		if !distr.StochasticLE(pu[j], pv[j], c.eps, c.cmp()) {
+			return false
+		}
+	}
+	return !distr.Equal(c.distQ(u), c.distQ(v), c.eps)
+}
+
+// --- F-SD (instance level) ----------------------------------------------------
+
+// fsd decides instance-level full spatial dominance: for every query
+// instance q (equivalently every hull instance), δmax(q,U) <= δmin(q,V).
+// fsd decides instance-level full spatial dominance: δmax(q,U) <= δmin(q,V)
+// for every query instance. Both extremes are exactly the per-query-
+// instance statistics already cached per object, so after the one-time
+// O(m·|Q|) statistics build each pairwise check costs O(|Q|) comparisons —
+// the amortized equivalent of the paper's NN/furthest-neighbor searches on
+// the local R-trees.
+func (c *Checker) fsd(u, v *uncertain.Object) bool {
+	if c.cfg.Geometric {
+		if holds, _ := c.geoValidate(u, v); holds {
+			return true
+		}
+	}
+	su, sv := c.perQStatsOf(u), c.perQStatsOf(v)
+	for j := range su.perQStat {
+		c.Stats.InstanceComparisons++
+		if su.perQStat[j][2] > sv.perQStat[j][0]+c.eps { // max(U_q) > min(V_q)
+			return false
+		}
+	}
+	return true
+}
+
+// minInstDist and maxInstDist are metric-aware linear scans over an
+// object's instances.
+func (c *Checker) minInstDist(o *uncertain.Object, q geom.Point) float64 {
+	best := c.metric.Dist(o.Instance(0), q)
+	for i := 1; i < o.Len(); i++ {
+		if d := c.metric.Dist(o.Instance(i), q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (c *Checker) maxInstDist(o *uncertain.Object, q geom.Point) float64 {
+	best := c.metric.Dist(o.Instance(0), q)
+	for i := 1; i < o.Len(); i++ {
+		if d := c.metric.Dist(o.Instance(i), q); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// fplussd is the MBR-only baseline of [16]: F-SD evaluated on the objects'
+// MBRs against the query's MBR (Euclidean), or against the query instances
+// with metric rectangle bounds for other metrics.
+func (c *Checker) fplussd(u, v *uncertain.Object) bool {
+	c.Stats.InstanceComparisons++
+	if c.euclid {
+		return geom.FSDMBR(u.MBR(), v.MBR(), c.qMBR)
+	}
+	holds, _ := c.mbrValidate(u, v)
+	return holds
+}
+
+// MinPairDist returns min(U_Q): the exact smallest pairwise distance
+// between the query and the object under the checker's metric — the key
+// Algorithm 1 (and its disk-resident variant) orders objects by.
+func (c *Checker) MinPairDist(o *uncertain.Object) float64 { return c.minPairDist(o) }
+
+// RectLE reports whether every point of rectangle a is at least as close
+// as every point of rectangle b to every query instance, with a
+// strictness witness — the MBR-level entry-pruning test of Algorithm 1,
+// exported for the disk-resident search.
+func (c *Checker) RectLE(a, b geom.Rect) (le, strict bool) { return c.rectLE(a, b) }
+
+// minPairDist returns min(U_Q): the smallest pairwise distance between the
+// query and the object — the exact key Algorithm 1 orders objects by.
+func (c *Checker) minPairDist(o *uncertain.Object) float64 {
+	if oc, ok := c.cache[o.ID()]; ok && oc.statOK {
+		return oc.statMin
+	}
+	best := math.Inf(1)
+	if c.euclid {
+		tree := o.LocalTree()
+		for j := 0; j < c.query.Len(); j++ {
+			if d, ok := tree.MinDist(c.query.Instance(j)); ok && d < best {
+				best = d
+			}
+		}
+	} else {
+		for j := 0; j < c.query.Len(); j++ {
+			if d := c.minInstDist(o, c.query.Instance(j)); d < best {
+				best = d
+			}
+		}
+	}
+	c.Stats.InstanceComparisons += int64(c.query.Len())
+	return best
+}

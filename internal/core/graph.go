@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"spatialdom/internal/uncertain"
+)
+
+// DominanceGraph is the full pairwise dominance relation over an object
+// set for one query and operator — an analysis/visualization aid for
+// understanding why a candidate set looks the way it does.
+type DominanceGraph struct {
+	Operator Operator
+	Objects  []*uncertain.Object
+	// Dominates[i][j] reports SD(Objects[i], Objects[j], Q).
+	Dominates [][]bool
+}
+
+// BuildDominanceGraph evaluates every ordered pair. It is O(n²) dominance
+// checks and intended for analysis on moderate n.
+func BuildDominanceGraph(objs []*uncertain.Object, q *uncertain.Object, op Operator, cfg FilterConfig) *DominanceGraph {
+	checker := NewChecker(q, op, cfg)
+	g := &DominanceGraph{
+		Operator:  op,
+		Objects:   objs,
+		Dominates: make([][]bool, len(objs)),
+	}
+	for i, u := range objs {
+		g.Dominates[i] = make([]bool, len(objs))
+		for j, v := range objs {
+			if i != j {
+				g.Dominates[i][j] = checker.Dominates(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// DominatorCount returns, per object, how many others dominate it. Objects
+// with count 0 are the NN candidates; count < k gives the k-skyband.
+func (g *DominanceGraph) DominatorCount() []int {
+	counts := make([]int, len(g.Objects))
+	for i := range g.Dominates {
+		for j, d := range g.Dominates[i] {
+			if d {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+// Candidates returns the objects not dominated by any other — the NNC set,
+// which must agree with Algorithm 1's output.
+func (g *DominanceGraph) Candidates() []*uncertain.Object {
+	counts := g.DominatorCount()
+	var out []*uncertain.Object
+	for i, c := range counts {
+		if c == 0 {
+			out = append(out, g.Objects[i])
+		}
+	}
+	return out
+}
+
+// WriteDOT renders the graph in Graphviz DOT format: one node per object
+// (candidates drawn as boxes) and one edge per direct dominance, with
+// transitively implied edges elided to keep the picture readable.
+func (g *DominanceGraph) WriteDOT(w io.Writer) error {
+	counts := g.DominatorCount()
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=TB;\n", g.Operator); err != nil {
+		return err
+	}
+	for i, o := range g.Objects {
+		shape := "ellipse"
+		if counts[i] == 0 {
+			shape = "box"
+		}
+		name := o.Label()
+		if name == "" {
+			name = fmt.Sprintf("obj%d", o.ID())
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, shape=%s];\n", o.ID(), name, shape); err != nil {
+			return err
+		}
+	}
+	n := len(g.Objects)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !g.Dominates[i][j] {
+				continue
+			}
+			// Elide i→j if some intermediate w has i→w→j (transitive
+			// reduction on the fly; the relation is transitive, Theorem 9).
+			implied := false
+			for k := 0; k < n && !implied; k++ {
+				if k != i && k != j && g.Dominates[i][k] && g.Dominates[k][j] {
+					implied = true
+				}
+			}
+			if !implied {
+				if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", g.Objects[i].ID(), g.Objects[j].ID()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

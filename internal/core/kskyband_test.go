@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialdom/internal/nnfunc"
+)
+
+func TestSearchKEqualsSearchAtK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for iter := 0; iter < 8; iter++ {
+		objs := randDataset(rng, 40, 2, 5, 80)
+		idx, err := NewIndex(objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := randObject(rng, 0, 2, 3, randCenter(rng, 2, 80), 4)
+		for _, op := range Operators {
+			a := idx.Search(q, op).IDs()
+			b := idx.SearchK(q, op, 1).IDs()
+			sort.Ints(a)
+			sort.Ints(b)
+			if len(a) != len(b) {
+				t.Fatalf("%v: k=1 gives %v, Search gives %v", op, b, a)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: k=1 mismatch", op)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for iter := 0; iter < 10; iter++ {
+		objs := randDataset(rng, 35, 2, 5, 80)
+		idx, err := NewIndex(objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := randObject(rng, 0, 2, 3, randCenter(rng, 2, 80), 4)
+		for _, op := range []Operator{SSD, SSSD, PSD, FSD} {
+			for _, k := range []int{1, 2, 3, 5} {
+				want := idsOf(BruteForceK(objs, q, op, k, AllFilters))
+				res := idx.SearchK(q, op, k)
+				got := res.IDs()
+				sort.Ints(got)
+				if len(got) != len(want) {
+					t.Fatalf("iter %d %v k=%d: got %v, want %v", iter, op, k, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("iter %d %v k=%d: got %v, want %v", iter, op, k, got, want)
+					}
+				}
+				for _, c := range res.Candidates {
+					if c.Dominators >= k {
+						t.Fatalf("candidate with %d >= k dominators", c.Dominators)
+					}
+				}
+			}
+		}
+	}
+}
+
+// k-skybands nest in k.
+func TestSearchKMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	objs := randDataset(rng, 50, 2, 5, 80)
+	idx, err := NewIndex(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randObject(rng, 0, 2, 3, randCenter(rng, 2, 80), 4)
+	prev := map[int]bool{}
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		cur := map[int]bool{}
+		for _, id := range idx.SearchK(q, SSSD, k).IDs() {
+			cur[id] = true
+		}
+		for id := range prev {
+			if !cur[id] {
+				t.Fatalf("k-skyband not monotone: %d in k-1 band but not k=%d", id, k)
+			}
+		}
+		prev = cur
+	}
+}
+
+// The top-k objects of every covered function must be k-NN candidates.
+func TestSearchKContainsTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	objs := randDataset(rng, 40, 2, 5, 60)
+	idx, err := NewIndex(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randObject(rng, 0, 2, 3, randCenter(rng, 2, 60), 3)
+	const k = 3
+	band := map[int]bool{}
+	for _, id := range idx.SearchK(q, PSD, k).IDs() {
+		band[id] = true
+	}
+	suites := nnfunc.AllSuites()
+	for _, fam := range []nnfunc.Family{nnfunc.N1, nnfunc.N3} {
+		for _, f := range suites[fam] {
+			ranked := nnfunc.Ranking(objs, q, f)
+			for i := 0; i < k; i++ {
+				if !band[ranked[i].ID()] {
+					t.Fatalf("top-%d under %s (object %d at rank %d) missing from %d-skyband",
+						k, f.Name(), ranked[i].ID(), i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchKPanicsOnBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	objs := randDataset(rng, 5, 2, 3, 20)
+	idx, _ := NewIndex(objs)
+	q := randObject(rng, 0, 2, 2, randCenter(rng, 2, 20), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.SearchK(q, SSD, 0)
+}

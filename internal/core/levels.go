@@ -1,0 +1,170 @@
+package core
+
+import (
+	"spatialdom/internal/distr"
+	"spatialdom/internal/rtree"
+	"spatialdom/internal/uncertain"
+)
+
+// This file implements the level-by-level pruning/validation of Section 5.1
+// ("L" in the Appendix C ablation): dominance checks are first attempted
+// against coarse virtual instances — the nodes of the objects' local R-trees
+// — and only fall through to the exact instance-level algorithms when the
+// coarse level is inconclusive.
+//
+// For the stochastic operators, a local-tree level yields two bounding
+// distributions per object: LB replaces every instance distance by the
+// node's MinDist (so LB ≤st U_Q) and UB by the node's MaxDist (so
+// U_Q ≤st UB). Then
+//
+//	UB(U) ≤st LB(V)  (and UB(U) ≠ LB(V))  ⇒  SD holds (validation),
+//	¬( LB(U) ≤st UB(V) )                  ⇒  SD fails (pruning).
+//
+// The ≠ side condition follows because if U_Q = V_Q the whole chain
+// U_Q ≤st UB(U) ≤st LB(V) ≤st V_Q collapses to equality.
+
+// levelBounds caches the bounding distributions of one object at one local
+// R-tree level.
+type levelBounds struct {
+	lbQ, ubQ distr.Distribution      // w.r.t. the whole query (S-SD)
+	perQ     [][2]distr.Distribution // (lb, ub) per query instance (SS-SD)
+	perQOK   bool
+	nodes    []*rtree.Node
+	masses   []float64
+}
+
+// maxCoarseLevel bounds how many coarse levels are attempted before the
+// exact scan; local trees have fanout 4, so level 3 already holds up to 64
+// virtual instances.
+const maxCoarseLevel = 3
+
+// levelInfo returns the cached level bounds of object o at the given local
+// tree level, constructing the S-SD bounds eagerly.
+func (c *Checker) levelInfo(o *objCache, level int) *levelBounds {
+	for len(o.levels) <= level {
+		o.levels = append(o.levels, nil)
+	}
+	if o.levels[level] != nil {
+		return o.levels[level]
+	}
+	tree := o.obj.LocalTree()
+	nodes := tree.NodesAtLevel(level)
+	lb := &levelBounds{nodes: nodes, masses: make([]float64, len(nodes))}
+	var scratch []int
+	for i, n := range nodes {
+		scratch = n.CollectIDs(scratch[:0])
+		var mass float64
+		for _, id := range scratch {
+			mass += o.obj.Prob(id)
+		}
+		lb.masses[i] = mass
+	}
+	// S-SD bounds: one atom per (node, query instance).
+	lbPairs := make([]distr.Pair, 0, len(nodes)*c.query.Len())
+	ubPairs := make([]distr.Pair, 0, len(nodes)*c.query.Len())
+	for i, n := range nodes {
+		r := n.Rect()
+		for j := 0; j < c.query.Len(); j++ {
+			q := c.query.Instance(j)
+			p := c.query.Prob(j) * lb.masses[i]
+			lbPairs = append(lbPairs, distr.Pair{Dist: c.metric.MinDistRect(q, r), Prob: p})
+			ubPairs = append(ubPairs, distr.Pair{Dist: c.metric.MaxDistRect(q, r), Prob: p})
+		}
+	}
+	c.Stats.InstanceComparisons += int64(2 * len(nodes) * c.query.Len())
+	lb.lbQ = distr.MustFromPairs(lbPairs)
+	lb.ubQ = distr.MustFromPairs(ubPairs)
+	o.levels[level] = lb
+	return lb
+}
+
+// levelPerQ lazily builds the per-query-instance bounds at a level.
+func (c *Checker) levelPerQ(o *objCache, level int) *levelBounds {
+	lb := c.levelInfo(o, level)
+	if lb.perQOK {
+		return lb
+	}
+	lb.perQ = make([][2]distr.Distribution, c.query.Len())
+	for j := 0; j < c.query.Len(); j++ {
+		q := c.query.Instance(j)
+		lo := make([]distr.Pair, len(lb.nodes))
+		hi := make([]distr.Pair, len(lb.nodes))
+		for i, n := range lb.nodes {
+			r := n.Rect()
+			lo[i] = distr.Pair{Dist: c.metric.MinDistRect(q, r), Prob: lb.masses[i]}
+			hi[i] = distr.Pair{Dist: c.metric.MaxDistRect(q, r), Prob: lb.masses[i]}
+		}
+		lb.perQ[j] = [2]distr.Distribution{distr.MustFromPairs(lo), distr.MustFromPairs(hi)}
+	}
+	c.Stats.InstanceComparisons += int64(2 * len(lb.nodes) * c.query.Len())
+	lb.perQOK = true
+	return lb
+}
+
+// coarseLevels returns the sequence of levels worth attempting for a pair
+// of objects: from 1 (children of the local roots) up to one short of the
+// shallower tree's leaf level, capped at maxCoarseLevel.
+func coarseLevels(u, v *objCache) int {
+	hu := u.obj.LocalTree().Height()
+	hv := v.obj.LocalTree().Height()
+	h := hu
+	if hv < h {
+		h = hv
+	}
+	h-- // never run the "coarse" pass at the exact leaf level
+	if h > maxCoarseLevel {
+		h = maxCoarseLevel
+	}
+	return h
+}
+
+// levelDecideSSD attempts to decide S-SD(u, v, Q) at coarse local-tree
+// levels. ok is false when every attempted level is inconclusive and the
+// caller must fall through to the exact scan.
+func (c *Checker) levelDecideSSD(u, v *uncertain.Object) (dec, ok bool) {
+	cu, cv := c.cacheOf(u), c.cacheOf(v)
+	maxLvl := coarseLevels(cu, cv)
+	for lvl := 1; lvl <= maxLvl; lvl++ {
+		bu := c.levelInfo(cu, lvl)
+		bv := c.levelInfo(cv, lvl)
+		// Pruning: LB(U) ≤st UB(V) is necessary for U_Q ≤st V_Q.
+		if !distr.StochasticLE(bu.lbQ, bv.ubQ, c.eps, c.cmp()) {
+			return false, true
+		}
+		// Validation: UB(U) ≤st LB(V) with strictness somewhere.
+		if distr.StochasticLE(bu.ubQ, bv.lbQ, c.eps, c.cmp()) &&
+			!distr.Equal(bu.ubQ, bv.lbQ, c.eps) {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// levelDecideSSSD attempts to decide SS-SD(u, v, Q) at coarse local-tree
+// levels, applying the per-query-instance bounds.
+func (c *Checker) levelDecideSSSD(u, v *uncertain.Object) (dec, ok bool) {
+	cu, cv := c.cacheOf(u), c.cacheOf(v)
+	maxLvl := coarseLevels(cu, cv)
+	for lvl := 1; lvl <= maxLvl; lvl++ {
+		bu := c.levelPerQ(cu, lvl)
+		bv := c.levelPerQ(cv, lvl)
+		valid := true
+		strict := false
+		for j := range bu.perQ {
+			if !distr.StochasticLE(bu.perQ[j][0], bv.perQ[j][1], c.eps, c.cmp()) {
+				return false, true // pruning at instance j
+			}
+			if valid {
+				if !distr.StochasticLE(bu.perQ[j][1], bv.perQ[j][0], c.eps, c.cmp()) {
+					valid = false
+				} else if !distr.Equal(bu.perQ[j][1], bv.perQ[j][0], c.eps) {
+					strict = true
+				}
+			}
+		}
+		if valid && strict {
+			return true, true
+		}
+	}
+	return false, false
+}

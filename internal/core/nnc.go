@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/rtree"
+	"spatialdom/internal/uncertain"
+)
+
+// Index organizes a set of objects for NN-candidate search: object MBRs in
+// a global R-tree (page-derived fanout, as in Section 6) plus an ID lookup.
+// An Index is immutable after construction and safe for concurrent
+// searches; each Search uses its own Checker.
+type Index struct {
+	objects map[int]*uncertain.Object
+	list    []*uncertain.Object
+	tree    *rtree.Tree
+	dim     int
+}
+
+// GlobalPageBytes is the page size the global R-tree fanout is derived
+// from, matching the paper's 4096-byte pages.
+const GlobalPageBytes = 4096
+
+// Errors returned by NewIndex.
+var (
+	ErrNoObjects   = errors.New("core: index needs at least one object")
+	ErrDuplicateID = errors.New("core: duplicate object ID")
+	ErrIndexDimMix = errors.New("core: objects disagree in dimensionality")
+)
+
+// NewIndex builds an index over the given objects. Object IDs must be
+// unique and dimensionalities must agree.
+func NewIndex(objs []*uncertain.Object) (*Index, error) {
+	if len(objs) == 0 {
+		return nil, ErrNoObjects
+	}
+	dim := objs[0].Dim()
+	byID := make(map[int]*uncertain.Object, len(objs))
+	entries := make([]rtree.Entry, len(objs))
+	for i, o := range objs {
+		if o.Dim() != dim {
+			return nil, fmt.Errorf("%w: object %d has dim %d, want %d", ErrIndexDimMix, o.ID(), o.Dim(), dim)
+		}
+		if _, dup := byID[o.ID()]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateID, o.ID())
+		}
+		byID[o.ID()] = o
+		entries[i] = rtree.Entry{Rect: o.MBR(), ID: o.ID()}
+	}
+	fan := rtree.DefaultFanout(GlobalPageBytes, dim)
+	list := make([]*uncertain.Object, len(objs))
+	copy(list, objs)
+	return &Index{
+		objects: byID,
+		list:    list,
+		tree:    rtree.Bulk(entries, 2, fan),
+		dim:     dim,
+	}, nil
+}
+
+// Len returns the number of indexed objects.
+func (idx *Index) Len() int { return len(idx.list) }
+
+// Dim returns the dimensionality of the indexed objects.
+func (idx *Index) Dim() int { return idx.dim }
+
+// Objects returns the indexed objects. The returned slice must not be
+// modified.
+func (idx *Index) Objects() []*uncertain.Object { return idx.list }
+
+// Object returns the object with the given ID, or nil.
+func (idx *Index) Object(id int) *uncertain.Object { return idx.objects[id] }
+
+// Candidate is one NN candidate, in emission order.
+type Candidate struct {
+	Object *uncertain.Object
+	// Rank is the emission position (0 = first candidate output).
+	Rank int
+	// MinDist is min(U_Q), the exact smallest query–object pair distance,
+	// which is the order Algorithm 1 examines objects in.
+	MinDist float64
+	// Elapsed is the time from search start to this candidate's emission —
+	// the progressive-property measurement of Figure 14.
+	Elapsed time.Duration
+	// Dominators is the number of other candidates dominating this one.
+	// It is always 0 for Search and < k for SearchK.
+	Dominators int
+}
+
+// Result is the outcome of an NNC search.
+type Result struct {
+	Operator   Operator
+	Candidates []Candidate
+	// Examined counts objects that reached an instance-level dominance
+	// evaluation (Line 5–11 of Algorithm 1).
+	Examined int
+	Elapsed  time.Duration
+	Stats    Stats
+}
+
+// Objects returns the candidate objects in emission order.
+func (r *Result) Objects() []*uncertain.Object {
+	out := make([]*uncertain.Object, len(r.Candidates))
+	for i, c := range r.Candidates {
+		out[i] = c.Object
+	}
+	return out
+}
+
+// IDs returns the candidate object IDs in emission order.
+func (r *Result) IDs() []int {
+	out := make([]int, len(r.Candidates))
+	for i, c := range r.Candidates {
+		out[i] = c.Object.ID()
+	}
+	return out
+}
+
+// SearchOptions tunes an NNC search.
+type SearchOptions struct {
+	// Filters selects the Section 5.1 filtering techniques (AllFilters by
+	// default via Search; the zero value is the brute-force configuration).
+	Filters FilterConfig
+	// OnCandidate, when non-nil, is invoked for each candidate the moment
+	// it is proven undominated — the progressive property of Algorithm 1.
+	OnCandidate func(Candidate)
+	// Metric selects the instance distance (nil = Euclidean).
+	Metric geom.Metric
+	// Limit, when positive, stops the search after that many candidates
+	// have been emitted. Because Algorithm 1 is progressive — an object is
+	// only emitted once it is proven undominated — the first Limit
+	// candidates of a truncated search are exactly the first Limit of the
+	// full search.
+	Limit int
+}
+
+// metric resolves the options' metric, defaulting to Euclidean.
+func (o SearchOptions) metric() geom.Metric {
+	if o.Metric == nil {
+		return geom.Euclidean
+	}
+	return o.Metric
+}
+
+// Search runs Algorithm 1 with every filtering technique enabled.
+func (idx *Index) Search(q *uncertain.Object, op Operator) *Result {
+	return idx.SearchOpts(q, op, SearchOptions{Filters: AllFilters})
+}
+
+// heap item kinds: an R-tree node, an object keyed by an MBR lower bound,
+// and an object keyed by its exact min pair distance.
+type itemKind uint8
+
+const (
+	kindNode itemKind = iota
+	kindObjLB
+	kindObjExact
+)
+
+type searchItem struct {
+	key  float64
+	kind itemKind
+	node *rtree.Node
+	obj  *uncertain.Object
+}
+
+type searchHeap []searchItem
+
+func (h searchHeap) Len() int            { return len(h) }
+func (h searchHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h searchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *searchHeap) Push(x interface{}) { *h = append(*h, x.(searchItem)) }
+func (h *searchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SearchOpts runs Algorithm 1: a best-first traversal of the global R-tree
+// in non-decreasing min-distance order, testing each reached object against
+// the NN candidates found so far and pruning entire entries whose every
+// object is MBR-dominated by an existing candidate (Theorem 4). Objects are
+// re-keyed by their exact min(U_Q) before evaluation — and exact-key ties
+// are evaluated as one batch — so that the transitivity-based correctness
+// argument of Section 5.2 applies. It is SearchKOpts with k = 1.
+func (idx *Index) SearchOpts(q *uncertain.Object, op Operator, opts SearchOptions) *Result {
+	return idx.SearchKOpts(q, op, 1, opts)
+}
+
+// BruteForce computes the NN candidates by exhaustive pairwise dominance:
+// an object is a candidate iff no other object dominates it. It is the
+// reference implementation Algorithm 1 is validated against, and has no
+// R-tree or ordering optimizations.
+func BruteForce(objs []*uncertain.Object, q *uncertain.Object, op Operator, cfg FilterConfig) []*uncertain.Object {
+	checker := NewChecker(q, op, cfg)
+	var out []*uncertain.Object
+	for _, v := range objs {
+		dominated := false
+		for _, u := range objs {
+			if u == v {
+				continue
+			}
+			if checker.Dominates(u, v) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package core implements the paper's primary contribution: the spatial
+// dominance operators S-SD, SS-SD, P-SD, F-SD and F⁺-SD (Sections 2, 4 and
+// 5.1) together with their pruning/validation filters, and the progressive
+// NN-candidate computation of Algorithm 1 (Section 5.2).
+//
+// The operators form the cover chain F-SD ⊂ P-SD ⊂ SS-SD ⊂ S-SD
+// (Theorem 2): a stronger operator dominates fewer pairs and therefore
+// yields more NN candidates, but covers more NN-function families. S-SD is
+// optimal w.r.t. N1, SS-SD w.r.t. N1∪N2, and P-SD w.r.t. N1∪N2∪N3
+// (Theorems 5–7); F-SD is correct but not complete (Theorem 8).
+package core
+
+import "fmt"
+
+// Operator selects a spatial dominance operator.
+type Operator int
+
+const (
+	// SSD is stochastic spatial dominance: U_Q ≤st V_Q (Definition 2).
+	// Optimal w.r.t. the all-pairs family N1.
+	SSD Operator = iota
+	// SSSD is strict stochastic spatial dominance: U_q ≤st V_q for every
+	// query instance q (Definition 3). Optimal w.r.t. N1 ∪ N2.
+	SSSD
+	// PSD is peer spatial dominance: a match between U and V whose every
+	// tuple satisfies t.u ⪯Q t.v (Definition 5). Optimal w.r.t. N1∪N2∪N3.
+	PSD
+	// FSD is full spatial dominance at instance level: every instance of U
+	// is at least as close as every instance of V to every query instance.
+	// Correct for N1∪N2∪N3 but not complete (Theorem 8).
+	FSD
+	// FPlusSD is the MBR-level baseline of [16]: F-SD evaluated on the
+	// objects' minimum bounding rectangles only.
+	FPlusSD
+)
+
+// Operators lists every operator in cover order (weakest dominance
+// condition — fewest candidates — first).
+var Operators = []Operator{SSD, SSSD, PSD, FSD, FPlusSD}
+
+// String returns the name used in the paper's experiment section.
+func (op Operator) String() string {
+	switch op {
+	case SSD:
+		return "SSD"
+	case SSSD:
+		return "SSSD"
+	case PSD:
+		return "PSD"
+	case FSD:
+		return "FSD"
+	case FPlusSD:
+		return "F+SD"
+	default:
+		return fmt.Sprintf("Operator(%d)", int(op))
+	}
+}
+
+// Covers reports whether op2 covers op (op ⊂ op2): dominance under op
+// implies dominance under op2, per Theorem 2. Every operator covers itself.
+func (op Operator) Covers(other Operator) bool {
+	rank := func(o Operator) int {
+		switch o {
+		case FPlusSD:
+			return 0
+		case FSD:
+			return 1
+		case PSD:
+			return 2
+		case SSSD:
+			return 3
+		case SSD:
+			return 4
+		}
+		return -1
+	}
+	return rank(other) <= rank(op)
+}
+
+// FilterConfig toggles the Section 5.1 filtering techniques, enabling the
+// Appendix C (Figure 16) ablation. The zero value is the brute-force
+// configuration ("BF"); AllFilters enables everything ("All").
+type FilterConfig struct {
+	// LevelByLevel enables level-by-level pruning/validation on the
+	// objects' local R-trees ("L"): bounding distributions for S-SD/SS-SD
+	// and the G⁻/G⁺ coarse flow networks for P-SD.
+	LevelByLevel bool
+	// StatPruning enables statistic-based pruning (min/mean/max of the
+	// distance distributions, Theorem 11) and cover-based pruning ("P").
+	StatPruning bool
+	// Geometric enables the geometric techniques ("G"): restriction of
+	// dominance tests to the query's convex hull, the in-hull early exit
+	// for P-SD, and MBR cover validation (Theorem 4).
+	Geometric bool
+	// SphereValidation additionally validates on bounding hyperspheres
+	// (the Long et al. [25] filter the paper points to after Theorem 4);
+	// it only applies when Geometric is enabled.
+	SphereValidation bool
+}
+
+// AllFilters enables every filtering technique (the "All" configuration).
+var AllFilters = FilterConfig{
+	LevelByLevel:     true,
+	StatPruning:      true,
+	Geometric:        true,
+	SphereValidation: true,
+}
+
+// Stats counts the work performed by dominance checking; used by the
+// Figure 16 ablation and the efficiency experiments.
+type Stats struct {
+	// InstanceComparisons counts atom consumptions in stochastic-order
+	// scans plus pairwise instance distance evaluations — the metric
+	// reported by Figure 16.
+	InstanceComparisons int64
+	// DominanceChecks counts top-level Dominates invocations.
+	DominanceChecks int64
+	// MBRValidations counts cover-based validations that short-circuited a
+	// check at the MBR level.
+	MBRValidations int64
+	// SphereValidations counts validations decided by the bounding
+	// hypersphere after the MBR test was inconclusive.
+	SphereValidations int64
+	// StatPrunes counts checks decided by statistic-based pruning.
+	StatPrunes int64
+	// LevelDecisions counts checks decided at a non-leaf local-tree level.
+	LevelDecisions int64
+	// FlowSolves counts max-flow invocations (P-SD).
+	FlowSolves int64
+	// HeapPops and EntryPrunes instrument Algorithm 1.
+	HeapPops    int64
+	EntryPrunes int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.InstanceComparisons += other.InstanceComparisons
+	s.DominanceChecks += other.DominanceChecks
+	s.MBRValidations += other.MBRValidations
+	s.SphereValidations += other.SphereValidations
+	s.StatPrunes += other.StatPrunes
+	s.LevelDecisions += other.LevelDecisions
+	s.FlowSolves += other.FlowSolves
+	s.HeapPops += other.HeapPops
+	s.EntryPrunes += other.EntryPrunes
+}

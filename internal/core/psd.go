@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+
+	"spatialdom/internal/distr"
+	"spatialdom/internal/flow"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/rtree"
+	"spatialdom/internal/uncertain"
+)
+
+// This file implements the Peer-SD check (Section 5.1.2). Theorem 12
+// reduces P-SD(U,V,Q) to max-flow: build a bipartite network with source
+// capacities p(u), sink capacities p(v) and an unbounded edge u→v whenever
+// u ⪯Q v; P-SD holds iff the max flow equals 1 (and U_Q ≠ V_Q).
+//
+// Filters applied before the exact network, in order:
+//
+//  1. cover-based validation on MBRs (Theorem 4) and bounding hyperspheres
+//     [25], with a strictness witness;
+//  2. cover-based pruning: ¬S-SD or ¬SS-SD (decided statistically and, when
+//     necessary, by scan) implies ¬P-SD;
+//  3. the geometric in-hull exit: an instance of V inside the convex hull
+//     of Q can only be matched by a co-located instance of U;
+//  4. level-by-level G⁻ (validation) / G⁺ (pruning) networks over local
+//     R-tree nodes;
+//  5. the exact instance network, with admissibility u ⪯Q v decided in the
+//     k-dimensional hull-distance space.
+
+const flowEps = 1e-9
+
+func (c *Checker) psd(u, v *uncertain.Object) bool {
+	if c.cfg.Geometric {
+		if holds, strict := c.geoValidate(u, v); holds && strict {
+			return true
+		}
+	}
+	if c.cfg.StatPruning {
+		// Cover-based pruning: P-SD ⊂ SS-SD ⊂ S-SD, so a failed stochastic
+		// scan at either granularity disproves P-SD. The scans themselves
+		// reuse the cached distributions.
+		su, sv := c.statsOf(u), c.statsOf(v)
+		if su.statMin > sv.statMin+c.eps || su.statMean > sv.statMean+c.eps || su.statMax > sv.statMax+c.eps {
+			c.Stats.StatPrunes++
+			return false
+		}
+		pu, pv := c.perQ(u), c.perQ(v)
+		for j := range pu {
+			if !distr.StochasticLE(pu[j], pv[j], c.eps, c.cmp()) {
+				c.Stats.StatPrunes++
+				return false
+			}
+		}
+	}
+	if c.cfg.Geometric && c.euclid && c.query.Dim() == 2 {
+		if c.inHullExit(u, v) {
+			return false
+		}
+	}
+	if c.cfg.LevelByLevel {
+		if dec, ok := c.levelDecidePSD(u, v); ok {
+			c.Stats.LevelDecisions++
+			return dec
+		}
+	}
+	return c.psdExact(u, v)
+}
+
+// inHullExit reports whether some positive-mass instance of V lies inside
+// the convex hull of the query without a co-located instance of U — in
+// which case no match can cover that instance and P-SD fails. (A point in
+// CH(Q) cannot be ⪯Q-dominated by any distinct point: the closed halfspace
+// bounded by their bisector that contains all of Q would have to contain
+// the point itself.)
+func (c *Checker) inHullExit(u, v *uncertain.Object) bool {
+	qpts := c.query.Points()
+	for i := 0; i < v.Len(); i++ {
+		vi := v.Instance(i)
+		if !geom.PointInHull2D(vi, qpts, c.hullIdx) {
+			continue
+		}
+		colocated := false
+		for j := 0; j < u.Len(); j++ {
+			if u.Instance(j).Equal(vi) {
+				colocated = true
+				break
+			}
+		}
+		c.Stats.InstanceComparisons += int64(u.Len())
+		if !colocated {
+			return true
+		}
+	}
+	return false
+}
+
+// instLE reports whether instance ui of u is not farther than instance vi
+// of v from every hull query instance (u ⪯Q v), using the cached
+// hull-distance matrices. strict additionally reports a strictly closer
+// hull instance.
+func (c *Checker) instLE(du, dv []float64) (le, strict bool) {
+	for k := range du {
+		c.Stats.InstanceComparisons++
+		if du[k] > dv[k]+c.eps {
+			return false, false
+		}
+		if du[k] < dv[k]-c.eps {
+			strict = true
+		}
+	}
+	return true, strict
+}
+
+// distSpaceThreshold is the instance count beyond which the admissibility
+// matrix is built with range queries over an R-tree in the hull-distance
+// space instead of all-pairs comparisons (the Section 5.1.2 note: "by
+// taking advantage of the efficient range search in spatial indexing
+// techniques, we can efficiently improve the network construction time").
+const distSpaceThreshold = 48
+
+// psdExact runs Theorem 12 on the instance-level network.
+func (c *Checker) psdExact(u, v *uncertain.Object) bool {
+	hu := c.hullDists(u)
+	hv := c.hullDists(v)
+	nu, nv := u.Len(), v.Len()
+	g := flow.NewNetwork(nu + nv + 2)
+	s, t := 0, nu+nv+1
+	for i := 0; i < nu; i++ {
+		g.AddEdge(s, 1+i, u.Prob(i))
+	}
+	for j := 0; j < nv; j++ {
+		g.AddEdge(1+nu+j, t, v.Prob(j))
+	}
+	type adm struct {
+		e      int
+		strict bool
+	}
+	var admissible []adm
+	anyEdges := false
+	if nu >= distSpaceThreshold && nv >= distSpaceThreshold {
+		// Distance-space construction: u ⪯Q v iff u's hull-distance vector
+		// lies inside the box [0, hv[j]] — a range query.
+		tree := c.distSpaceTree(u, hu)
+		lo := make(geom.Point, len(c.hullPts))
+		for j := 0; j < nv; j++ {
+			// Expand the box by eps so the range query is a superset of
+			// the tolerance-aware instLE test, then recheck each hit.
+			hi := make(geom.Point, len(hv[j]))
+			for k, d := range hv[j] {
+				hi[k] = d + c.eps
+			}
+			win := geom.Rect{Lo: lo, Hi: hi}
+			c.Stats.InstanceComparisons++ // one range probe
+			tree.Search(win, func(e rtree.Entry) bool {
+				i := e.ID
+				le, strict := c.instLE(hu[i], hv[j])
+				if le {
+					edge := g.AddEdge(1+i, 1+nu+j, math.Inf(1))
+					admissible = append(admissible, adm{edge, strict})
+					anyEdges = true
+				}
+				return true
+			})
+		}
+	} else {
+		for i := 0; i < nu; i++ {
+			for j := 0; j < nv; j++ {
+				if le, strict := c.instLE(hu[i], hv[j]); le {
+					e := g.AddEdge(1+i, 1+nu+j, math.Inf(1))
+					admissible = append(admissible, adm{e, strict})
+					anyEdges = true
+				}
+			}
+		}
+	}
+	if !anyEdges {
+		return false
+	}
+	c.Stats.FlowSolves++
+	if g.MaxFlow(s, t) < 1-flowEps {
+		return false
+	}
+	// A match exists. The side condition U_Q ≠ V_Q remains: if any matched
+	// tuple is strictly closer at some hull instance, the CDFs differ and
+	// the condition holds for free; otherwise compare the distributions.
+	for _, a := range admissible {
+		if a.strict && g.Flow(a.e) > flowEps {
+			return true
+		}
+	}
+	return !distr.Equal(c.distQ(u), c.distQ(v), c.eps)
+}
+
+// distSpaceTree returns (building and caching) an R-tree over the object's
+// instances mapped into the k-dimensional hull-distance space.
+func (c *Checker) distSpaceTree(o *uncertain.Object, hd [][]float64) *rtree.Tree {
+	oc := c.cacheOf(o)
+	if oc.distTree == nil {
+		entries := make([]rtree.Entry, len(hd))
+		for i, row := range hd {
+			entries[i] = rtree.Entry{Rect: geom.PointRect(geom.Point(row)), ID: i}
+		}
+		oc.distTree = rtree.Bulk(entries, 2, 16)
+	}
+	return oc.distTree
+}
+
+// levelDecidePSD attempts the level-by-level G⁻/G⁺ networks of Section
+// 5.1.2 on local R-tree nodes. ok is false when all attempted levels are
+// inconclusive.
+func (c *Checker) levelDecidePSD(u, v *uncertain.Object) (dec, ok bool) {
+	cu, cv := c.cacheOf(u), c.cacheOf(v)
+	maxLvl := coarseLevels(cu, cv)
+	for lvl := 1; lvl <= maxLvl; lvl++ {
+		bu := c.levelInfo(cu, lvl)
+		bv := c.levelInfo(cv, lvl)
+		nu, nv := len(bu.nodes), len(bv.nodes)
+
+		// G⁻ (validation): an edge U^i→V^j only when EVERY u∈U^i is at
+		// least as close as every v∈V^j to every query instance, decided
+		// exactly on node MBRs. |f⁻| = 1 proves a full instance match.
+		gMinus := flow.NewNetwork(nu + nv + 2)
+		// G⁺ (pruning): an edge unless some query instance strictly
+		// separates V^j's MBR below U^i's MBR (making u ⪯Q v impossible
+		// for every pair in the nodes). |f⁺| < 1 disproves the match.
+		gPlus := flow.NewNetwork(nu + nv + 2)
+		s, t := 0, nu+nv+1
+		for i := 0; i < nu; i++ {
+			gMinus.AddEdge(s, 1+i, bu.masses[i])
+			gPlus.AddEdge(s, 1+i, bu.masses[i])
+		}
+		for j := 0; j < nv; j++ {
+			gMinus.AddEdge(1+nu+j, t, bv.masses[j])
+			gPlus.AddEdge(1+nu+j, t, bv.masses[j])
+		}
+		minusEdges := 0
+		for i := 0; i < nu; i++ {
+			ri := bu.nodes[i].Rect()
+			for j := 0; j < nv; j++ {
+				rj := bv.nodes[j].Rect()
+				le, _ := c.rectLE(ri, rj)
+				if le {
+					gMinus.AddEdge(1+i, 1+nu+j, math.Inf(1))
+					minusEdges++
+				}
+				// Keep the G⁺ edge unless v-side strictly beats u-side.
+				if rvLE, rvStrict := c.rectLE(rj, ri); !(rvLE && rvStrict) {
+					gPlus.AddEdge(1+i, 1+nu+j, math.Inf(1))
+				}
+			}
+		}
+		c.Stats.FlowSolves++
+		if gPlus.MaxFlow(s, t) < 1-flowEps {
+			return false, true
+		}
+		if minusEdges > 0 {
+			c.Stats.FlowSolves++
+			if gMinus.MaxFlow(s, t) >= 1-flowEps {
+				// The coarse match proves an instance-level match exists;
+				// settle the ≠ side condition on the exact distributions.
+				return !distr.Equal(c.distQ(u), c.distQ(v), c.eps), true
+			}
+		}
+	}
+	return false, false
+}
+
+// rectLE reports whether every point of a is at least as close as every
+// point of b to every hull query instance (the MBR-level u ⪯Q v test),
+// with a strictness witness.
+func (c *Checker) rectLE(a, b geom.Rect) (le, strict bool) {
+	le = true
+	for _, q := range c.hullPts {
+		c.Stats.InstanceComparisons++
+		var maxA, minB float64
+		if c.euclid {
+			maxA = a.MaxSqDistPoint(q)
+			minB = b.MinSqDistPoint(q)
+		} else {
+			maxA = c.metric.MaxDistRect(q, a)
+			minB = c.metric.MinDistRect(q, b)
+		}
+		if maxA > minB {
+			return false, false
+		}
+		if maxA < minB {
+			strict = true
+		}
+	}
+	return le, strict
+}

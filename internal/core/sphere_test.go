@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// circleObject places m instances on a circle of the given radius — the
+// shape where a bounding sphere is strictly tighter than an MBR (whose
+// empty corners inflate the max-distance bound by √2).
+func circleObject(id int, cx, cy, r float64, m int) *uncertain.Object {
+	pts := make([]geom.Point, m)
+	for i := range pts {
+		ang := float64(i) / float64(m) * 2 * math.Pi
+		pts[i] = geom.Point{cx + r*math.Cos(ang), cy + r*math.Sin(ang)}
+	}
+	return uncertain.MustNew(id, pts, nil)
+}
+
+// A V placed between the MBR's corner bound and the sphere bound: the MBR
+// validation is inconclusive but the sphere validation decides, and the
+// verdict matches the exact check.
+func TestSphereValidationFiresWhereMBRCannot(t *testing.T) {
+	q := uncertain.MustNew(0, []geom.Point{{0, 0}}, nil)
+	u := circleObject(1, 100, 0, 10, 16)
+	// MBR max-distance bound from q: dist to corner (110, 10) ≈ 110.45.
+	// Sphere bound: 100 + 10 = 110. Put V's nearest point at 110.2.
+	v := uncertain.MustNew(2, []geom.Point{{110.2, 0}, {111, 0}}, nil)
+
+	mbrOnly := NewChecker(q, SSD, AllFilters)
+	if holds, _ := mbrOnly.mbrValidate(u, v); holds {
+		t.Fatal("fixture broken: MBR validation should be inconclusive")
+	}
+	if holds, strict := mbrOnly.sphereValidate(u, v); !holds || !strict {
+		t.Fatal("fixture broken: sphere validation should decide strictly")
+	}
+
+	// The full checker must use the sphere and record it.
+	c := NewChecker(q, SSD, AllFilters)
+	if !c.Dominates(u, v) {
+		t.Fatal("U must dominate V")
+	}
+	if c.Stats.SphereValidations != 1 {
+		t.Fatalf("SphereValidations = %d, want 1", c.Stats.SphereValidations)
+	}
+	if c.Stats.MBRValidations != 0 {
+		t.Fatalf("MBRValidations = %d, want 0", c.Stats.MBRValidations)
+	}
+
+	// And the verdict agrees with the unfiltered exact check.
+	if !NewChecker(q, SSD, FilterConfig{}).Dominates(u, v) {
+		t.Fatal("exact check disagrees with sphere validation")
+	}
+}
+
+// Sphere validation is metric-aware: the radius is re-measured under the
+// checker's metric so the bound stays sound for L1/L∞.
+func TestSphereValidationNonEuclidean(t *testing.T) {
+	q := uncertain.MustNew(0, []geom.Point{{0, 0}}, nil)
+	u := circleObject(1, 50, 0, 5, 12)
+	v := uncertain.MustNew(2, []geom.Point{{200, 0}, {205, 0}}, nil)
+	for _, m := range []geom.Metric{geom.Manhattan, geom.Chebyshev} {
+		c := NewCheckerMetric(q, SSD, AllFilters, m)
+		if !c.Dominates(u, v) {
+			t.Fatalf("%s: far V must be dominated", m.Name())
+		}
+		bare := NewCheckerMetric(q, SSD, FilterConfig{}, m)
+		if !bare.Dominates(u, v) {
+			t.Fatalf("%s: exact check disagrees", m.Name())
+		}
+	}
+}

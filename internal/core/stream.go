@@ -1,0 +1,46 @@
+package core
+
+import (
+	"context"
+
+	"spatialdom/internal/uncertain"
+)
+
+// Stream runs the progressive NNC search in a goroutine and returns a
+// channel that yields each candidate the moment it is proven undominated —
+// the channel-shaped form of Algorithm 1's progressive property, suitable
+// for feeding a UI that renders results while the search runs.
+//
+// The channel is closed when the search completes or the context is
+// canceled; cancellation aborts the traversal at the next candidate
+// emission. The final Result (with timing and statistics) is delivered on
+// the second returned channel, which receives exactly one value unless the
+// context is canceled first.
+func (idx *Index) Stream(ctx context.Context, q *uncertain.Object, op Operator, opts SearchOptions) (<-chan Candidate, <-chan *Result) {
+	out := make(chan Candidate)
+	done := make(chan *Result, 1)
+	go func() {
+		defer close(out)
+		defer close(done)
+		inner := opts
+		canceled := false
+		inner.OnCandidate = func(c Candidate) {
+			if canceled {
+				return
+			}
+			select {
+			case out <- c:
+				if opts.OnCandidate != nil {
+					opts.OnCandidate(c)
+				}
+			case <-ctx.Done():
+				canceled = true
+			}
+		}
+		res := idx.SearchOpts(q, op, inner)
+		if !canceled {
+			done <- res
+		}
+	}()
+	return out, done
+}

@@ -1,0 +1,131 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := `1,0,1,0.5,1.5
+1,1,3,2.5,3.5
+2,0,1,9,9
+`
+	objs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("%d objects", len(objs))
+	}
+	a := objs[0]
+	if a.ID() != 1 || a.Len() != 2 || a.Dim() != 2 {
+		t.Fatalf("object 1 wrong: %v", a)
+	}
+	if a.Prob(0) != 0.25 || a.Prob(1) != 0.75 {
+		t.Fatalf("weights not normalized: %v", a.Probs())
+	}
+	if !a.Instance(1).Equal(geom.Point{2.5, 3.5}) {
+		t.Fatalf("instance wrong: %v", a.Instance(1))
+	}
+	if objs[1].ID() != 2 {
+		t.Fatal("objects not sorted by ID")
+	}
+}
+
+func TestReadHeaderTolerated(t *testing.T) {
+	in := "object_id,instance_idx,weight,x,y\n1,0,1,0,0\n"
+	objs, err := Read(strings.NewReader(in))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("header not tolerated: %v, %v", objs, err)
+	}
+}
+
+func TestReadInterleavedRows(t *testing.T) {
+	in := "1,0,1,0\n2,0,1,5\n1,1,1,2\n"
+	objs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[0].Len() != 2 || objs[1].Len() != 1 {
+		t.Fatal("interleaved rows not grouped")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"short row", "1,0,1\n"},
+		{"bad id mid-file", "1,0,1,0\nxx,0,1,0\n"},
+		{"bad weight", "1,0,w,0\n"},
+		{"bad coordinate", "1,0,1,zz\n"},
+		{"dim mismatch", "1,0,1,0,0\n2,0,1,1\n"},
+		{"negative weight", "1,0,-2,0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := Read(strings.NewReader("")); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := datagen.Generate(datagen.Params{N: 30, M: 5, Seed: 12})
+	var buf bytes.Buffer
+	if err := Write(&buf, ds.Objects); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ds.Objects) {
+		t.Fatalf("round trip lost objects: %d vs %d", len(back), len(ds.Objects))
+	}
+	for i, o := range ds.Objects {
+		b := back[i]
+		if o.ID() != b.ID() || o.Len() != b.Len() || o.Dim() != b.Dim() {
+			t.Fatalf("object %d metadata mismatch", o.ID())
+		}
+		for k := 0; k < o.Len(); k++ {
+			if !o.Instance(k).Equal(b.Instance(k)) {
+				t.Fatalf("object %d instance %d differs", o.ID(), k)
+			}
+			if math.Abs(o.Prob(k)-b.Prob(k)) > 1e-12 {
+				t.Fatalf("object %d prob %d differs", o.ID(), k)
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "objs.csv")
+	objs := []*uncertain.Object{
+		uncertain.MustNew(7, []geom.Point{{1, 2}, {3, 4}}, []float64{1, 3}),
+	}
+	if err := WriteFile(path, objs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].ID() != 7 || back[0].Prob(1) != 0.75 {
+		t.Fatalf("file round trip wrong: %v", back)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the CSV parser with arbitrary input: it must never
+// panic, and whatever it accepts must round-trip through Write/Read to
+// the same objects.
+func FuzzRead(f *testing.F) {
+	f.Add("1,0,1,0.5,1.5\n1,1,3,2.5,3.5\n2,0,1,9,9\n")
+	f.Add("object_id,instance_idx,weight,x,y\n1,0,1,0,0\n")
+	f.Add("1,0,1,0\n2,0,1,5\n1,1,1,2\n")
+	f.Add("")
+	f.Add("1,0,-1,0\n")
+	f.Add("x,y\n")
+	f.Add("1,0,1,NaN\n")
+	f.Add("9999999999999999999999,0,1,0\n")
+	f.Add("1,0,1e308,1e308\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		objs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if len(objs) == 0 {
+			t.Fatal("accepted input produced no objects without error")
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, objs); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(objs) {
+			t.Fatalf("round trip changed object count: %d -> %d", len(objs), len(back))
+		}
+		for i := range objs {
+			if objs[i].ID() != back[i].ID() || objs[i].Len() != back[i].Len() {
+				t.Fatalf("round trip changed object %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,351 @@
+// Package diskindex is the disk-resident form of the NN-candidate search:
+// object records in a page-file heap (diskstore), object MBRs in a
+// disk-resident global R-tree (diskrtree), and Algorithm 1 driven through
+// a buffer pool so that every page access is counted — the setting the
+// paper's efficiency experiments model with 4096-byte pages.
+//
+// Per the paper's memory model, an object whose MBR survives pruning is
+// loaded into main memory in full ("we load the whole local R-tree into
+// the main memory if it could not be pruned based on its MBR"); dominance
+// checking then proceeds exactly as in the in-memory core package.
+package diskindex
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/diskrtree"
+	"spatialdom/internal/diskstore"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+)
+
+const superMagic = "SDIX"
+
+// Index is a disk-resident NNC index handle.
+type Index struct {
+	pool  *pager.Pool
+	super pager.PageID
+	store *diskstore.Store
+	tree  *diskrtree.Tree
+
+	// objCache holds objects already fetched this session, keyed by record
+	// pointer. Fetches go through the buffer pool and are counted there.
+	objCache map[diskstore.Ptr]*uncertain.Object
+}
+
+// ErrBadSuper is returned by Open when the super page is not an index.
+var ErrBadSuper = errors.New("diskindex: bad super page")
+
+// Build writes the objects and their R-tree into the pool's file and
+// returns the index. The first page Build allocates is the super page;
+// pass its id (SuperPage) to Open to reattach.
+func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
+	if len(objs) == 0 {
+		return nil, errors.New("diskindex: no objects")
+	}
+	super, _, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	pool.Unpin(super)
+
+	store, err := diskstore.Create(pool)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]diskrtree.Entry, len(objs))
+	for i, o := range objs {
+		ptr, err := store.Append(o)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = diskrtree.Entry{Rect: o.MBR(), ID: int64(ptr)}
+	}
+	tree, err := diskrtree.Build(pool, entries)
+	if err != nil {
+		return nil, err
+	}
+
+	buf, err := pool.Get(super)
+	if err != nil {
+		return nil, err
+	}
+	copy(buf, superMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(store.Meta()))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(tree.Meta()))
+	pool.MarkDirty(super)
+	pool.Unpin(super)
+	if err := pool.Flush(); err != nil {
+		return nil, err
+	}
+	return &Index{
+		pool:     pool,
+		super:    super,
+		store:    store,
+		tree:     tree,
+		objCache: make(map[diskstore.Ptr]*uncertain.Object),
+	}, nil
+}
+
+// Open reattaches to an index previously Built in the pool's file.
+func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
+	buf, err := pool.Get(super)
+	if err != nil {
+		return nil, err
+	}
+	if string(buf[:4]) != superMagic {
+		pool.Unpin(super)
+		return nil, ErrBadSuper
+	}
+	storeMeta := pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
+	treeMeta := pager.PageID(binary.LittleEndian.Uint32(buf[8:]))
+	pool.Unpin(super)
+	store, err := diskstore.Open(pool, storeMeta)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := diskrtree.Open(pool, treeMeta)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		pool:     pool,
+		super:    super,
+		store:    store,
+		tree:     tree,
+		objCache: make(map[diskstore.Ptr]*uncertain.Object),
+	}, nil
+}
+
+// SuperPage returns the id to pass to Open.
+func (ix *Index) SuperPage() pager.PageID { return ix.super }
+
+// ResetCache drops the decoded-object cache, so the next search re-fetches
+// objects through the buffer pool (used by cold-cache measurements).
+func (ix *Index) ResetCache() {
+	ix.objCache = make(map[diskstore.Ptr]*uncertain.Object)
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.store.Len() }
+
+// Dim returns the dimensionality.
+func (ix *Index) Dim() int { return ix.tree.Dim() }
+
+// IOStats reports buffer pool and file counters.
+type IOStats struct {
+	Hits, Misses, Reads, Writes int64
+}
+
+// Result is a disk search outcome: the candidates plus dominance and I/O
+// statistics.
+type Result struct {
+	Operator   core.Operator
+	Candidates []*uncertain.Object
+	Examined   int
+	Elapsed    time.Duration
+	Stats      core.Stats
+	IO         IOStats
+}
+
+// IDs returns candidate IDs in emission order.
+func (r *Result) IDs() []int {
+	out := make([]int, len(r.Candidates))
+	for i, o := range r.Candidates {
+		out[i] = o.ID()
+	}
+	return out
+}
+
+// fetch loads (and caches) the object stored at ptr.
+func (ix *Index) fetch(ptr diskstore.Ptr) (*uncertain.Object, error) {
+	if o, ok := ix.objCache[ptr]; ok {
+		return o, nil
+	}
+	o, err := ix.store.Read(ptr)
+	if err != nil {
+		return nil, err
+	}
+	ix.objCache[ptr] = o
+	return o, nil
+}
+
+type itemKind uint8
+
+const (
+	kindNode itemKind = iota
+	kindObjLB
+	kindObjExact
+)
+
+type item struct {
+	key  float64
+	kind itemKind
+	page pager.PageID
+	ptr  diskstore.Ptr
+	obj  *uncertain.Object
+}
+
+type pq []item
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Search runs Algorithm 1 against the disk-resident structures, with I/O
+// counters captured over the query (the pool's counters are reset at query
+// start). The in-memory dominance machinery (core.Checker) is reused
+// unchanged.
+func (ix *Index) Search(q *uncertain.Object, op core.Operator, cfg core.FilterConfig) (*Result, error) {
+	return ix.SearchK(q, op, 1, cfg)
+}
+
+// SearchK generalizes Search to the k-skyband (objects dominated by fewer
+// than k others), mirroring the in-memory Index.SearchK.
+func (ix *Index) SearchK(q *uncertain.Object, op core.Operator, k int, cfg core.FilterConfig) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("diskindex: k=%d must be >= 1", k)
+	}
+	start := time.Now()
+	ix.pool.ResetStats()
+	checker := core.NewChecker(q, op, cfg)
+	qmbr := q.MBR()
+	res := &Result{Operator: op}
+
+	// The root is pushed with key 0 — a trivially valid lower bound.
+	h := pq{{key: 0, kind: kindNode, page: ix.tree.Root()}}
+	var nnc []*uncertain.Object
+	var expandErr error
+	expand := func(it item) {
+		switch it.kind {
+		case kindNode:
+			node, err := ix.tree.ReadNode(it.page)
+			if err != nil {
+				expandErr = err
+				return
+			}
+			for i, rect := range node.Rects {
+				if ix.entryDominated(checker, nnc, rect, k) {
+					checker.Stats.EntryPrunes++
+					continue
+				}
+				if node.Leaf {
+					heap.Push(&h, item{
+						key:  rect.MinDistRect(qmbr),
+						kind: kindObjLB,
+						ptr:  diskstore.Ptr(node.IDs[i]),
+					})
+				} else {
+					heap.Push(&h, item{
+						key:  rect.MinDistRect(qmbr),
+						kind: kindNode,
+						page: node.Children[i],
+					})
+				}
+			}
+		case kindObjLB:
+			// Loading the object is the paper's "load the local R-tree":
+			// it happens only when the MBR could not be pruned.
+			obj, err := ix.fetch(it.ptr)
+			if err != nil {
+				expandErr = err
+				return
+			}
+			heap.Push(&h, item{key: checker.MinPairDist(obj), kind: kindObjExact, obj: obj})
+		}
+	}
+	// Exact-key ties are drained into a batch and evaluated together, as in
+	// the in-memory engine (see core/kskyband.go for the argument).
+	const tieEps = 1e-9
+	var batch []item
+	for len(h) > 0 && expandErr == nil {
+		it := heap.Pop(&h).(item)
+		checker.Stats.HeapPops++
+		if it.kind != kindObjExact {
+			expand(it)
+			continue
+		}
+		batch = batch[:0]
+		batch = append(batch, it)
+		limit := it.key + tieEps
+		for len(h) > 0 && h[0].key <= limit && expandErr == nil {
+			nxt := heap.Pop(&h).(item)
+			checker.Stats.HeapPops++
+			if nxt.kind == kindObjExact {
+				batch = append(batch, nxt)
+			} else {
+				expand(nxt)
+			}
+		}
+		preBand := len(nnc)
+		for _, b := range batch {
+			res.Examined++
+			dominators := 0
+			for _, u := range nnc[:preBand] {
+				if checker.Dominates(u, b.obj) {
+					dominators++
+					if dominators >= k {
+						break
+					}
+				}
+			}
+			if dominators < k {
+				for _, other := range batch {
+					if other.obj != b.obj && checker.Dominates(other.obj, b.obj) {
+						dominators++
+						if dominators >= k {
+							break
+						}
+					}
+				}
+			}
+			if dominators < k {
+				nnc = append(nnc, b.obj)
+				res.Candidates = append(res.Candidates, b.obj)
+			}
+		}
+	}
+	if expandErr != nil {
+		return nil, expandErr
+	}
+	res.Elapsed = time.Since(start)
+	res.Stats = checker.Stats
+	hits, misses, reads, writes := ix.pool.Stats()
+	res.IO = IOStats{Hits: hits, Misses: misses, Reads: reads, Writes: writes}
+	return res, nil
+}
+
+// entryDominated mirrors Algorithm 1's entry pruning: at least k current
+// candidates strictly MBR-dominate the whole rectangle.
+func (ix *Index) entryDominated(c *core.Checker, nnc []*uncertain.Object, r geom.Rect, k int) bool {
+	count := 0
+	for _, u := range nnc {
+		if le, strict := c.RectLE(u.MBR(), r); le && strict {
+			count++
+			if count >= k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String describes the index.
+func (ix *Index) String() string {
+	return fmt.Sprintf("DiskIndex(%d objects, dim %d, tree height %d, %d pages)",
+		ix.Len(), ix.Dim(), ix.tree.Height(), ix.pool.File().Len())
+}

@@ -1,0 +1,185 @@
+package diskindex
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/pager"
+)
+
+func buildBoth(t *testing.T, n, m int, seed int64, frames int) (*Index, *core.Index, *datagen.Dataset, string) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Params{N: n, M: m, EdgeLen: 400, Seed: seed})
+	mem, err := core.NewIndex(ds.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.pg")
+	pf, err := pager.Create(path, pager.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	pool := pager.NewPool(pf, frames)
+	disk, err := Build(pool, ds.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return disk, mem, ds, path
+}
+
+// The disk search must return exactly the in-memory candidate set under
+// every operator.
+func TestDiskSearchMatchesMemory(t *testing.T) {
+	disk, mem, ds, _ := buildBoth(t, 150, 6, 51, 64)
+	queries := ds.Queries(4, 4, 200, 77)
+	for _, q := range queries {
+		for _, op := range core.Operators {
+			want := mem.Search(q, op).IDs()
+			res, err := disk.Search(q, op, core.AllFilters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.IDs()
+			sort.Ints(want)
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("%v: disk %v != memory %v", op, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: disk %v != memory %v", op, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDiskSearchCountsIO(t *testing.T) {
+	disk, _, ds, _ := buildBoth(t, 200, 6, 52, 16) // pool far smaller than the file
+	q := ds.Queries(1, 4, 200, 78)[0]
+	res, err := disk.Search(q, core.SSSD, core.AllFilters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.Misses == 0 || res.IO.Reads == 0 {
+		t.Fatalf("cold search recorded no I/O: %+v", res.IO)
+	}
+	if res.IO.Reads != res.IO.Misses {
+		t.Fatalf("reads %d != misses %d", res.IO.Reads, res.IO.Misses)
+	}
+	if res.Stats.DominanceChecks == 0 || res.Elapsed <= 0 {
+		t.Fatal("dominance stats missing")
+	}
+	// A repeat query hits the object cache + warm pool: strictly fewer misses.
+	res2, err := disk.Search(q, core.SSSD, core.AllFilters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.IO.Misses > res.IO.Misses {
+		t.Fatalf("warm search missed more (%d) than cold (%d)", res2.IO.Misses, res.IO.Misses)
+	}
+}
+
+func TestDiskIndexReopen(t *testing.T) {
+	disk, mem, ds, path := buildBoth(t, 100, 5, 53, 64)
+	super := disk.SuperPage()
+	q := ds.Queries(1, 4, 200, 79)[0]
+	want := mem.Search(q, core.PSD).IDs()
+	sort.Ints(want)
+
+	// Reopen from the file alone.
+	pf, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	pool := pager.NewPool(pf, 64)
+	disk2, err := Open(pool, super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk2.Len() != 100 || disk2.Dim() != 3 {
+		t.Fatalf("reopened metadata: len=%d dim=%d", disk2.Len(), disk2.Dim())
+	}
+	res, err := disk2.Search(q, core.PSD, core.AllFilters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.IDs()
+	sort.Ints(got)
+	if len(got) != len(want) {
+		t.Fatalf("reopened search %v != %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reopened search %v != %v", got, want)
+		}
+	}
+	if disk2.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestOpenBadSuper(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pg")
+	pf, err := pager.Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	pool := pager.NewPool(pf, 8)
+	id, buf, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXX")
+	pool.Unpin(id)
+	if _, err := Open(pool, id); err != ErrBadSuper {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The disk k-skyband must match the in-memory SearchK.
+func TestDiskSearchKMatchesMemory(t *testing.T) {
+	disk, mem, ds, _ := buildBoth(t, 120, 5, 54, 64)
+	q := ds.Queries(1, 4, 200, 80)[0]
+	for _, k := range []int{1, 2, 4} {
+		for _, op := range []core.Operator{core.SSD, core.PSD} {
+			want := mem.SearchK(q, op, k).IDs()
+			res, err := disk.SearchK(q, op, k, core.AllFilters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.IDs()
+			sort.Ints(want)
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("%v k=%d: disk %v != memory %v", op, k, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v k=%d: disk %v != memory %v", op, k, got, want)
+				}
+			}
+		}
+	}
+	if _, err := disk.SearchK(q, core.SSD, 0, core.AllFilters); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.pg")
+	pf, err := pager.Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := Build(pager.NewPool(pf, 8), nil); err == nil {
+		t.Fatal("empty build accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package diskrtree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/pager"
+)
+
+func newPool(t *testing.T, pageSize, frames int) *pager.Pool {
+	t.Helper()
+	pf, err := pager.Create(filepath.Join(t.TempDir(), "rt.pg"), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pager.NewPool(pf, frames)
+}
+
+func randEntries(rng *rand.Rand, n, d int, scale float64) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			lo[j] = rng.Float64() * scale
+			hi[j] = lo[j] + rng.Float64()*scale/20
+		}
+		es[i] = Entry{Rect: geom.Rect{Lo: lo, Hi: hi}, ID: int64(i)}
+	}
+	return es
+}
+
+func TestCapacity(t *testing.T) {
+	if c := Capacity(4096, 3); c != (4096-3)/(16*3+8) {
+		t.Fatalf("capacity = %d", c)
+	}
+	if c := Capacity(64, 10); c != 2 {
+		t.Fatalf("tiny capacity = %d", c)
+	}
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	pool := newPool(t, 512, 8)
+	if _, err := Build(pool, nil); err != ErrNoEntries {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pool := newPool(t, 512, 16)
+	es := randEntries(rng, 500, 2, 100)
+	tr, err := Build(pool, append([]Entry(nil), es...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 || tr.Dim() != 2 || tr.Height() < 2 {
+		t.Fatalf("metadata: len=%d dim=%d h=%d", tr.Len(), tr.Dim(), tr.Height())
+	}
+	for k := 0; k < 30; k++ {
+		lo := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		hi := geom.Point{lo[0] + rng.Float64()*30, lo[1] + rng.Float64()*30}
+		win := geom.Rect{Lo: lo, Hi: hi}
+		var want []int64
+		for _, e := range es {
+			if e.Rect.Intersects(win) {
+				want = append(want, e.ID)
+			}
+		}
+		var got []int64
+		if err := tr.Search(win, func(e Entry) bool { got = append(got, e.ID); return true }); err != nil {
+			t.Fatal(err)
+		}
+		sortInt64(want)
+		sortInt64(got)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: got %d, want %d", win, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("window %v: mismatch", win)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pool := newPool(t, 512, 16)
+	tr, err := Build(pool, randEntries(rng, 200, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err = tr.Search(geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{10, 10}}, func(Entry) bool {
+		count++
+		return count < 3
+	})
+	if err != nil || count != 3 {
+		t.Fatalf("early stop: count=%d err=%v", count, err)
+	}
+}
+
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "persist.pg")
+	pf, err := pager.Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pager.NewPool(pf, 16)
+	rng := rand.New(rand.NewSource(33))
+	es := randEntries(rng, 120, 3, 50)
+	tr, err := Build(pool, append([]Entry(nil), es...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := tr.Meta()
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	pf2, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	pool2 := pager.NewPool(pf2, 16)
+	tr2, err := Open(pool2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 120 || tr2.Dim() != 3 || tr2.Height() != tr.Height() {
+		t.Fatalf("reopened metadata wrong: %d %d %d", tr2.Len(), tr2.Dim(), tr2.Height())
+	}
+	// Full-domain search returns every entry.
+	var got []int64
+	all := geom.Rect{Lo: geom.Point{-1, -1, -1}, Hi: geom.Point{100, 100, 100}}
+	if err := tr2.Search(all, func(e Entry) bool { got = append(got, e.ID); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 120 {
+		t.Fatalf("reopened search found %d entries", len(got))
+	}
+}
+
+func TestOpenBadMeta(t *testing.T) {
+	pool := newPool(t, 512, 8)
+	id, buf, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "JUNK")
+	pool.Unpin(id)
+	if _, err := Open(pool, id); err != ErrBadMeta {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Searching with a tiny buffer pool must miss (and re-read) pages — the
+// I/O accounting the harness relies on.
+func TestIOAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	pool := newPool(t, 512, 256) // large enough to hold the whole tree
+	tr, err := Build(pool, randEntries(rng, 800, 2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	all := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{100, 100}}
+	if err := tr.Search(all, func(Entry) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, reads, _ := pool.Stats()
+	if hits+misses == 0 {
+		t.Fatal("no pool accesses recorded")
+	}
+	if reads != misses {
+		t.Fatalf("physical reads %d != misses %d", reads, misses)
+	}
+	// A second identical search on a warm pool must be mostly hits.
+	h0 := hits
+	if err := tr.Search(all, func(Entry) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2, _, _ := pool.Stats()
+	if hits2-h0 == 0 {
+		t.Fatal("warm search produced no hits")
+	}
+	if misses2 != misses && pool.File().Len() < 64 {
+		t.Fatalf("warm search missed: %d -> %d", misses, misses2)
+	}
+}
+
+// ReadNode round-trips the exact rectangles written at build time.
+func TestNodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	pool := newPool(t, 512, 16)
+	es := randEntries(rng, 60, 2, 50)
+	tr, err := Build(pool, append([]Entry(nil), es...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the whole tree; every leaf entry must match an input entry.
+	byID := map[int64]geom.Rect{}
+	for _, e := range es {
+		byID[e.ID] = e.Rect
+	}
+	var walk func(p pager.PageID)
+	found := 0
+	walk = func(p pager.PageID) {
+		n, err := tr.ReadNode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Leaf {
+			for i, id := range n.IDs {
+				want := byID[id]
+				if !n.Rects[i].Equal(want) {
+					t.Fatalf("entry %d rect %v != %v", id, n.Rects[i], want)
+				}
+				found++
+			}
+			return
+		}
+		for i, c := range n.Children {
+			child, err := tr.ReadNode(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Parent rect must cover all child rects.
+			for _, r := range child.Rects {
+				if !n.Rects[i].ContainsRect(r) {
+					t.Fatalf("parent rect does not contain child rect")
+				}
+			}
+			walk(c)
+		}
+	}
+	walk(tr.Root())
+	if found != len(es) {
+		t.Fatalf("walked %d entries, want %d", found, len(es))
+	}
+}
+
+func sortInt64(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

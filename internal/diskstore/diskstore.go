@@ -1,0 +1,242 @@
+// Package diskstore stores serialized multi-instance objects in a page
+// file: the object heap of the disk-resident index. Records are appended
+// to a logical byte stream laid out over consecutively allocated pages and
+// addressed by their stream offset, so a record fetch touches exactly the
+// ⌈len/pageSize⌉ pages holding it — the unit the paper's disk-bound
+// experiments count.
+//
+// Record layout (little endian):
+//
+//	id i64 | m u32 | d u32 | probs m×f64 | coords (m·d)×f64 | label len u16 | label
+package diskstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+)
+
+const metaMagic = "SDST"
+
+// Ptr addresses a record by its logical stream offset.
+type Ptr uint64
+
+// Store is an append-only object heap over a buffer pool. Appends must not
+// be interleaved with other allocations on the same file (data pages must
+// stay contiguous); build the store fully before building other structures.
+type Store struct {
+	pool  *pager.Pool
+	meta  pager.PageID
+	first pager.PageID // first data page (0 until the first append)
+	pages int          // number of data pages
+	tail  uint64       // logical length in bytes
+	count int          // number of records
+}
+
+// ErrBadMeta is returned by Open on a non-store meta page.
+var ErrBadMeta = errors.New("diskstore: bad meta page")
+
+// Create allocates a store (and its meta page) in the pool's file.
+func Create(pool *pager.Pool) (*Store, error) {
+	meta, _, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	pool.Unpin(meta)
+	s := &Store{pool: pool, meta: meta}
+	return s, s.writeMeta()
+}
+
+// Open attaches to an existing store given its meta page id.
+func Open(pool *pager.Pool, meta pager.PageID) (*Store, error) {
+	buf, err := pool.Get(meta)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(meta)
+	if string(buf[:4]) != metaMagic {
+		return nil, ErrBadMeta
+	}
+	return &Store{
+		pool:  pool,
+		meta:  meta,
+		first: pager.PageID(binary.LittleEndian.Uint32(buf[4:])),
+		pages: int(binary.LittleEndian.Uint32(buf[8:])),
+		tail:  binary.LittleEndian.Uint64(buf[12:]),
+		count: int(binary.LittleEndian.Uint32(buf[20:])),
+	}, nil
+}
+
+func (s *Store) writeMeta() error {
+	buf, err := s.pool.Get(s.meta)
+	if err != nil {
+		return err
+	}
+	defer s.pool.Unpin(s.meta)
+	copy(buf, metaMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(s.first))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(s.pages))
+	binary.LittleEndian.PutUint64(buf[12:], s.tail)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(s.count))
+	s.pool.MarkDirty(s.meta)
+	return nil
+}
+
+// Meta returns the store's meta page id.
+func (s *Store) Meta() pager.PageID { return s.meta }
+
+// Len returns the number of stored records.
+func (s *Store) Len() int { return s.count }
+
+// Append serializes the object and returns its record pointer.
+func (s *Store) Append(o *uncertain.Object) (Ptr, error) {
+	rec := encode(o)
+	ptr := Ptr(s.tail)
+	if err := s.writeAt(s.tail, rec); err != nil {
+		return 0, err
+	}
+	s.tail += uint64(len(rec))
+	s.count++
+	return ptr, s.writeMeta()
+}
+
+// Read fetches and decodes the record at ptr.
+func (s *Store) Read(ptr Ptr) (*uncertain.Object, error) {
+	hdr := make([]byte, 16)
+	if err := s.readAt(uint64(ptr), hdr); err != nil {
+		return nil, err
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[8:]))
+	d := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if m <= 0 || d <= 0 || m > 1<<24 || d > 1<<10 {
+		return nil, fmt.Errorf("diskstore: corrupt record at %d (m=%d d=%d)", ptr, m, d)
+	}
+	body := make([]byte, 8*m+8*m*d+2)
+	if err := s.readAt(uint64(ptr)+16, body); err != nil {
+		return nil, err
+	}
+	id := int(int64(binary.LittleEndian.Uint64(hdr[:8])))
+	probs := make([]float64, m)
+	off := 0
+	for i := range probs {
+		probs[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	pts := make([]geom.Point, m)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		pts[i] = p
+	}
+	labelLen := int(binary.LittleEndian.Uint16(body[off:]))
+	var label string
+	if labelLen > 0 {
+		lb := make([]byte, labelLen)
+		if err := s.readAt(uint64(ptr)+16+uint64(off)+2, lb); err != nil {
+			return nil, err
+		}
+		label = string(lb)
+	}
+	o, err := uncertain.New(id, pts, probs)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: decoding record at %d: %w", ptr, err)
+	}
+	if label != "" {
+		o.SetLabel(label)
+	}
+	return o, nil
+}
+
+func encode(o *uncertain.Object) []byte {
+	m, d := o.Len(), o.Dim()
+	label := o.Label()
+	rec := make([]byte, 16+8*m+8*m*d+2+len(label))
+	binary.LittleEndian.PutUint64(rec, uint64(int64(o.ID())))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(m))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(d))
+	off := 16
+	for i := 0; i < m; i++ {
+		binary.LittleEndian.PutUint64(rec[off:], math.Float64bits(o.Prob(i)))
+		off += 8
+	}
+	for i := 0; i < m; i++ {
+		p := o.Instance(i)
+		for j := 0; j < d; j++ {
+			binary.LittleEndian.PutUint64(rec[off:], math.Float64bits(p[j]))
+			off += 8
+		}
+	}
+	binary.LittleEndian.PutUint16(rec[off:], uint16(len(label)))
+	off += 2
+	copy(rec[off:], label)
+	return rec
+}
+
+// page returns the page id holding logical offset off, extending the data
+// area when extend is set.
+func (s *Store) page(off uint64, extend bool) (pager.PageID, int, error) {
+	ps := uint64(s.pool.File().PageSize())
+	idx := int(off / ps)
+	for extend && idx >= s.pages {
+		id, _, err := s.pool.Allocate()
+		if err != nil {
+			return pager.InvalidPage, 0, err
+		}
+		s.pool.Unpin(id)
+		if s.pages == 0 {
+			s.first = id
+		} else if id != s.first+pager.PageID(s.pages) {
+			return pager.InvalidPage, 0, errors.New("diskstore: data pages not contiguous (interleaved allocation)")
+		}
+		s.pages++
+	}
+	if idx >= s.pages {
+		return pager.InvalidPage, 0, fmt.Errorf("diskstore: offset %d beyond data area", off)
+	}
+	return s.first + pager.PageID(idx), int(off % ps), nil
+}
+
+func (s *Store) writeAt(off uint64, data []byte) error {
+	for len(data) > 0 {
+		id, inPage, err := s.page(off, true)
+		if err != nil {
+			return err
+		}
+		buf, err := s.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := copy(buf[inPage:], data)
+		s.pool.MarkDirty(id)
+		s.pool.Unpin(id)
+		data = data[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+func (s *Store) readAt(off uint64, data []byte) error {
+	for len(data) > 0 {
+		id, inPage, err := s.page(off, false)
+		if err != nil {
+			return err
+		}
+		buf, err := s.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := copy(data, buf[inPage:])
+		s.pool.Unpin(id)
+		data = data[n:]
+		off += uint64(n)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package diskstore
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+)
+
+func newPool(t *testing.T, pageSize int) (*pager.Pool, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.pg")
+	pf, err := pager.Create(path, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pager.NewPool(pf, 32), path
+}
+
+func sameObject(t *testing.T, a, b *uncertain.Object) {
+	t.Helper()
+	if a.ID() != b.ID() || a.Len() != b.Len() || a.Dim() != b.Dim() || a.Label() != b.Label() {
+		t.Fatalf("metadata differs: %v vs %v", a, b)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Instance(i).Equal(b.Instance(i)) {
+			t.Fatalf("instance %d differs", i)
+		}
+		if math.Abs(a.Prob(i)-b.Prob(i)) > 1e-12 {
+			t.Fatalf("prob %d differs", i)
+		}
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	pool, _ := newPool(t, 256)
+	s, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := uncertain.MustNew(7, []geom.Point{{1, 2}, {3, 4}}, []float64{1, 3}).SetLabel("alpha")
+	b := uncertain.MustNew(-3, []geom.Point{{9, 9, 9}}, nil)
+	// b has a different dimensionality — the store doesn't care.
+	pa, err := s.Append(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := s.Append(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	gotA, err := s.Read(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObject(t, a, gotA)
+	gotB, err := s.Read(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObject(t, b, gotB)
+}
+
+// Records larger than a page must span pages transparently.
+func TestLargeRecordSpansPages(t *testing.T) {
+	pool, _ := newPool(t, 128)
+	s, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geom.Point, 50) // 50×3×8 = 1200 bytes of coords alone
+	for i := range pts {
+		pts[i] = geom.Point{float64(i), float64(i * 2), float64(i * 3)}
+	}
+	o := uncertain.MustNew(1, pts, nil)
+	ptr, err := s.Append(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObject(t, o, got)
+}
+
+func TestPersistAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.pg")
+	pf, err := pager.Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pager.NewPool(pf, 16)
+	s, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := s.Meta()
+	ds := datagen.Generate(datagen.Params{N: 30, M: 5, Seed: 3})
+	ptrs := make([]Ptr, len(ds.Objects))
+	for i, o := range ds.Objects {
+		if ptrs[i], err = s.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	pf2, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	pool2 := pager.NewPool(pf2, 16)
+	s2, err := Open(pool2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 30 {
+		t.Fatalf("reopened Len = %d", s2.Len())
+	}
+	for i, o := range ds.Objects {
+		got, err := s2.Read(ptrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameObject(t, o, got)
+	}
+}
+
+func TestOpenBadMeta(t *testing.T) {
+	pool, _ := newPool(t, 256)
+	id, buf, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "NOPE")
+	pool.Unpin(id)
+	if _, err := Open(pool, id); err != ErrBadMeta {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadBeyondEnd(t *testing.T) {
+	pool, _ := newPool(t, 256)
+	s, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(Ptr(9999)); err == nil {
+		t.Fatal("read beyond end accepted")
+	}
+}
+
+func TestManyRandomObjects(t *testing.T) {
+	pool, _ := newPool(t, 512)
+	s, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	var objs []*uncertain.Object
+	var ptrs []Ptr
+	for i := 0; i < 100; i++ {
+		m := 1 + rng.Intn(10)
+		pts := make([]geom.Point, m)
+		ws := make([]float64, m)
+		for k := range pts {
+			pts[k] = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+			ws[k] = rng.Float64() + 0.01
+		}
+		o := uncertain.MustNew(i, pts, ws)
+		ptr, err := s.Append(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+		ptrs = append(ptrs, ptr)
+	}
+	// Random-order reads.
+	for _, i := range rng.Perm(len(objs)) {
+		got, err := s.Read(ptrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameObject(t, objs[i], got)
+	}
+}

@@ -1,0 +1,328 @@
+// Package distr implements the discrete distance distributions of the paper
+// (U_Q and U_q, Section 2.1) and the two equivalent orders used by the
+// dominance operators: the usual stochastic order (Definition 1) and the
+// match order (Definition 9, Theorem 1).
+//
+// A Distribution is a univariate discrete random variable kept as
+// probability-weighted values sorted in non-decreasing order, which lets
+// every comparison run as one linear scan (the paper's optimal-in-the-worst-
+// case dominance check of Section 5.1.1 / Theorem 10).
+package distr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// Eps is the default tolerance used when comparing accumulated probability
+// mass, so that floating-point rounding never flips a dominance verdict on
+// exactly tied mass.
+const Eps = 1e-9
+
+// Pair is one atom of a distribution: a value (a distance) with its
+// probability.
+type Pair struct {
+	Dist float64
+	Prob float64
+}
+
+// Distribution is a discrete univariate random variable with atoms sorted
+// by non-decreasing value. The zero value is an empty distribution.
+type Distribution struct {
+	pairs []Pair
+}
+
+var errBadProb = errors.New("distr: probabilities must be finite and non-negative")
+
+// FromPairs builds a distribution from atoms in any order. Atoms are copied
+// and sorted; zero-probability atoms are dropped. The probabilities must be
+// non-negative and finite but need not sum to one (sub-distributions are
+// allowed in intermediate computations).
+func FromPairs(pairs []Pair) (Distribution, error) {
+	cp := make([]Pair, 0, len(pairs))
+	for i, p := range pairs {
+		if math.IsNaN(p.Prob) || math.IsInf(p.Prob, 0) || p.Prob < 0 {
+			return Distribution{}, fmt.Errorf("%w: atom %d prob %g", errBadProb, i, p.Prob)
+		}
+		if math.IsNaN(p.Dist) {
+			return Distribution{}, fmt.Errorf("distr: atom %d has NaN value", i)
+		}
+		if p.Prob > 0 {
+			cp = append(cp, p)
+		}
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Dist < cp[j].Dist })
+	return Distribution{pairs: cp}, nil
+}
+
+// MustFromPairs is FromPairs that panics on error.
+func MustFromPairs(pairs []Pair) Distribution {
+	d, err := FromPairs(pairs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Between returns U_Q: the distance distribution between object u and query
+// q containing every instance pair (q_j, u_i) with value δ(q_j, u_i) and
+// probability p(q_j)·p(u_i).
+func Between(u, q *uncertain.Object) Distribution {
+	pairs := make([]Pair, 0, u.Len()*q.Len())
+	for j := 0; j < q.Len(); j++ {
+		qp := q.Instance(j)
+		qprob := q.Prob(j)
+		for i := 0; i < u.Len(); i++ {
+			pairs = append(pairs, Pair{
+				Dist: geom.Dist(qp, u.Instance(i)),
+				Prob: qprob * u.Prob(i),
+			})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
+	return Distribution{pairs: pairs}
+}
+
+// BetweenFunc is Between under an arbitrary instance distance function —
+// the extension point for non-Euclidean metrics (Section 2.1 notes the
+// techniques carry over to any metric).
+func BetweenFunc(u, q *uncertain.Object, dist func(a, b geom.Point) float64) Distribution {
+	pairs := make([]Pair, 0, u.Len()*q.Len())
+	for j := 0; j < q.Len(); j++ {
+		qp := q.Instance(j)
+		qprob := q.Prob(j)
+		for i := 0; i < u.Len(); i++ {
+			pairs = append(pairs, Pair{
+				Dist: dist(qp, u.Instance(i)),
+				Prob: qprob * u.Prob(i),
+			})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
+	return Distribution{pairs: pairs}
+}
+
+// BetweenInstanceFunc is BetweenInstance under an arbitrary instance
+// distance function.
+func BetweenInstanceFunc(u *uncertain.Object, q geom.Point, dist func(a, b geom.Point) float64) Distribution {
+	pairs := make([]Pair, u.Len())
+	for i := 0; i < u.Len(); i++ {
+		pairs[i] = Pair{Dist: dist(q, u.Instance(i)), Prob: u.Prob(i)}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
+	return Distribution{pairs: pairs}
+}
+
+// BetweenInstance returns U_q: the distance distribution between object u
+// and a single query instance, each atom carrying the instance probability
+// p(u_i).
+func BetweenInstance(u *uncertain.Object, q geom.Point) Distribution {
+	pairs := make([]Pair, u.Len())
+	for i := 0; i < u.Len(); i++ {
+		pairs[i] = Pair{Dist: geom.Dist(q, u.Instance(i)), Prob: u.Prob(i)}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
+	return Distribution{pairs: pairs}
+}
+
+// Len returns the number of atoms.
+func (d Distribution) Len() int { return len(d.pairs) }
+
+// Pair returns the i-th atom in sorted order.
+func (d Distribution) Pair(i int) Pair { return d.pairs[i] }
+
+// Pairs returns the sorted atoms. The returned slice must not be modified.
+func (d Distribution) Pairs() []Pair { return d.pairs }
+
+// TotalProb returns the total probability mass.
+func (d Distribution) TotalProb() float64 {
+	var s float64
+	for _, p := range d.pairs {
+		s += p.Prob
+	}
+	return s
+}
+
+// Min returns the smallest value (the min distance). Panics when empty.
+func (d Distribution) Min() float64 { return d.pairs[0].Dist }
+
+// Max returns the largest value (the max distance). Panics when empty.
+func (d Distribution) Max() float64 { return d.pairs[len(d.pairs)-1].Dist }
+
+// Mean returns the expected value.
+func (d Distribution) Mean() float64 {
+	var s float64
+	for _, p := range d.pairs {
+		s += p.Dist * p.Prob
+	}
+	return s
+}
+
+// Quantile returns the φ-quantile per Definition 10: the value of the first
+// atom at which the accumulated probability reaches φ, for 0 < φ <= 1.
+// It panics on an empty distribution or φ outside (0, 1].
+func (d Distribution) Quantile(phi float64) float64 {
+	if len(d.pairs) == 0 {
+		panic("distr: Quantile of empty distribution")
+	}
+	if phi <= 0 || phi > 1 {
+		panic(fmt.Sprintf("distr: Quantile phi=%g outside (0,1]", phi))
+	}
+	var cum float64
+	for _, p := range d.pairs {
+		cum += p.Prob
+		if cum >= phi-Eps {
+			return p.Dist
+		}
+	}
+	return d.pairs[len(d.pairs)-1].Dist
+}
+
+// CDF returns Pr(X <= x).
+func (d Distribution) CDF(x float64) float64 {
+	var cum float64
+	for _, p := range d.pairs {
+		if p.Dist > x {
+			break
+		}
+		cum += p.Prob
+	}
+	return cum
+}
+
+// Equal reports whether two distributions carry the same probability mass at
+// the same values, merging atoms with equal values and comparing with eps
+// tolerance.
+func Equal(x, y Distribution, eps float64) bool {
+	i, j := 0, 0
+	for i < len(x.pairs) || j < len(y.pairs) {
+		var v float64
+		switch {
+		case i >= len(x.pairs):
+			v = y.pairs[j].Dist
+		case j >= len(y.pairs):
+			v = x.pairs[i].Dist
+		default:
+			v = math.Min(x.pairs[i].Dist, y.pairs[j].Dist)
+		}
+		var px, py float64
+		for i < len(x.pairs) && x.pairs[i].Dist == v {
+			px += x.pairs[i].Prob
+			i++
+		}
+		for j < len(y.pairs) && y.pairs[j].Dist == v {
+			py += y.pairs[j].Prob
+			j++
+		}
+		if math.Abs(px-py) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// StochasticLE reports whether X ≤st Y: Pr(X <= λ) >= Pr(Y <= λ) for every
+// λ. Both distributions must carry (approximately) the same total mass for
+// the comparison to be meaningful. The check is a single merge scan over the
+// sorted atoms — O(|X| + |Y|) after sorting, matching Section 5.1.1.
+//
+// cmp, when non-nil, is invoked once per atom consumed so callers can count
+// instance comparisons for the filtering ablation (Appendix C).
+func StochasticLE(x, y Distribution, eps float64, cmp func()) bool {
+	i, j := 0, 0
+	var cumX, cumY float64
+	for i < len(x.pairs) || j < len(y.pairs) {
+		var v float64
+		switch {
+		case i >= len(x.pairs):
+			v = y.pairs[j].Dist
+		case j >= len(y.pairs):
+			v = x.pairs[i].Dist
+		default:
+			v = math.Min(x.pairs[i].Dist, y.pairs[j].Dist)
+		}
+		for i < len(x.pairs) && x.pairs[i].Dist <= v {
+			cumX += x.pairs[i].Prob
+			i++
+			if cmp != nil {
+				cmp()
+			}
+		}
+		for j < len(y.pairs) && y.pairs[j].Dist <= v {
+			cumY += y.pairs[j].Prob
+			j++
+			if cmp != nil {
+				cmp()
+			}
+		}
+		if cumX < cumY-eps {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchTuple is one tuple t⟨x, y, p⟩ of a match between two distributions:
+// indices into the sorted atoms plus the shared probability mass.
+type MatchTuple struct {
+	XI, YI int
+	P      float64
+}
+
+// Match constructs the Theorem 1 witness match for X ≤st Y: a match whose
+// every tuple satisfies value(x) <= value(y). ok is false when X ≤st Y does
+// not hold (no such match exists). The construction visits the atoms of both
+// distributions in non-decreasing order, splitting atoms as needed.
+func Match(x, y Distribution, eps float64) (match []MatchTuple, ok bool) {
+	if !StochasticLE(x, y, eps, nil) {
+		return nil, false
+	}
+	i, j := 0, 0
+	remX := 0.0
+	if len(x.pairs) > 0 {
+		remX = x.pairs[0].Prob
+	}
+	remY := 0.0
+	if len(y.pairs) > 0 {
+		remY = y.pairs[0].Prob
+	}
+	for i < len(x.pairs) && j < len(y.pairs) {
+		m := math.Min(remX, remY)
+		if m > 0 {
+			match = append(match, MatchTuple{XI: i, YI: j, P: m})
+		}
+		remX -= m
+		remY -= m
+		// m == min(remX, remY), so at least one remainder is exactly zero.
+		if remX <= 0 {
+			i++
+			if i < len(x.pairs) {
+				remX = x.pairs[i].Prob
+			}
+		}
+		if remY <= 0 {
+			j++
+			if j < len(y.pairs) {
+				remY = y.pairs[j].Prob
+			}
+		}
+	}
+	return match, true
+}
+
+// String formats the distribution as "{(d1, p1), (d2, p2), ...}".
+func (d Distribution) String() string {
+	s := "{"
+	for i, p := range d.pairs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("(%g, %g)", p.Dist, p.Prob)
+	}
+	return s + "}"
+}

@@ -1,0 +1,193 @@
+// Package flow provides the two network-flow solvers the reproduction
+// needs, built from scratch on the standard library:
+//
+//   - Dinic's max-flow on real-valued capacities, used to decide the
+//     Peer-SD operator (Theorem 12 reduces P-SD(U,V,Q) to checking whether
+//     the max-flow of the assignment network equals 1);
+//   - successive-shortest-path min-cost max-flow, used to compute the Earth
+//     Mover's / Netflow distance (Appendix A, Definition 12).
+//
+// Probability masses are float64, so all comparisons use a small epsilon;
+// the graphs involved are tiny bipartite networks (instances of two
+// objects), which keeps accumulated rounding far below the epsilon.
+package flow
+
+import (
+	"math"
+)
+
+// Eps is the tolerance under which a residual capacity counts as empty.
+const Eps = 1e-12
+
+type edge struct {
+	to   int
+	cap  float64 // residual capacity
+	cost float64
+}
+
+// Network is a directed flow network over vertices 0..n-1. The zero value
+// is not usable; construct with NewNetwork.
+type Network struct {
+	n     int
+	edges []edge // paired: e and e^1 are an arc and its residual twin
+	adj   [][]int
+}
+
+// NewNetwork returns an empty network with n vertices.
+func NewNetwork(n int) *Network {
+	return &Network{n: n, adj: make([][]int, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Network) Len() int { return g.n }
+
+// AddEdge adds a directed arc with the given capacity and zero cost,
+// returning its edge index (usable with Flow after a solve).
+func (g *Network) AddEdge(from, to int, capacity float64) int {
+	return g.AddEdgeCost(from, to, capacity, 0)
+}
+
+// AddEdgeCost adds a directed arc with the given capacity and per-unit
+// cost, returning its edge index.
+func (g *Network) AddEdgeCost(from, to int, capacity, cost float64) int {
+	idx := len(g.edges)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: from, cap: 0, cost: -cost})
+	g.adj[from] = append(g.adj[from], idx)
+	g.adj[to] = append(g.adj[to], idx+1)
+	return idx
+}
+
+// Flow returns the amount of flow currently routed through the edge with
+// the given index (its reverse edge's residual capacity).
+func (g *Network) Flow(edgeIdx int) float64 { return g.edges[edgeIdx^1].cap }
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm and leaves
+// the flow assignment readable through Flow.
+func (g *Network) MaxFlow(s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	var total float64
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for g.bfs(s, t, level, &queue) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, math.Inf(1), level, iter)
+			if f <= Eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (g *Network) bfs(s, t int, level []int, queue *[]int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	q := (*queue)[:0]
+	q = append(q, s)
+	level[s] = 0
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, ei := range g.adj[v] {
+			e := g.edges[ei]
+			if e.cap > Eps && level[e.to] < 0 {
+				level[e.to] = level[v] + 1
+				q = append(q, e.to)
+			}
+		}
+	}
+	return level[t] >= 0
+}
+
+func (g *Network) dfs(v, t int, f float64, level, iter []int) float64 {
+	if v == t {
+		return f
+	}
+	for ; iter[v] < len(g.adj[v]); iter[v]++ {
+		ei := g.adj[v][iter[v]]
+		e := &g.edges[ei]
+		if e.cap <= Eps || level[e.to] != level[v]+1 {
+			continue
+		}
+		d := g.dfs(e.to, t, math.Min(f, e.cap), level, iter)
+		if d > Eps {
+			e.cap -= d
+			g.edges[ei^1].cap += d
+			return d
+		}
+	}
+	return 0
+}
+
+// MinCostMaxFlow computes a maximum s→t flow of minimum total cost using
+// successive shortest augmenting paths (SPFA for negative reduced costs).
+// It returns the flow value and its cost.
+func (g *Network) MinCostMaxFlow(s, t int) (flow, cost float64) {
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int, g.n)
+	for {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			inQueue[v] = false
+			for _, ei := range g.adj[v] {
+				e := g.edges[ei]
+				if e.cap > Eps && dist[v]+e.cost < dist[e.to]-Eps {
+					dist[e.to] = dist[v] + e.cost
+					prevEdge[e.to] = ei
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return flow, cost
+		}
+		// Bottleneck along the path.
+		push := math.Inf(1)
+		for v := t; v != s; {
+			ei := prevEdge[v]
+			if g.edges[ei].cap < push {
+				push = g.edges[ei].cap
+			}
+			v = g.edges[ei^1].to
+		}
+		for v := t; v != s; {
+			ei := prevEdge[v]
+			g.edges[ei].cap -= push
+			g.edges[ei^1].cap += push
+			v = g.edges[ei^1].to
+		}
+		flow += push
+		cost += push * dist[t]
+	}
+}
+
+// Reset restores every edge to its original capacity by moving flow back
+// from the residual twins. It allows re-solving the same network.
+func (g *Network) Reset() {
+	for i := 0; i < len(g.edges); i += 2 {
+		f := g.edges[i^1].cap
+		g.edges[i].cap += f
+		g.edges[i^1].cap = 0
+	}
+}

@@ -1,0 +1,149 @@
+package geom
+
+import "math"
+
+// Metric abstracts the instance distance function. The paper develops the
+// operators for Euclidean distance and notes the techniques "can be
+// trivially extended to other metric distances" (Section 2.1); this
+// interface is that extension point. Besides the pairwise distance, a
+// metric must bound the distance between a point and an axis-aligned
+// rectangle, which is what the MBR-level filters rely on.
+//
+// All provided metrics are translation-invariant Lp norms, for which the
+// closest/farthest point of a box is found per dimension independently.
+type Metric interface {
+	// Name identifies the metric ("euclidean", "manhattan", ...).
+	Name() string
+	// Dist returns the distance between two points.
+	Dist(p, q Point) float64
+	// MinDistRect returns min over x in r of Dist(p, x).
+	MinDistRect(p Point, r Rect) float64
+	// MaxDistRect returns max over x in r of Dist(p, x).
+	MaxDistRect(p Point, r Rect) float64
+	// RectMinDist returns min over a in r, b in s of Dist(a, b) — the
+	// lower bound best-first traversals order by.
+	RectMinDist(r, s Rect) float64
+}
+
+// rectGaps returns the per-dimension separation between two rectangles
+// (zero where they overlap); for a norm-induced metric the rect-rect
+// minimum distance is the norm of this gap vector.
+func rectGaps(r, s Rect) Point {
+	g := make(Point, len(r.Lo))
+	for i := range g {
+		if s.Hi[i] < r.Lo[i] {
+			g[i] = r.Lo[i] - s.Hi[i]
+		} else if r.Hi[i] < s.Lo[i] {
+			g[i] = s.Lo[i] - r.Hi[i]
+		}
+	}
+	return g
+}
+
+// Euclidean is the L2 metric (the paper's default).
+var Euclidean Metric = euclidean{}
+
+// Manhattan is the L1 metric.
+var Manhattan Metric = manhattan{}
+
+// Chebyshev is the L∞ metric.
+var Chebyshev Metric = chebyshev{}
+
+type euclidean struct{}
+
+func (euclidean) Name() string                        { return "euclidean" }
+func (euclidean) Dist(p, q Point) float64             { return Dist(p, q) }
+func (euclidean) MinDistRect(p Point, r Rect) float64 { return r.MinDistPoint(p) }
+func (euclidean) MaxDistRect(p Point, r Rect) float64 { return r.MaxDistPoint(p) }
+func (euclidean) RectMinDist(r, s Rect) float64       { return r.MinDistRect(s) }
+
+type manhattan struct{}
+
+func (manhattan) Name() string { return "manhattan" }
+
+func (manhattan) Dist(p, q Point) float64 {
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s
+}
+
+func (manhattan) MinDistRect(p Point, r Rect) float64 {
+	var s float64
+	for i, v := range p {
+		if v < r.Lo[i] {
+			s += r.Lo[i] - v
+		} else if v > r.Hi[i] {
+			s += v - r.Hi[i]
+		}
+	}
+	return s
+}
+
+func (manhattan) MaxDistRect(p Point, r Rect) float64 {
+	var s float64
+	for i, v := range p {
+		s += math.Max(math.Abs(v-r.Lo[i]), math.Abs(v-r.Hi[i]))
+	}
+	return s
+}
+
+func (m manhattan) RectMinDist(r, s Rect) float64 {
+	g := rectGaps(r, s)
+	var sum float64
+	for _, v := range g {
+		sum += v
+	}
+	return sum
+}
+
+type chebyshev struct{}
+
+func (chebyshev) Name() string { return "chebyshev" }
+
+func (chebyshev) Dist(p, q Point) float64 {
+	var worst float64
+	for i := range p {
+		if d := math.Abs(p[i] - q[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func (chebyshev) MinDistRect(p Point, r Rect) float64 {
+	var worst float64
+	for i, v := range p {
+		var d float64
+		if v < r.Lo[i] {
+			d = r.Lo[i] - v
+		} else if v > r.Hi[i] {
+			d = v - r.Hi[i]
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func (chebyshev) MaxDistRect(p Point, r Rect) float64 {
+	var worst float64
+	for i, v := range p {
+		if d := math.Max(math.Abs(v-r.Lo[i]), math.Abs(v-r.Hi[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func (chebyshev) RectMinDist(r, s Rect) float64 {
+	var worst float64
+	for _, v := range rectGaps(r, s) {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

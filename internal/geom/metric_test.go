@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMetricHandComputed(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := Euclidean.Dist(p, q); d != 5 {
+		t.Fatalf("L2 = %g", d)
+	}
+	if d := Manhattan.Dist(p, q); d != 7 {
+		t.Fatalf("L1 = %g", d)
+	}
+	if d := Chebyshev.Dist(p, q); d != 4 {
+		t.Fatalf("Linf = %g", d)
+	}
+	r := NewRect(Point{1, 1}, Point{2, 2})
+	if d := Manhattan.MinDistRect(Point{0, 0}, r); d != 2 {
+		t.Fatalf("L1 min = %g", d)
+	}
+	if d := Manhattan.MaxDistRect(Point{0, 0}, r); d != 4 {
+		t.Fatalf("L1 max = %g", d)
+	}
+	if d := Chebyshev.MinDistRect(Point{0, 0}, r); d != 1 {
+		t.Fatalf("Linf min = %g", d)
+	}
+	if d := Chebyshev.MaxDistRect(Point{0, 0}, r); d != 2 {
+		t.Fatalf("Linf max = %g", d)
+	}
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+		if m.Name() == "" {
+			t.Fatal("unnamed metric")
+		}
+	}
+}
+
+// Metric axioms, sampled: non-negativity, identity, symmetry, triangle
+// inequality.
+func TestMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+		for iter := 0; iter < 300; iter++ {
+			d := 1 + rng.Intn(4)
+			a, b, c := randPoint(rng, d, 10), randPoint(rng, d, 10), randPoint(rng, d, 10)
+			if m.Dist(a, a) != 0 {
+				t.Fatalf("%s: Dist(a,a) != 0", m.Name())
+			}
+			if m.Dist(a, b) < 0 {
+				t.Fatalf("%s: negative distance", m.Name())
+			}
+			if math.Abs(m.Dist(a, b)-m.Dist(b, a)) > 1e-12 {
+				t.Fatalf("%s: asymmetric", m.Name())
+			}
+			if m.Dist(a, c) > m.Dist(a, b)+m.Dist(b, c)+1e-9 {
+				t.Fatalf("%s: triangle inequality violated", m.Name())
+			}
+		}
+	}
+}
+
+// The rect bounds must bracket the distance to every point sampled inside
+// the rectangle, and be tight in the limit.
+func TestMetricRectBoundsSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+		for iter := 0; iter < 300; iter++ {
+			d := 1 + rng.Intn(3)
+			r := randRect(rng, d, 8)
+			p := randPoint(rng, d, 12)
+			lo := m.MinDistRect(p, r)
+			hi := m.MaxDistRect(p, r)
+			if lo > hi+1e-12 {
+				t.Fatalf("%s: min %g > max %g", m.Name(), lo, hi)
+			}
+			closest, farthest := math.Inf(1), 0.0
+			for k := 0; k < 60; k++ {
+				x := randPointIn(rng, r)
+				dist := m.Dist(p, x)
+				if dist < lo-1e-9 || dist > hi+1e-9 {
+					t.Fatalf("%s: sampled dist %g outside [%g, %g]", m.Name(), dist, lo, hi)
+				}
+				closest = math.Min(closest, dist)
+				farthest = math.Max(farthest, dist)
+			}
+			// Sampling should come close to the analytic bounds.
+			if closest < lo-1e-9 || farthest > hi+1e-9 {
+				t.Fatalf("%s: bounds not bracketing", m.Name())
+			}
+		}
+	}
+}
+
+// RectMinDist lower-bounds the metric distance between points sampled from
+// the two rectangles, and is exact for touching rectangles.
+func TestMetricRectMinDistSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+		for iter := 0; iter < 200; iter++ {
+			d := 1 + rng.Intn(3)
+			r, s := randRect(rng, d, 8), randRect(rng, d, 8)
+			lo := m.RectMinDist(r, s)
+			best := math.Inf(1)
+			for k := 0; k < 60; k++ {
+				a, b := randPointIn(rng, r), randPointIn(rng, s)
+				dist := m.Dist(a, b)
+				if dist < lo-1e-9 {
+					t.Fatalf("%s: sampled %g below RectMinDist %g", m.Name(), dist, lo)
+				}
+				best = math.Min(best, dist)
+			}
+			if r.Intersects(s) && lo != 0 {
+				t.Fatalf("%s: intersecting rects with RectMinDist %g", m.Name(), lo)
+			}
+		}
+	}
+}
+
+// Lp ordering: Chebyshev <= Euclidean <= Manhattan pointwise.
+func TestMetricOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 300; iter++ {
+		d := 1 + rng.Intn(4)
+		a, b := randPoint(rng, d, 10), randPoint(rng, d, 10)
+		linf := Chebyshev.Dist(a, b)
+		l2 := Euclidean.Dist(a, b)
+		l1 := Manhattan.Dist(a, b)
+		if linf > l2+1e-9 || l2 > l1+1e-9 {
+			t.Fatalf("Lp ordering violated: %g, %g, %g", linf, l2, l1)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := Dist(p, q); got != 5 {
+		t.Fatalf("Dist = %g, want 5", got)
+	}
+	if got := SqDist(p, q); got != 25 {
+		t.Fatalf("SqDist = %g, want 25", got)
+	}
+	if got := Dist(p, p); got != 0 {
+		t.Fatalf("Dist(p,p) = %g, want 0", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(a, b [3]float64) bool {
+		p, q := Point(a[:]), Point(b[:])
+		return almostEq(Dist(p, q), Dist(q, p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		p, q, r := Point(a[:]), Point(b[:]), Point(c[:])
+		return Dist(p, r) <= Dist(p, q)+Dist(q, r)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointCloneEqual(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 9
+	if p.Equal(q) {
+		t.Fatal("clone aliases original")
+	}
+	if p.Equal(Point{1, 2}) {
+		t.Fatal("points of different dimension compare equal")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1, 2.5}).String(); got != "(1, 2.5)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMinMaxSqDistToPoints(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {5, 0}}
+	p := Point{2, 0}
+	if got := MinSqDistToPoints(p, pts); got != 1 {
+		t.Fatalf("min = %g, want 1", got)
+	}
+	if got := MaxSqDistToPoints(p, pts); got != 9 {
+		t.Fatalf("max = %g, want 9", got)
+	}
+}
+
+func TestMinMaxSqDistToPointsPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinSqDistToPoints(Point{0}, nil)
+}
+
+func randPoint(r *rand.Rand, d int, scale float64) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = (r.Float64()*2 - 1) * scale
+	}
+	return p
+}
+
+func randRect(r *rand.Rand, d int, scale float64) Rect {
+	a := randPoint(r, d, scale)
+	b := randPoint(r, d, scale)
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := range lo {
+		lo[i] = math.Min(a[i], b[i])
+		hi[i] = math.Max(a[i], b[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// randPointIn returns a uniform point inside r.
+func randPointIn(rr *rand.Rand, r Rect) Point {
+	p := make(Point, len(r.Lo))
+	for i := range p {
+		p[i] = r.Lo[i] + rr.Float64()*(r.Hi[i]-r.Lo[i])
+	}
+	return p
+}

@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoundingSphereCoversAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 300; iter++ {
+		d := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = randPoint(rng, d, 20)
+		}
+		s := BoundingSphere(pts)
+		for _, p := range pts {
+			if !s.ContainsPoint(p) {
+				t.Fatalf("iter %d: point %v outside sphere c=%v r=%g (dist %g)",
+					iter, p, s.Center, s.Radius, Dist(s.Center, p))
+			}
+		}
+	}
+}
+
+func TestBoundingSphereNotWild(t *testing.T) {
+	// Ritter's sphere should stay within ~2x of the point-set half-diameter.
+	rng := rand.New(rand.NewSource(82))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(20)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = randPoint(rng, 3, 10)
+		}
+		var diam float64
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				diam = math.Max(diam, Dist(pts[i], pts[j]))
+			}
+		}
+		s := BoundingSphere(pts)
+		if s.Radius > diam*1.01+1e-9 {
+			t.Fatalf("radius %g much larger than diameter %g", s.Radius, diam)
+		}
+	}
+}
+
+func TestBoundingSphereSingleton(t *testing.T) {
+	s := BoundingSphere([]Point{{3, 4}})
+	if s.Radius > 1e-9 || !s.Center.Equal(Point{3, 4}) {
+		t.Fatalf("singleton sphere = %+v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty set must panic")
+		}
+	}()
+	BoundingSphere(nil)
+}
+
+func TestSphereMinMaxDist(t *testing.T) {
+	s := Sphere{Center: Point{0, 0}, Radius: 2}
+	if d := s.MinDistPoint(Point{5, 0}); d != 3 {
+		t.Fatalf("min = %g", d)
+	}
+	if d := s.MaxDistPoint(Point{5, 0}); d != 7 {
+		t.Fatalf("max = %g", d)
+	}
+	if d := s.MinDistPoint(Point{1, 0}); d != 0 {
+		t.Fatalf("inside min = %g", d)
+	}
+}
+
+// Sphere bounds bracket distances to the actual instances.
+func TestSphereBoundsBracketInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 200; iter++ {
+		d := 2 + rng.Intn(2)
+		n := 1 + rng.Intn(15)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = randPoint(rng, d, 10)
+		}
+		s := BoundingSphere(pts)
+		q := randPoint(rng, d, 15)
+		lo, hi := s.MinDistPoint(q), s.MaxDistPoint(q)
+		for _, p := range pts {
+			dist := Dist(q, p)
+			if dist < lo-1e-9 || dist > hi+1e-9 {
+				t.Fatalf("instance dist %g outside sphere bounds [%g, %g]", dist, lo, hi)
+			}
+		}
+	}
+}
+
+// For a round cloud, the sphere's max-distance bound beats the MBR's
+// (empty-corner) bound — the reason sphere validation is worth having.
+func TestSphereTighterThanMBRForRoundClouds(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 32; i++ {
+		ang := float64(i) / 32 * 2 * math.Pi
+		pts = append(pts, Point{math.Cos(ang), math.Sin(ang)})
+	}
+	s := BoundingSphere(pts)
+	r := BoundingRect(pts)
+	q := Point{100, 0}
+	if s.MaxDistPoint(q) >= r.MaxDistPoint(q) {
+		t.Fatalf("sphere bound %g not tighter than MBR bound %g",
+			s.MaxDistPoint(q), r.MaxDistPoint(q))
+	}
+}

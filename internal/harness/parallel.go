@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/uncertain"
+)
+
+// RunWorkloadParallel is RunWorkload with the queries fanned out over up
+// to GOMAXPROCS worker goroutines. The Index is immutable and every search
+// builds its own Checker, so queries are embarrassingly parallel; the
+// reported Millis is per-query wall time averaged across workers (not the
+// reduced elapsed wall clock).
+func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig) Measurement {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		return RunWorkload(idx, queries, op, cfg)
+	}
+	var (
+		mu  sync.Mutex
+		agg Measurement
+		wg  sync.WaitGroup
+	)
+	jobs := make(chan *uncertain.Object)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Measurement
+			for q := range jobs {
+				res := idx.SearchOpts(q, op, core.SearchOptions{Filters: cfg})
+				local.Candidates += float64(len(res.Candidates))
+				local.Millis += float64(res.Elapsed) / float64(time.Millisecond)
+				local.Comparisons += float64(res.Stats.InstanceComparisons)
+			}
+			mu.Lock()
+			agg.Candidates += local.Candidates
+			agg.Millis += local.Millis
+			agg.Comparisons += local.Comparisons
+			mu.Unlock()
+		}()
+	}
+	for _, q := range queries {
+		jobs <- q
+	}
+	close(jobs)
+	wg.Wait()
+	n := float64(len(queries))
+	agg.Candidates /= n
+	agg.Millis /= n
+	agg.Comparisons /= n
+	return agg
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Table is one figure's data in structured form: machine-readable for the
+// CSV output mode, renderable as aligned text for the terminal.
+type Table struct {
+	// Title describes the figure and its fixed parameters.
+	Title string
+	// Columns holds the header row (first column is the x-axis label).
+	Columns []string
+	// Rows holds the data rows as formatted strings.
+	Rows [][]string
+}
+
+// AddRow appends a row from formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteText renders the table as an aligned text block.
+func (t *Table) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, col := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, col)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteBars renders the table as grouped ASCII bar charts: one block per
+// data row, one bar per numeric column, scaled to the table-wide maximum.
+// Non-numeric cells fall back to text.
+func (t *Table) WriteBars(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, t.Title); err != nil {
+		return err
+	}
+	const width = 40
+	max := 0.0
+	for _, row := range t.Rows {
+		for _, cell := range row[1:] {
+			if v, ok := parseNumeric(cell); ok && v > max {
+				max = v
+			}
+		}
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%s:\n", row[0])
+		for i, cell := range row[1:] {
+			label := ""
+			if i+1 < len(t.Columns) {
+				label = t.Columns[i+1]
+			}
+			v, ok := parseNumeric(cell)
+			if !ok || max <= 0 {
+				fmt.Fprintf(w, "  %-6s %s\n", label, cell)
+				continue
+			}
+			n := int(v / max * width)
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "  %-6s %-*s %s\n", label, width, bar(n), cell)
+		}
+	}
+	return nil
+}
+
+func bar(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// parseNumeric parses a cell that may carry a %% or unit suffix.
+func parseNumeric(s string) (float64, bool) {
+	end := 0
+	for end < len(s) && (s[end] == '-' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	if end == 0 {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s[:end], "%g", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// WriteCSV renders the table as CSV with a leading comment row carrying
+// the title.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"# " + t.Title}); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

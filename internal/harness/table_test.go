@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"runtime"
+	"strings"
+	"testing"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/datagen"
+)
+
+func TestTableTextAndCSV(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Columns: []string{"x", "a", "b"},
+	}
+	tbl.AddRow("1", "10", "20")
+	tbl.AddRow("2", "30", "40")
+
+	var text bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "x", "a", "b", "10", "40"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cr := csv.NewReader(&buf)
+	cr.FieldsPerRecord = -1 // the title row has a single field
+	records, err := cr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("CSV rows = %d", len(records))
+	}
+	if records[0][0] != "# demo" || records[1][0] != "x" || records[3][2] != "40" {
+		t.Fatalf("CSV content wrong: %v", records)
+	}
+}
+
+func TestFigureTablesAndCSV(t *testing.T) {
+	tables, err := FigureTables("10", Tiny, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 7 {
+		t.Fatalf("figure 10 tables = %d with %d rows", len(tables), len(tables[0].Rows))
+	}
+	ab, err := FigureTables("16", Tiny, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab) != 3 {
+		t.Fatalf("figure 16 tables = %d, want one per operator", len(ab))
+	}
+	var buf bytes.Buffer
+	if err := FigureCSV("11f", Tiny, 5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SSSD") {
+		t.Fatalf("CSV missing operator columns:\n%s", buf.String())
+	}
+	if _, err := FigureTables("nope", Tiny, 5); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestWriteBars(t *testing.T) {
+	tbl := Table{
+		Title:   "bars",
+		Columns: []string{"x", "a", "b"},
+	}
+	tbl.AddRow("r1", "10", "20%")
+	tbl.AddRow("r2", "5", "n/a")
+	var buf bytes.Buffer
+	if err := tbl.WriteBars(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bars", "r1:", "r2:", "#", "n/a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bars missing %q:\n%s", want, out)
+		}
+	}
+	// The 20 bar must be twice the 10 bar.
+	if strings.Count(out, "#") == 0 {
+		t.Fatal("no bars drawn")
+	}
+	var bars bytes.Buffer
+	if err := FigureBars("11f", Tiny, 5, &bars); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bars.String(), "#") {
+		t.Fatal("figure bars empty")
+	}
+}
+
+func TestSpecForAllScales(t *testing.T) {
+	prevN := 0
+	for _, sc := range []Scale{Tiny, Small, Medium, Paper} {
+		sp := specFor(sc)
+		if sp.N <= prevN {
+			t.Fatalf("scale %d N=%d not increasing", sc, sp.N)
+		}
+		prevN = sp.N
+		if sp.Queries <= 0 || sp.Md <= 0 || sp.Mq <= 0 || len(sp.MdSweep) == 0 ||
+			len(sp.HdSweep) == 0 || len(sp.NSweep) == 0 || len(sp.DSweep) == 0 {
+			t.Fatalf("scale %d spec incomplete: %+v", sc, sp)
+		}
+	}
+	// The Paper scale must match Table 2 exactly.
+	sp := specFor(Paper)
+	if sp.N != 100000 || sp.Md != 40 || sp.Hd != 400 || sp.Mq != 30 || sp.Hq != 200 || sp.Queries != 100 {
+		t.Fatalf("paper defaults drifted: %+v", sp)
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"12.5", 12.5, true}, {"7%", 7, true}, {"-3", -3, true}, {"abc", 0, false}, {"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseNumeric(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("parseNumeric(%q) = %g, %v", c.in, got, ok)
+		}
+	}
+}
+
+func TestRunWorkloadParallelMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ds := datagen.Generate(datagen.Params{N: 200, M: 6, Seed: 13})
+	idx, err := core.NewIndex(ds.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ds.Queries(6, 4, 200, 21)
+	serial := RunWorkload(idx, queries, core.SSSD, core.AllFilters)
+	parallel := RunWorkloadParallel(idx, queries, core.SSSD, core.AllFilters)
+	if serial.Candidates != parallel.Candidates {
+		t.Fatalf("candidate averages differ: %g vs %g", serial.Candidates, parallel.Candidates)
+	}
+	if serial.Comparisons != parallel.Comparisons {
+		t.Fatalf("comparison averages differ: %g vs %g", serial.Comparisons, parallel.Comparisons)
+	}
+	// Single worker falls back to the serial path.
+	one := RunWorkloadParallel(idx, queries[:1], core.SSSD, core.AllFilters)
+	if one.Candidates <= 0 {
+		t.Fatal("single-query parallel run produced nothing")
+	}
+}

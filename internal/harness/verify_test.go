@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The shape checks are the repo's self-verifying reproduction; they must
+// pass at tiny scale with the default seed.
+func TestVerifyShapesPasses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := VerifyShapes(Tiny, 20150531, &buf); err != nil {
+		t.Fatalf("shape checks failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if strings.Count(out, "[PASS]") != 7 {
+		t.Fatalf("expected 7 PASS lines:\n%s", out)
+	}
+	if strings.Contains(out, "[FAIL]") {
+		t.Fatalf("unexpected FAIL:\n%s", out)
+	}
+	if !strings.Contains(out, "all shape checks passed") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+}

@@ -1,0 +1,116 @@
+// Package nncore implements the NN-core of Yuen et al. (TKDE 2010,
+// reference [36] of the paper) — the prior NN-candidate approach the paper
+// compares against conceptually (Figure 1 and Remark 1).
+//
+// An object U supersedes V w.r.t. the query Q when U is more likely than V
+// to be the closer one over the possible worlds:
+//
+//	Pr( δ(U,W) < δ(V,W) ) + ½·Pr( δ(U,W) = δ(V,W) )  >  ½.
+//
+// The NN-core is the minimal set S of objects such that every member of S
+// supersedes every object outside S. The paper's Remark 1 observes that the
+// NN-core is too aggressive: it can evict the nearest neighbor under
+// perfectly reasonable NN functions (max distance, expected distance, …),
+// which is why the paper's operators are evaluated instead. This package
+// exists to reproduce that observation in tests and examples.
+package nncore
+
+import (
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// SupersedeProb returns Pr(U closer than V) with ties counted half, over
+// the possible worlds induced by independent instance draws of U, V and
+// the query.
+func SupersedeProb(u, v, q *uncertain.Object) float64 {
+	var p float64
+	for j := 0; j < q.Len(); j++ {
+		qp := q.Instance(j)
+		pq := q.Prob(j)
+		for i := 0; i < u.Len(); i++ {
+			du := geom.Dist(u.Instance(i), qp)
+			pu := u.Prob(i)
+			for l := 0; l < v.Len(); l++ {
+				dv := geom.Dist(v.Instance(l), qp)
+				switch {
+				case du < dv:
+					p += pq * pu * v.Prob(l)
+				case du == dv:
+					p += pq * pu * v.Prob(l) / 2
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Supersedes reports whether u supersedes v w.r.t. q.
+func Supersedes(u, v, q *uncertain.Object) bool {
+	return SupersedeProb(u, v, q) > 0.5
+}
+
+// Core computes the NN-core: the smallest set S such that every member of
+// S supersedes every non-member. It evaluates the closure of each
+// singleton seed under "must include whatever a member fails to
+// supersede" and returns the smallest feasible closure (the NN-core is
+// unique; ties in size return the closure of the earliest seed). The
+// computation is O(n²·m²·|Q|) and intended for the moderate object counts
+// of the comparison experiments.
+func Core(objs []*uncertain.Object, q *uncertain.Object) []*uncertain.Object {
+	n := len(objs)
+	if n == 0 {
+		return nil
+	}
+	// Pairwise supersede matrix.
+	sup := make([][]bool, n)
+	for i := range sup {
+		sup[i] = make([]bool, n)
+		for j := range sup[i] {
+			if i != j {
+				sup[i][j] = Supersedes(objs[i], objs[j], q)
+			}
+		}
+	}
+	best := allIndices(n)
+	for seed := 0; seed < n; seed++ {
+		cl := closure(sup, seed)
+		if len(cl) < len(best) {
+			best = cl
+		}
+	}
+	out := make([]*uncertain.Object, len(best))
+	for i, j := range best {
+		out[i] = objs[j]
+	}
+	return out
+}
+
+// closure grows {seed} until every member supersedes every non-member.
+func closure(sup [][]bool, seed int) []int {
+	n := len(sup)
+	in := make([]bool, n)
+	in[seed] = true
+	members := []int{seed}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range members {
+			for t := 0; t < n; t++ {
+				if !in[t] && !sup[s][t] {
+					in[t] = true
+					members = append(members, t)
+					changed = true
+				}
+			}
+		}
+	}
+	return members
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package nnfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+func TestQuantileMixBasics(t *testing.T) {
+	q := obj(0, geom.Point{0}, geom.Point{10})
+	u := obj(1, geom.Point{2}, geom.Point{4})
+	// Distances {2,4,6,8}; median = 4, quantile(1) = 8.
+	f := QuantileMix([]float64{0.5, 1}, []float64{1, 2})
+	got := f.Scores([]*uncertain.Object{u}, q)[0]
+	if got != 4+16 {
+		t.Fatalf("mix = %g, want 20", got)
+	}
+	if f.Family() != N1 {
+		t.Fatal("family")
+	}
+}
+
+func TestQuantileMixPanics(t *testing.T) {
+	cases := []func(){
+		func() { QuantileMix(nil, nil) },
+		func() { QuantileMix([]float64{0.5}, []float64{1, 2}) },
+		func() { QuantileMix([]float64{0.5}, []float64{-1}) },
+		func() { QuantileMix([]float64{2}, []float64{1}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPartialHausdorffReducesToHausdorff(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	full := PartialHausdorff(1)
+	classic := Hausdorff()
+	for iter := 0; iter < 50; iter++ {
+		mk := func(id int) *uncertain.Object {
+			m := 1 + rng.Intn(4)
+			pts := make([]geom.Point, m)
+			for k := range pts {
+				pts[k] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+			}
+			return uncertain.MustNew(id, pts, nil)
+		}
+		u, q := mk(1), mk(0)
+		objs := []*uncertain.Object{u}
+		a := full.Scores(objs, q)[0]
+		b := classic.Scores(objs, q)[0]
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("partial(1) = %g != hausdorff %g", a, b)
+		}
+	}
+}
+
+func TestPartialHausdorffRobustToOutlier(t *testing.T) {
+	q := obj(0, geom.Point{0, 0})
+	// u has one outlier instance far away.
+	u := uncertain.MustNew(1, []geom.Point{{1, 0}, {1.1, 0}, {0.9, 0}, {100, 0}}, nil)
+	classic := Hausdorff().Scores([]*uncertain.Object{u}, q)[0]
+	robust := PartialHausdorff(0.5).Scores([]*uncertain.Object{u}, q)[0]
+	if classic < 99 {
+		t.Fatalf("classic hausdorff = %g, outlier should dominate", classic)
+	}
+	if robust > 2 {
+		t.Fatalf("partial hausdorff = %g, should ignore the outlier", robust)
+	}
+}
+
+func TestMeanHausdorffMatchesSumMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 40; iter++ {
+		mk := func(id int) *uncertain.Object {
+			m := 1 + rng.Intn(4)
+			pts := make([]geom.Point, m)
+			ws := make([]float64, m)
+			for k := range pts {
+				pts[k] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+				ws[k] = rng.Float64() + 0.1
+			}
+			return uncertain.MustNew(id, pts, ws)
+		}
+		u, q := mk(1), mk(0)
+		objs := []*uncertain.Object{u}
+		mean := MeanHausdorff().Scores(objs, q)[0]
+		sum := SumMinDist().Scores(objs, q)[0]
+		if math.Abs(2*mean-sum) > 1e-9 {
+			t.Fatalf("2·meanHausdorff %g != sumMin %g", 2*mean, sum)
+		}
+	}
+}
+
+func TestPartialHausdorffPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PartialHausdorff(0)
+}

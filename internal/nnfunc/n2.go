@@ -1,0 +1,198 @@
+package nnfunc
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// This file implements the possible-world family N2 (Section 3.3). A
+// possible world draws one instance from every object and the query; the
+// object's rank in a world is one plus the number of objects strictly
+// closer to the drawn query instance. Because objects are independent, all
+// scores are computed exactly by conditioning on the query instance and the
+// object's own instance — no world enumeration — with the rank distribution
+// given by a Poisson-binomial over the other objects' "closer" indicator
+// probabilities.
+//
+// Ties in distance are resolved in favor of the competing object NOT being
+// closer (strict inequality), consistently in both the exact computation
+// and the exhaustive enumerator.
+
+// perInstanceCDF holds, for one object and one query instance, the sorted
+// pairwise distances and their cumulative probabilities, enabling
+// Pr(δ(V,q) < x) lookups in O(log m).
+type perInstanceCDF struct {
+	dists []float64
+	cum   []float64 // cum[i] = Pr(δ <= dists[i])
+}
+
+func buildCDF(o *uncertain.Object, q geom.Point) perInstanceCDF {
+	type dp struct {
+		d float64
+		p float64
+	}
+	tmp := make([]dp, o.Len())
+	for i := 0; i < o.Len(); i++ {
+		tmp[i] = dp{geom.Dist(o.Instance(i), q), o.Prob(i)}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].d < tmp[j].d })
+	c := perInstanceCDF{dists: make([]float64, len(tmp)), cum: make([]float64, len(tmp))}
+	acc := 0.0
+	for i, t := range tmp {
+		acc += t.p
+		c.dists[i] = t.d
+		c.cum[i] = acc
+	}
+	return c
+}
+
+// probCloser returns Pr(δ(V, q) < x) — strictly closer.
+func (c perInstanceCDF) probCloser(x float64) float64 {
+	// Index of the first distance >= x; everything before is < x.
+	i := sort.SearchFloat64s(c.dists, x)
+	if i == 0 {
+		return 0
+	}
+	return c.cum[i-1]
+}
+
+// Omega is a parameterized-ranking weight function: the weight of rank i
+// (1-based) among n objects. Weights must be non-decreasing in i so that
+// closer objects never score worse (the convention of Section 3.3 with
+// smaller-is-better scores).
+type Omega func(i, n int) float64
+
+// prfFunc computes Υ(U) = Σ_i ω(i)·Pr(r(U)=i) exactly.
+type prfFunc struct {
+	name  string
+	omega Omega
+}
+
+func (f prfFunc) Name() string   { return f.name }
+func (f prfFunc) Family() Family { return N2 }
+
+func (f prfFunc) Scores(objs []*uncertain.Object, q *uncertain.Object) []float64 {
+	n := len(objs)
+	out := make([]float64, n)
+	// Precompute ω for ranks 1..n once.
+	w := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		w[i] = f.omega(i, n)
+	}
+	pmf := make([]float64, n) // Poisson-binomial buffer
+	for j := 0; j < q.Len(); j++ {
+		qp := q.Instance(j)
+		pq := q.Prob(j)
+		cdfs := make([]perInstanceCDF, n)
+		for vi, v := range objs {
+			cdfs[vi] = buildCDF(v, qp)
+		}
+		for ui, u := range objs {
+			for k := 0; k < u.Len(); k++ {
+				x := geom.Dist(u.Instance(k), qp)
+				// Rank pmf: DP over the other objects' closer-indicators.
+				pmf[0] = 1
+				size := 1
+				for vi := range objs {
+					if vi == ui {
+						continue
+					}
+					p := cdfs[vi].probCloser(x)
+					// In-place Poisson-binomial update, back-to-front.
+					pmf[size] = pmf[size-1] * p
+					for t := size - 1; t >= 1; t-- {
+						pmf[t] = pmf[t]*(1-p) + pmf[t-1]*p
+					}
+					pmf[0] *= 1 - p
+					size++
+				}
+				var score float64
+				for t := 0; t < size; t++ {
+					score += w[t+1] * pmf[t]
+				}
+				out[ui] += pq * u.Prob(k) * score
+			}
+		}
+	}
+	return out
+}
+
+// Parameterized returns the parameterized ranking function Υ with the
+// given weight function (Li et al. [23], Equation 3). Smaller Υ ranks
+// closer, so ω must be non-decreasing in the rank.
+func Parameterized(name string, omega Omega) Func {
+	return prfFunc{name: name, omega: omega}
+}
+
+// ExpectedRank is the expected-rank function of Cormode et al. [12]:
+// ω(i) = i.
+func ExpectedRank() Func {
+	return prfFunc{name: "expected-rank", omega: func(i, n int) float64 { return float64(i) }}
+}
+
+// NNProb is the NN-probability function (global top-k with k = 1):
+// f(U) = −Pr(r(U) = 1), so the most probable nearest neighbor scores
+// lowest.
+func NNProb() Func { return GlobalTopK(1, "nn-prob") }
+
+// GlobalTopK is the global top-k model of Zhang and Chomicki [39]:
+// ω(i) = −1 for i <= k and 0 otherwise, i.e. f(U) = −Pr(r(U) <= k).
+func GlobalTopK(k int, name string) Func {
+	if name == "" {
+		name = fmt.Sprintf("global-top-%d", k)
+	}
+	return prfFunc{name: name, omega: func(i, n int) float64 {
+		if i <= k {
+			return -1
+		}
+		return 0
+	}}
+}
+
+// WorldThreshold is the Theorem 6 completeness witness: the N2 function
+// whose aggregate weighs only the possible worlds containing query
+// instance qIdx and scores a world 1 when the object's distance exceeds
+// lambda. f(U) = p(q_idx) · Pr(U_{q_idx} > λ).
+func WorldThreshold(qIdx int, lambda float64) Func {
+	return worldThreshold{qIdx: qIdx, lambda: lambda}
+}
+
+type worldThreshold struct {
+	qIdx   int
+	lambda float64
+}
+
+func (f worldThreshold) Name() string {
+	return fmt.Sprintf("world-threshold(q%d, %g)", f.qIdx, f.lambda)
+}
+func (f worldThreshold) Family() Family { return N2 }
+
+func (f worldThreshold) Scores(objs []*uncertain.Object, q *uncertain.Object) []float64 {
+	out := make([]float64, len(objs))
+	qp := q.Instance(f.qIdx)
+	pq := q.Prob(f.qIdx)
+	for i, o := range objs {
+		var pr float64
+		for k := 0; k < o.Len(); k++ {
+			if geom.Dist(o.Instance(k), qp) > f.lambda {
+				pr += o.Prob(k)
+			}
+		}
+		out[i] = pq * pr
+	}
+	return out
+}
+
+// N2Suite returns a representative selection of N2 functions.
+func N2Suite() []Func {
+	return []Func{
+		NNProb(),
+		ExpectedRank(),
+		GlobalTopK(2, ""),
+		GlobalTopK(3, ""),
+		Parameterized("rank-squared", func(i, n int) float64 { return float64(i) * float64(i) }),
+	}
+}

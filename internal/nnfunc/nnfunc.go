@@ -1,0 +1,101 @@
+// Package nnfunc implements the three families of NN ranking functions the
+// paper classifies (Section 3):
+//
+//   - N1, all-pairs based: a stable aggregate (min, max, mean, φ-quantile)
+//     of the full distance distribution U_Q;
+//   - N2, possible-world based: scores derived from the object's rank
+//     distribution over possible worlds (NN probability, expected rank,
+//     and the parameterized ranking model of Li et al.);
+//   - N3, selected-pairs based: Hausdorff distance, sum of minimal
+//     distances, and the Earth Mover's / Netflow distance.
+//
+// Every function reports a score per object where smaller means closer to
+// the query, so that the object with the minimum score is the nearest
+// neighbor under that function. The package is used by the examples and by
+// the optimality tests for the dominance operators (Theorems 5–7): the NN
+// object under any function in a family must appear among the NN candidates
+// of the family's optimal operator.
+package nnfunc
+
+import (
+	"spatialdom/internal/uncertain"
+)
+
+// Family identifies which family a function belongs to.
+type Family int
+
+const (
+	// N1 is the all-pairs family.
+	N1 Family = 1
+	// N2 is the possible-world family.
+	N2 Family = 2
+	// N3 is the selected-pairs family.
+	N3 Family = 3
+)
+
+// String returns the paper's family notation.
+func (f Family) String() string {
+	switch f {
+	case N1:
+		return "N1"
+	case N2:
+		return "N2"
+	case N3:
+		return "N3"
+	default:
+		return "N?"
+	}
+}
+
+// Func is an NN ranking function. Scores returns one score per object in
+// objs (aligned by index); smaller scores rank closer to the query.
+// Functions in N2 need the whole object set because ranks are relative;
+// N1/N3 functions score objects independently but share the interface.
+type Func interface {
+	Name() string
+	Family() Family
+	Scores(objs []*uncertain.Object, q *uncertain.Object) []float64
+}
+
+// NNIndex returns the index (into objs) of the nearest neighbor under f,
+// breaking ties toward the lower index.
+func NNIndex(objs []*uncertain.Object, q *uncertain.Object, f Func) int {
+	scores := f.Scores(objs, q)
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] < scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// NN returns the nearest-neighbor object under f.
+func NN(objs []*uncertain.Object, q *uncertain.Object, f Func) *uncertain.Object {
+	if len(objs) == 0 {
+		return nil
+	}
+	return objs[NNIndex(objs, q, f)]
+}
+
+// Ranking returns the objects ordered by non-decreasing score under f
+// (ties keep input order).
+func Ranking(objs []*uncertain.Object, q *uncertain.Object, f Func) []*uncertain.Object {
+	scores := f.Scores(objs, q)
+	idx := make([]int, len(objs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable insertion sort: object counts are small and stability keeps
+	// ties deterministic.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && scores[idx[j]] < scores[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	out := make([]*uncertain.Object, len(objs))
+	for i, j := range idx {
+		out[i] = objs[j]
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package nnfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+func obj(id int, pts ...geom.Point) *uncertain.Object {
+	return uncertain.MustNew(id, pts, nil)
+}
+
+func TestN1Fixtures(t *testing.T) {
+	q := obj(0, geom.Point{0}, geom.Point{10})
+	u := obj(1, geom.Point{2}, geom.Point{4})
+	// Pairwise distances: |0-2|=2, |0-4|=4, |10-2|=8, |10-4|=6, each prob .25.
+	objs := []*uncertain.Object{u}
+	if got := MinDist().Scores(objs, q)[0]; got != 2 {
+		t.Fatalf("min = %g", got)
+	}
+	if got := MaxDist().Scores(objs, q)[0]; got != 8 {
+		t.Fatalf("max = %g", got)
+	}
+	if got := ExpectedDist().Scores(objs, q)[0]; got != 5 {
+		t.Fatalf("expected = %g", got)
+	}
+	if got := QuantileDist(0.5).Scores(objs, q)[0]; got != 4 {
+		t.Fatalf("median = %g", got)
+	}
+	if got := QuantileDist(1).Scores(objs, q)[0]; got != 8 {
+		t.Fatalf("quantile(1) = %g", got)
+	}
+}
+
+func TestQuantileDistPanics(t *testing.T) {
+	for _, phi := range []float64{0, 1.2, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("QuantileDist(%g) must panic", phi)
+				}
+			}()
+			QuantileDist(phi)
+		}()
+	}
+}
+
+func TestFamilyAndNames(t *testing.T) {
+	for fam, fns := range AllSuites() {
+		for _, f := range fns {
+			if f.Family() != fam {
+				t.Errorf("%s reports family %v, want %v", f.Name(), f.Family(), fam)
+			}
+			if f.Name() == "" {
+				t.Error("empty function name")
+			}
+		}
+	}
+	if N1.String() != "N1" || N2.String() != "N2" || N3.String() != "N3" || Family(9).String() != "N?" {
+		t.Fatal("family strings")
+	}
+}
+
+// The exact conditioning computation must equal exhaustive possible-world
+// enumeration for every N2 weight shape, on random small inputs.
+func TestN2MatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	omegas := map[string]Omega{
+		"nn-prob": func(i, n int) float64 {
+			if i == 1 {
+				return -1
+			}
+			return 0
+		},
+		"expected-rank": func(i, n int) float64 { return float64(i) },
+		"global-top-2": func(i, n int) float64 {
+			if i <= 2 {
+				return -1
+			}
+			return 0
+		},
+		"rank-squared": func(i, n int) float64 { return float64(i * i) },
+	}
+	for iter := 0; iter < 60; iter++ {
+		n := 2 + rng.Intn(3)
+		objs := make([]*uncertain.Object, n)
+		for i := range objs {
+			m := 1 + rng.Intn(3)
+			pts := make([]geom.Point, m)
+			ws := make([]float64, m)
+			for k := range pts {
+				pts[k] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+				ws[k] = rng.Float64() + 0.1
+			}
+			objs[i] = uncertain.MustNew(i+1, pts, ws)
+		}
+		mq := 1 + rng.Intn(3)
+		qpts := make([]geom.Point, mq)
+		for k := range qpts {
+			qpts[k] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		q := uncertain.MustNew(0, qpts, nil)
+
+		for name, om := range omegas {
+			want := EnumeratePRF(objs, q, om)
+			got := Parameterized(name, om).Scores(objs, q)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("iter %d %s obj %d: exact %g != enumerated %g", iter, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The named constructors must agree with their generic definitions.
+func TestN2NamedConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	objs := []*uncertain.Object{
+		obj(1, geom.Point{1, 1}, geom.Point{2, 2}),
+		obj(2, geom.Point{3, 1}, geom.Point{0, 2.5}),
+		obj(3, geom.Point{5, 5}),
+	}
+	q := obj(0, geom.Point{0, 0}, geom.Point{1, 2})
+	_ = rng
+	nnprob := NNProb().Scores(objs, q)
+	top1 := GlobalTopK(1, "").Scores(objs, q)
+	exprank := ExpectedRank().Scores(objs, q)
+	enumNN := EnumeratePRF(objs, q, func(i, n int) float64 {
+		if i == 1 {
+			return -1
+		}
+		return 0
+	})
+	enumER := EnumeratePRF(objs, q, func(i, n int) float64 { return float64(i) })
+	for i := range objs {
+		if math.Abs(nnprob[i]-top1[i]) > 1e-12 {
+			t.Fatal("NNProb != GlobalTopK(1)")
+		}
+		if math.Abs(nnprob[i]-enumNN[i]) > 1e-9 {
+			t.Fatal("NNProb mismatch vs enumeration")
+		}
+		if math.Abs(exprank[i]-enumER[i]) > 1e-9 {
+			t.Fatal("ExpectedRank mismatch vs enumeration")
+		}
+	}
+	// NN probabilities sum to (minus) one when ties are absent.
+	var sum float64
+	for _, s := range nnprob {
+		sum += s
+	}
+	if math.Abs(sum+1) > 1e-9 {
+		t.Fatalf("NN probabilities sum to %g, want 1", -sum)
+	}
+}
+
+// Figure 3's possible-world story: C hugs q2 and beats everyone in all
+// q2-worlds, so its NN probability is 0.5 and it is the NN under NNProb —
+// even though A stochastically dominates it (which is why SS-SD must not
+// cover N2).
+func TestFigure3NNProbStory(t *testing.T) {
+	q := obj(0, geom.Point{0, 0}, geom.Point{10, 0})
+	a := obj(1, geom.Point{0, -3}, geom.Point{0, 3})
+	b := obj(2, geom.Point{0, -2.5}, geom.Point{0, 6})
+	cc := obj(3, geom.Point{10, -4}, geom.Point{10, 4})
+	objs := []*uncertain.Object{a, b, cc}
+
+	scores := NNProb().Scores(objs, q)
+	if math.Abs(scores[2]+0.5) > 1e-9 {
+		t.Fatalf("Pr(C is NN) = %g, want 0.5", -scores[2])
+	}
+	if NN(objs, q, NNProb()) != cc {
+		t.Fatal("C must be the NN under NN probability")
+	}
+	if NN(objs, q, ExpectedDist()) != a {
+		t.Fatal("A must be the NN under expected distance")
+	}
+}
+
+func TestWorldThreshold(t *testing.T) {
+	q := obj(0, geom.Point{0}, geom.Point{10})
+	u := obj(1, geom.Point{2}, geom.Point{6}) // dists to q0: 2, 6
+	f := WorldThreshold(0, 4)
+	got := f.Scores([]*uncertain.Object{u}, q)[0]
+	// p(q0)=0.5, Pr(U_{q0} > 4) = 0.5 → 0.25.
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("world threshold = %g, want 0.25", got)
+	}
+	if f.Family() != N2 || f.Name() == "" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestHausdorff(t *testing.T) {
+	q := obj(0, geom.Point{0, 0}, geom.Point{10, 0})
+	u := obj(1, geom.Point{1, 0}, geom.Point{9, 0})
+	// δmin(u1,Q)=1, δmin(u2,Q)=1, δmin(q1,U)=1, δmin(q2,U)=1 → 1.
+	if got := Hausdorff().Scores([]*uncertain.Object{u}, q)[0]; got != 1 {
+		t.Fatalf("hausdorff = %g", got)
+	}
+	v := obj(2, geom.Point{1, 0}, geom.Point{4, 0})
+	// δmin(q2,V)=6 dominates → 6.
+	if got := Hausdorff().Scores([]*uncertain.Object{v}, q)[0]; got != 6 {
+		t.Fatalf("hausdorff = %g", got)
+	}
+}
+
+func TestSumMinDist(t *testing.T) {
+	q := obj(0, geom.Point{0, 0}, geom.Point{10, 0})
+	u := obj(1, geom.Point{1, 0}, geom.Point{9, 0})
+	// Σ_u p·δmin = .5·1 + .5·1 = 1; Σ_q p·δmin = .5·1 + .5·1 = 1 → 2.
+	if got := SumMinDist().Scores([]*uncertain.Object{u}, q)[0]; got != 2 {
+		t.Fatalf("sum-min = %g", got)
+	}
+}
+
+func TestEMD(t *testing.T) {
+	q := obj(0, geom.Point{0}, geom.Point{10})
+	u := obj(1, geom.Point{1}, geom.Point{9})
+	// Optimal transport: 0→1 and 10→9, each mass .5, cost .5+.5 = 1.
+	if got := EMDValue(u, q); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("EMD = %g, want 1", got)
+	}
+	// Identical distributions → 0.
+	w := obj(2, geom.Point{0}, geom.Point{10})
+	if got := EMDValue(w, q); math.Abs(got) > 1e-9 {
+		t.Fatalf("EMD(identical) = %g", got)
+	}
+	// Netflow coincides with EMD under unit mass.
+	objs := []*uncertain.Object{u}
+	if a, b := EMD().Scores(objs, q)[0], Netflow().Scores(objs, q)[0]; a != b {
+		t.Fatalf("EMD %g != Netflow %g", a, b)
+	}
+}
+
+// EMD with unequal instance weights: mass must split optimally.
+func TestEMDWeighted(t *testing.T) {
+	q := uncertain.MustNew(0, []geom.Point{{0}}, nil) // all query mass at 0
+	u := uncertain.MustNew(1, []geom.Point{{2}, {4}}, []float64{3, 1})
+	// cost = .75·2 + .25·4 = 2.5
+	if got := EMDValue(u, q); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("weighted EMD = %g, want 2.5", got)
+	}
+}
+
+func TestEMDSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 40; iter++ {
+		mk := func(id int) *uncertain.Object {
+			m := 1 + rng.Intn(4)
+			pts := make([]geom.Point, m)
+			ws := make([]float64, m)
+			for k := range pts {
+				pts[k] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+				ws[k] = rng.Float64() + 0.1
+			}
+			return uncertain.MustNew(id, pts, ws)
+		}
+		a, b := mk(1), mk(2)
+		if d1, d2 := EMDValue(a, b), EMDValue(b, a); math.Abs(d1-d2) > 1e-6 {
+			t.Fatalf("EMD asymmetric: %g vs %g", d1, d2)
+		}
+	}
+}
+
+// EMD triangle-like sanity: moving an object farther from the query cannot
+// decrease its EMD when the shift is a pure translation away.
+func TestEMDTranslationMonotone(t *testing.T) {
+	q := obj(0, geom.Point{0, 0})
+	u := obj(1, geom.Point{1, 0}, geom.Point{2, 0})
+	v := obj(2, geom.Point{5, 0}, geom.Point{6, 0})
+	if EMDValue(u, q) >= EMDValue(v, q) {
+		t.Fatal("farther object must have larger EMD")
+	}
+}
+
+func TestNNAndRanking(t *testing.T) {
+	q := obj(0, geom.Point{0, 0})
+	a := obj(1, geom.Point{1, 0})
+	b := obj(2, geom.Point{2, 0})
+	c := obj(3, geom.Point{3, 0})
+	objs := []*uncertain.Object{b, c, a}
+	if NN(objs, q, ExpectedDist()) != a {
+		t.Fatal("NN wrong")
+	}
+	ranked := Ranking(objs, q, ExpectedDist())
+	if ranked[0] != a || ranked[1] != b || ranked[2] != c {
+		t.Fatal("Ranking wrong")
+	}
+	if NN(nil, q, ExpectedDist()) != nil {
+		t.Fatal("NN of empty must be nil")
+	}
+}
+
+func TestEnumeratePRFGuard(t *testing.T) {
+	// 21 objects × 2 instances = 2^21 worlds > 2^20 → panic.
+	objs := make([]*uncertain.Object, 21)
+	for i := range objs {
+		objs[i] = obj(i+1, geom.Point{float64(i)}, geom.Point{float64(i) + 0.5})
+	}
+	q := obj(0, geom.Point{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on world explosion")
+		}
+	}()
+	EnumeratePRF(objs, q, func(i, n int) float64 { return float64(i) })
+}

@@ -1,0 +1,96 @@
+package nnfunc
+
+import (
+	"sort"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// RankDistribution returns, for each object, its exact rank probability
+// vector over the possible worlds: out[i][r] = Pr(rank(objs[i]) = r+1).
+// It is the diagnostic underlying every N2 function — Υ(U) is the dot
+// product of this vector with the ω weights — computed by the same
+// conditioning used by the scoring path (no world enumeration).
+func RankDistribution(objs []*uncertain.Object, q *uncertain.Object) [][]float64 {
+	n := len(objs)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	pmf := make([]float64, n)
+	for j := 0; j < q.Len(); j++ {
+		qp := q.Instance(j)
+		pq := q.Prob(j)
+		cdfs := make([]perInstanceCDF, n)
+		for vi, v := range objs {
+			cdfs[vi] = buildCDF(v, qp)
+		}
+		for ui, u := range objs {
+			for k := 0; k < u.Len(); k++ {
+				x := geom.Dist(u.Instance(k), qp)
+				pmf[0] = 1
+				size := 1
+				for vi := range objs {
+					if vi == ui {
+						continue
+					}
+					p := cdfs[vi].probCloser(x)
+					pmf[size] = pmf[size-1] * p
+					for t := size - 1; t >= 1; t-- {
+						pmf[t] = pmf[t]*(1-p) + pmf[t-1]*p
+					}
+					pmf[0] *= 1 - p
+					size++
+				}
+				w := pq * u.Prob(k)
+				for t := 0; t < size; t++ {
+					out[ui][t] += w * pmf[t]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MostProbableRank returns, per object, the rank (1-based) with the
+// highest probability, ties resolved toward the better rank.
+func MostProbableRank(objs []*uncertain.Object, q *uncertain.Object) []int {
+	dist := RankDistribution(objs, q)
+	out := make([]int, len(objs))
+	for i, pmf := range dist {
+		best := 0
+		for r := 1; r < len(pmf); r++ {
+			if pmf[r] > pmf[best] {
+				best = r
+			}
+		}
+		out[i] = best + 1
+	}
+	return out
+}
+
+// TopKProbability returns Pr(rank(U) <= k) per object — the complement
+// score of the GlobalTopK function, exposed directly.
+func TopKProbability(objs []*uncertain.Object, q *uncertain.Object, k int) []float64 {
+	dist := RankDistribution(objs, q)
+	out := make([]float64, len(objs))
+	for i, pmf := range dist {
+		for r := 0; r < k && r < len(pmf); r++ {
+			out[i] += pmf[r]
+		}
+	}
+	return out
+}
+
+// RankByNNProbability orders object indices by decreasing NN probability
+// (ties by index).
+func RankByNNProbability(objs []*uncertain.Object, q *uncertain.Object) []int {
+	dist := RankDistribution(objs, q)
+	idx := make([]int, len(objs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return dist[idx[a]][0] > dist[idx[b]][0] })
+	return idx
+}

@@ -1,0 +1,80 @@
+package nnfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// RankDistribution must agree with exhaustive world enumeration: the
+// enumerated Υ under the indicator weight ω(i)=1[i=r] is exactly
+// Pr(rank = r).
+func TestRankDistributionMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(3)
+		objs := make([]*uncertain.Object, n)
+		for i := range objs {
+			m := 1 + rng.Intn(3)
+			pts := make([]geom.Point, m)
+			for k := range pts {
+				pts[k] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+			}
+			objs[i] = uncertain.MustNew(i+1, pts, nil)
+		}
+		q := uncertain.MustNew(0, []geom.Point{
+			{rng.Float64() * 10, rng.Float64() * 10},
+			{rng.Float64() * 10, rng.Float64() * 10},
+		}, nil)
+
+		dist := RankDistribution(objs, q)
+		for r := 1; r <= n; r++ {
+			r := r
+			want := EnumeratePRF(objs, q, func(i, nn int) float64 {
+				if i == r {
+					return 1
+				}
+				return 0
+			})
+			for i := range objs {
+				if math.Abs(dist[i][r-1]-want[i]) > 1e-9 {
+					t.Fatalf("iter %d: Pr(rank(%d)=%d) = %g, enumerated %g",
+						iter, i, r, dist[i][r-1], want[i])
+				}
+			}
+		}
+		// Each pmf sums to one.
+		for i := range dist {
+			var s float64
+			for _, p := range dist[i] {
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("pmf of object %d sums to %g", i, s)
+			}
+		}
+	}
+}
+
+func TestMostProbableRankAndTopK(t *testing.T) {
+	q := obj(0, geom.Point{0})
+	a := obj(1, geom.Point{1})
+	b := obj(2, geom.Point{2})
+	c := obj(3, geom.Point{3})
+	objs := []*uncertain.Object{b, a, c} // deliberately unordered
+	ranks := MostProbableRank(objs, q)
+	if ranks[0] != 2 || ranks[1] != 1 || ranks[2] != 3 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+	top2 := TopKProbability(objs, q, 2)
+	if top2[0] != 1 || top2[1] != 1 || top2[2] != 0 {
+		t.Fatalf("top-2 probabilities = %v", top2)
+	}
+	order := RankByNNProbability(objs, q)
+	if objs[order[0]] != a {
+		t.Fatalf("NN-probability order = %v", order)
+	}
+}

@@ -1,0 +1,58 @@
+package nnfunc
+
+import (
+	"fmt"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// EnumeratePRF computes the parameterized ranking scores by EXHAUSTIVE
+// possible-world enumeration. It exists as a ground-truth oracle for the
+// exact conditioning computation in n2.go and is exponential in the number
+// of objects: the total world count (product of instance counts, times the
+// query's) must not exceed maxWorlds or the function panics.
+//
+// Rank semantics match prfFunc: rank(U, W) = 1 + |{V : δ(V,W) < δ(U,W)}|,
+// ties leaving both objects at the better rank.
+func EnumeratePRF(objs []*uncertain.Object, q *uncertain.Object, omega Omega) []float64 {
+	const maxWorlds = 1 << 20
+	worlds := q.Len()
+	for _, o := range objs {
+		if worlds > maxWorlds/o.Len() {
+			panic(fmt.Sprintf("nnfunc: EnumeratePRF world count exceeds %d", maxWorlds))
+		}
+		worlds *= o.Len()
+	}
+	n := len(objs)
+	scores := make([]float64, n)
+	choice := make([]int, n)
+	dists := make([]float64, n)
+	var rec func(objIdx int, prob float64, qp geom.Point)
+	rec = func(objIdx int, prob float64, qp geom.Point) {
+		if objIdx == n {
+			for i := range dists {
+				dists[i] = geom.Dist(objs[i].Instance(choice[i]), qp)
+			}
+			for i := range objs {
+				rank := 1
+				for j := range objs {
+					if j != i && dists[j] < dists[i] {
+						rank++
+					}
+				}
+				scores[i] += prob * omega(rank, n)
+			}
+			return
+		}
+		o := objs[objIdx]
+		for k := 0; k < o.Len(); k++ {
+			choice[objIdx] = k
+			rec(objIdx+1, prob*o.Prob(k), qp)
+		}
+	}
+	for j := 0; j < q.Len(); j++ {
+		rec(0, q.Prob(j), q.Instance(j))
+	}
+	return scores
+}

@@ -1,0 +1,210 @@
+// Package pager provides a fixed-size page file and an LRU buffer pool —
+// the storage substrate for the disk-resident form of the paper's indexes.
+// The paper's experiments use 4096-byte pages for the global R-tree and
+// report query response times that are dominated by how many pages a
+// search touches; this package makes those page accesses explicit and
+// countable.
+//
+// A PageFile stores fixed-size pages in a single OS file addressed by page
+// id. A Pool caches pages with LRU eviction, write-back of dirty pages and
+// hit/miss/read/write counters. Both are safe for single-goroutine use;
+// wrap with your own locking for concurrent access.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// PageSize is the default page size, matching the paper's configuration.
+const PageSize = 4096
+
+// PageID addresses a page within a file.
+type PageID uint32
+
+// InvalidPage is the zero page id; page 0 is reserved for file metadata so
+// user data never receives it.
+const InvalidPage PageID = 0
+
+var (
+	// ErrPageRange is returned when reading a page beyond the file end.
+	ErrPageRange = errors.New("pager: page id out of range")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("pager: file closed")
+)
+
+// PageFile is a page-granular file. Page 0 holds the file header (magic +
+// page size + page count); user pages start at 1.
+type PageFile struct {
+	f        *os.File
+	pageSize int
+	pages    PageID // number of allocated pages, including page 0
+	closed   bool
+
+	// Reads and Writes count physical page transfers.
+	Reads, Writes int64
+}
+
+const magic = "SDPG"
+
+// Create creates (or truncates) a page file at path.
+func Create(path string, pageSize int) (*PageFile, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("pager: page size %d too small", pageSize)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	pf := &PageFile{f: f, pageSize: pageSize, pages: 1}
+	if err := pf.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// Open opens an existing page file.
+func Open(path string) (*PageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 16)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: reading header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		f.Close()
+		return nil, errors.New("pager: bad magic")
+	}
+	ps := int(le32(hdr[4:8]))
+	pages := PageID(le32(hdr[8:12]))
+	// Validate the declared geometry against sane bounds and the physical
+	// file size, so a corrupt header can never trigger absurd allocations
+	// or out-of-range I/O.
+	const maxPageSize = 1 << 24
+	if ps < 64 || ps > maxPageSize {
+		f.Close()
+		return nil, fmt.Errorf("pager: implausible page size %d in header", ps)
+	}
+	if pages < 1 {
+		f.Close()
+		return nil, errors.New("pager: implausible page count in header")
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if int64(pages)*int64(ps) > st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("pager: header declares %d pages of %d bytes but file has only %d bytes",
+			pages, ps, st.Size())
+	}
+	return &PageFile{f: f, pageSize: ps, pages: pages}, nil
+}
+
+func (pf *PageFile) writeHeader() error {
+	hdr := make([]byte, pf.pageSize)
+	copy(hdr, magic)
+	putLE32(hdr[4:8], uint32(pf.pageSize))
+	putLE32(hdr[8:12], uint32(pf.pages))
+	_, err := pf.f.WriteAt(hdr, 0)
+	return err
+}
+
+// PageSize returns the page size in bytes.
+func (pf *PageFile) PageSize() int { return pf.pageSize }
+
+// Len returns the number of user pages allocated.
+func (pf *PageFile) Len() int { return int(pf.pages) - 1 }
+
+// Allocate appends a zeroed page and returns its id.
+func (pf *PageFile) Allocate() (PageID, error) {
+	if pf.closed {
+		return InvalidPage, ErrClosed
+	}
+	id := pf.pages
+	pf.pages++
+	zero := make([]byte, pf.pageSize)
+	if _, err := pf.f.WriteAt(zero, int64(id)*int64(pf.pageSize)); err != nil {
+		return InvalidPage, err
+	}
+	pf.Writes++
+	return id, nil
+}
+
+// ReadPage reads page id into buf (len must equal PageSize).
+func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
+	if pf.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || id >= pf.pages {
+		return fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, pf.pages)
+	}
+	if len(buf) != pf.pageSize {
+		return fmt.Errorf("pager: buffer size %d != page size %d", len(buf), pf.pageSize)
+	}
+	if _, err := pf.f.ReadAt(buf, int64(id)*int64(pf.pageSize)); err != nil {
+		return err
+	}
+	pf.Reads++
+	return nil
+}
+
+// WritePage writes buf to page id.
+func (pf *PageFile) WritePage(id PageID, buf []byte) error {
+	if pf.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || id >= pf.pages {
+		return fmt.Errorf("%w: %d", ErrPageRange, id)
+	}
+	if len(buf) != pf.pageSize {
+		return fmt.Errorf("pager: buffer size %d != page size %d", len(buf), pf.pageSize)
+	}
+	if _, err := pf.f.WriteAt(buf, int64(id)*int64(pf.pageSize)); err != nil {
+		return err
+	}
+	pf.Writes++
+	return nil
+}
+
+// Sync flushes the header and file contents to stable storage.
+func (pf *PageFile) Sync() error {
+	if pf.closed {
+		return ErrClosed
+	}
+	if err := pf.writeHeader(); err != nil {
+		return err
+	}
+	return pf.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (pf *PageFile) Close() error {
+	if pf.closed {
+		return nil
+	}
+	if err := pf.Sync(); err != nil {
+		pf.f.Close()
+		pf.closed = true
+		return err
+	}
+	pf.closed = true
+	return pf.f.Close()
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

@@ -1,0 +1,154 @@
+package pager
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Pool is an LRU buffer pool over a PageFile. Get returns a cached frame
+// when present; otherwise the least-recently-used unpinned frame is
+// evicted (written back if dirty) and reused. Pinned frames are never
+// evicted.
+type Pool struct {
+	file   *PageFile
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // front = most recently used
+
+	// Hits and Misses count logical page requests served from / missing
+	// the cache; physical transfers are on the PageFile.
+	Hits, Misses int64
+}
+
+type frame struct {
+	id    PageID
+	buf   []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// NewPool wraps file with a buffer pool of capacity pages.
+func NewPool(file *PageFile, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		file:   file,
+		cap:    capacity,
+		frames: make(map[PageID]*frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// File returns the underlying page file.
+func (p *Pool) File() *PageFile { return p.file }
+
+// Get pins page id and returns its buffer. The caller must Unpin it;
+// mutations must be flagged with MarkDirty before Unpin.
+func (p *Pool) Get(id PageID) ([]byte, error) {
+	if fr, ok := p.frames[id]; ok {
+		p.Hits++
+		fr.pins++
+		p.lru.MoveToFront(fr.elem)
+		return fr.buf, nil
+	}
+	p.Misses++
+	fr, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.file.ReadPage(id, fr.buf); err != nil {
+		// Return the frame to the pool unused.
+		fr.id = InvalidPage
+		return nil, err
+	}
+	fr.id = id
+	fr.dirty = false
+	fr.pins = 1
+	p.frames[id] = fr
+	return fr.buf, nil
+}
+
+// Allocate creates a new zeroed page, pins it and returns its id+buffer.
+func (p *Pool) Allocate() (PageID, []byte, error) {
+	id, err := p.file.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	fr, err := p.victim()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	for i := range fr.buf {
+		fr.buf[i] = 0
+	}
+	fr.id = id
+	fr.dirty = true // the zero page must eventually hit the disk image
+	fr.pins = 1
+	p.frames[id] = fr
+	return id, fr.buf, nil
+}
+
+// victim returns a free frame: a fresh one while below capacity, else the
+// LRU unpinned frame (written back when dirty).
+func (p *Pool) victim() (*frame, error) {
+	if len(p.frames) < p.cap {
+		fr := &frame{buf: make([]byte, p.file.PageSize())}
+		fr.elem = p.lru.PushFront(fr)
+		return fr, nil
+	}
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*frame)
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.dirty {
+			if err := p.file.WritePage(fr.id, fr.buf); err != nil {
+				return nil, err
+			}
+		}
+		delete(p.frames, fr.id)
+		p.lru.MoveToFront(e)
+		return fr, nil
+	}
+	return nil, fmt.Errorf("pager: all %d frames pinned", p.cap)
+}
+
+// MarkDirty flags a pinned page as modified.
+func (p *Pool) MarkDirty(id PageID) {
+	if fr, ok := p.frames[id]; ok {
+		fr.dirty = true
+	}
+}
+
+// Unpin releases one pin on the page.
+func (p *Pool) Unpin(id PageID) {
+	if fr, ok := p.frames[id]; ok && fr.pins > 0 {
+		fr.pins--
+	}
+}
+
+// Flush writes every dirty frame back and syncs the file.
+func (p *Pool) Flush() error {
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.file.WritePage(fr.id, fr.buf); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return p.file.Sync()
+}
+
+// Stats returns (hits, misses, physical reads, physical writes).
+func (p *Pool) Stats() (hits, misses, reads, writes int64) {
+	return p.Hits, p.Misses, p.file.Reads, p.file.Writes
+}
+
+// ResetStats zeroes all counters (pool and file).
+func (p *Pool) ResetStats() {
+	p.Hits, p.Misses = 0, 0
+	p.file.Reads, p.file.Writes = 0, 0
+}

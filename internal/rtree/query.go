@@ -1,0 +1,205 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"spatialdom/internal/geom"
+)
+
+// Search invokes fn for every entry whose rectangle intersects r. Returning
+// false from fn stops the search early.
+func (t *Tree) Search(r geom.Rect, fn func(Entry) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.search(t.root, r, fn)
+}
+
+func (t *Tree) search(n *Node, r geom.Rect, fn func(Entry) bool) bool {
+	if !n.rect.Intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Rect.Intersects(r) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.search(c, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- best-first traversals ---------------------------------------------------
+
+type pqItem struct {
+	key   float64
+	node  *Node
+	entry Entry
+	isEnt bool
+}
+
+type pq []pqItem
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Nearest returns the entry minimizing the minimum distance from q to the
+// entry rectangle, via best-first search. ok is false when the tree is
+// empty.
+func (t *Tree) Nearest(q geom.Point) (e Entry, dist float64, ok bool) {
+	if t.size == 0 {
+		return Entry{}, 0, false
+	}
+	h := pq{{key: t.root.rect.MinSqDistPoint(q), node: t.root}}
+	for len(h) > 0 {
+		it := heap.Pop(&h).(pqItem)
+		if it.isEnt {
+			return it.entry, sqrtNonNeg(it.key), true
+		}
+		n := it.node
+		if n.leaf {
+			for _, e := range n.entries {
+				heap.Push(&h, pqItem{key: e.Rect.MinSqDistPoint(q), entry: e, isEnt: true})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(&h, pqItem{key: c.rect.MinSqDistPoint(q), node: c})
+			}
+		}
+	}
+	return Entry{}, 0, false
+}
+
+// KNN returns up to k entries in non-decreasing order of minimum distance
+// from q.
+func (t *Tree) KNN(q geom.Point, k int) []Entry {
+	if t.size == 0 || k <= 0 {
+		return nil
+	}
+	res := make([]Entry, 0, k)
+	h := pq{{key: t.root.rect.MinSqDistPoint(q), node: t.root}}
+	for len(h) > 0 && len(res) < k {
+		it := heap.Pop(&h).(pqItem)
+		if it.isEnt {
+			res = append(res, it.entry)
+			continue
+		}
+		n := it.node
+		if n.leaf {
+			for _, e := range n.entries {
+				heap.Push(&h, pqItem{key: e.Rect.MinSqDistPoint(q), entry: e, isEnt: true})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(&h, pqItem{key: c.rect.MinSqDistPoint(q), node: c})
+			}
+		}
+	}
+	return res
+}
+
+// MinDist returns the minimum distance from q to any entry rectangle
+// (δmin(q, ·)): a branch-and-bound equivalent of Nearest that skips entry
+// materialization.
+func (t *Tree) MinDist(q geom.Point) (float64, bool) {
+	_, d, ok := t.Nearest(q)
+	return d, ok
+}
+
+// MaxDist returns the maximum over entries of the maximum distance from q
+// to the entry rectangle (δmax(q, ·) when entries are points), via
+// best-first search on negated MaxDist bounds.
+func (t *Tree) MaxDist(q geom.Point) (float64, bool) {
+	if t.size == 0 {
+		return 0, false
+	}
+	h := pq{{key: -t.root.rect.MaxSqDistPoint(q), node: t.root}}
+	for len(h) > 0 {
+		it := heap.Pop(&h).(pqItem)
+		if it.isEnt {
+			return sqrtNonNeg(-it.key), true
+		}
+		n := it.node
+		if n.leaf {
+			for _, e := range n.entries {
+				heap.Push(&h, pqItem{key: -e.Rect.MaxSqDistPoint(q), entry: e, isEnt: true})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(&h, pqItem{key: -c.rect.MaxSqDistPoint(q), node: c})
+			}
+		}
+	}
+	return 0, false
+}
+
+// Furthest returns the entry maximizing the maximum distance from q.
+func (t *Tree) Furthest(q geom.Point) (Entry, float64, bool) {
+	if t.size == 0 {
+		return Entry{}, 0, false
+	}
+	h := pq{{key: -t.root.rect.MaxSqDistPoint(q), node: t.root}}
+	for len(h) > 0 {
+		it := heap.Pop(&h).(pqItem)
+		if it.isEnt {
+			return it.entry, sqrtNonNeg(-it.key), true
+		}
+		n := it.node
+		if n.leaf {
+			for _, e := range n.entries {
+				heap.Push(&h, pqItem{key: -e.Rect.MaxSqDistPoint(q), entry: e, isEnt: true})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(&h, pqItem{key: -c.rect.MaxSqDistPoint(q), node: c})
+			}
+		}
+	}
+	return Entry{}, 0, false
+}
+
+// NodesAtLevel returns the nodes at the given level, where level 0 is the
+// root. Levels deeper than the tree height return the deepest (leaf) level.
+func (t *Tree) NodesAtLevel(level int) []*Node {
+	if t.size == 0 {
+		return nil
+	}
+	cur := []*Node{t.root}
+	for l := 0; l < level; l++ {
+		var next []*Node
+		for _, n := range cur {
+			if n.leaf {
+				next = append(next, n) // leaves persist below their depth
+			} else {
+				next = append(next, n.children...)
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func sqrtNonNeg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,395 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialdom/internal/geom"
+)
+
+func randPoint(r *rand.Rand, d int, scale float64) geom.Point {
+	p := make(geom.Point, d)
+	for i := range p {
+		p[i] = r.Float64() * scale
+	}
+	return p
+}
+
+func randEntries(r *rand.Rand, n, d int, scale float64) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		a := randPoint(r, d, scale)
+		b := make(geom.Point, d)
+		for j := range b {
+			b[j] = a[j] + r.Float64()*scale/20
+		}
+		es[i] = Entry{Rect: geom.NewRect(a, b), ID: i}
+	}
+	return es
+}
+
+func pointEntries(r *rand.Rand, n, d int, scale float64) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Rect: geom.PointRect(randPoint(r, d, scale)), ID: i}
+	}
+	return es
+}
+
+// checkInvariants walks the tree validating structural invariants.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.size == 0 {
+		return
+	}
+	var walk func(n *Node, depth int) (count, leafDepth int)
+	leafDepth := -1
+	var walkf func(n *Node, depth, root int) int
+	walkf = func(n *Node, depth, root int) int {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("unbalanced: leaf at depth %d and %d", leafDepth, depth)
+			}
+			if root == 0 && len(n.entries) > tr.max {
+				t.Fatalf("leaf overflow: %d > %d", len(n.entries), tr.max)
+			}
+			if root != 1 && depth > 0 && len(n.entries) < tr.min {
+				t.Fatalf("leaf underflow: %d < %d", len(n.entries), tr.min)
+			}
+			for _, e := range n.entries {
+				if !n.rect.ContainsRect(e.Rect) {
+					t.Fatalf("leaf MBR %v does not contain entry %v", n.rect, e.Rect)
+				}
+			}
+			return len(n.entries)
+		}
+		if len(n.children) > tr.max {
+			t.Fatalf("internal overflow: %d > %d", len(n.children), tr.max)
+		}
+		if depth > 0 && len(n.children) < tr.min {
+			t.Fatalf("internal underflow: %d < %d", len(n.children), tr.min)
+		}
+		total := 0
+		for _, c := range n.children {
+			if !n.rect.ContainsRect(c.rect) {
+				t.Fatalf("node MBR %v does not contain child %v", n.rect, c.rect)
+			}
+			total += walkf(c, depth+1, 0)
+		}
+		return total
+	}
+	_ = walk
+	rootFlag := 1
+	if got := walkf(tr.root, 0, rootFlag); got != tr.size {
+		t.Fatalf("entry count = %d, want %d", got, tr.size)
+	}
+}
+
+func TestDefaultFanout(t *testing.T) {
+	if f := DefaultFanout(4096, 3); f != 4096/(16*3+8) {
+		t.Fatalf("fanout = %d", f)
+	}
+	if f := DefaultFanout(64, 10); f != 4 {
+		t.Fatalf("tiny page fanout = %d, want clamp to 4", f)
+	}
+}
+
+func TestNewPanicsOnBadBounds(t *testing.T) {
+	for _, c := range []struct{ min, max int }{{1, 8}, {5, 8}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) must panic", c.min, c.max)
+				}
+			}()
+			New(c.min, c.max)
+		}()
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New(2, 4)
+	pts := []geom.Point{{0, 0}, {10, 10}, {5, 5}, {2, 8}, {7, 3}, {1, 1}, {9, 9}}
+	for i, p := range pts {
+		tr.Insert(Entry{Rect: geom.PointRect(p), ID: i})
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checkInvariants(t, tr)
+
+	var got []int
+	tr.Search(geom.NewRect(geom.Point{0, 0}, geom.Point{5, 5}), func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	sort.Ints(got)
+	want := []int{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Search ids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Search ids = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := Bulk(pointEntries(rng, 100, 2, 10), 2, 8)
+	count := 0
+	tr.Search(geom.NewRect(geom.Point{0, 0}, geom.Point{10, 10}), func(e Entry) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d entries", count)
+	}
+}
+
+func TestBulkMatchesInsertResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 3, 7, 16, 100, 500} {
+		es := randEntries(rng, n, 3, 100)
+		bulk := Bulk(append([]Entry(nil), es...), 2, 8)
+		inc := New(2, 8)
+		for _, e := range es {
+			inc.Insert(e)
+		}
+		checkInvariants(t, bulk)
+		checkInvariants(t, inc)
+		if bulk.Len() != n || inc.Len() != n {
+			t.Fatalf("n=%d: sizes %d / %d", n, bulk.Len(), inc.Len())
+		}
+		// Both must return the same result set for random windows.
+		for k := 0; k < 10; k++ {
+			a := randPoint(rng, 3, 100)
+			b := make(geom.Point, 3)
+			for j := range b {
+				b[j] = a[j] + rng.Float64()*30
+			}
+			win := geom.NewRect(a, b)
+			collect := func(tr *Tree) []int {
+				var ids []int
+				tr.Search(win, func(e Entry) bool { ids = append(ids, e.ID); return true })
+				sort.Ints(ids)
+				return ids
+			}
+			x, y := collect(bulk), collect(inc)
+			if len(x) != len(y) {
+				t.Fatalf("n=%d: bulk found %d, insert found %d", n, len(x), len(y))
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					t.Fatalf("n=%d: result mismatch", n)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	es := randEntries(rng, 400, 2, 50)
+	tr := Bulk(append([]Entry(nil), es...), 4, 16)
+	for k := 0; k < 50; k++ {
+		a := randPoint(rng, 2, 50)
+		b := geom.Point{a[0] + rng.Float64()*20, a[1] + rng.Float64()*20}
+		win := geom.NewRect(a, b)
+		var want []int
+		for _, e := range es {
+			if e.Rect.Intersects(win) {
+				want = append(want, e.ID)
+			}
+		}
+		sort.Ints(want)
+		var got []int
+		tr.Search(win, func(e Entry) bool { got = append(got, e.ID); return true })
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: got %d ids, want %d", win, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("window %v: mismatch", win)
+			}
+		}
+	}
+}
+
+func TestNearestAndKNNMatchLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	es := pointEntries(rng, 300, 3, 100)
+	tr := Bulk(append([]Entry(nil), es...), 2, 6)
+	for k := 0; k < 40; k++ {
+		q := randPoint(rng, 3, 120)
+		type dc struct {
+			id int
+			d  float64
+		}
+		all := make([]dc, len(es))
+		for i, e := range es {
+			all[i] = dc{e.ID, e.Rect.MinDistPoint(q)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+
+		_, d, ok := tr.Nearest(q)
+		if !ok || math.Abs(d-all[0].d) > 1e-9 {
+			t.Fatalf("Nearest dist = %g, want %g", d, all[0].d)
+		}
+		kk := 10
+		knn := tr.KNN(q, kk)
+		if len(knn) != kk {
+			t.Fatalf("KNN returned %d", len(knn))
+		}
+		for i, e := range knn {
+			got := e.Rect.MinDistPoint(q)
+			if math.Abs(got-all[i].d) > 1e-9 {
+				t.Fatalf("KNN[%d] dist = %g, want %g", i, got, all[i].d)
+			}
+		}
+	}
+}
+
+func TestMinMaxDistMatchLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	es := pointEntries(rng, 200, 2, 50)
+	tr := Bulk(append([]Entry(nil), es...), 2, 4) // fanout-4 local-tree config
+	for k := 0; k < 40; k++ {
+		q := randPoint(rng, 2, 80)
+		wantMin, wantMax := math.Inf(1), 0.0
+		for _, e := range es {
+			d := geom.Dist(q, e.Rect.Lo)
+			if d < wantMin {
+				wantMin = d
+			}
+			if d > wantMax {
+				wantMax = d
+			}
+		}
+		if d, ok := tr.MinDist(q); !ok || math.Abs(d-wantMin) > 1e-9 {
+			t.Fatalf("MinDist = %g, want %g", d, wantMin)
+		}
+		if d, ok := tr.MaxDist(q); !ok || math.Abs(d-wantMax) > 1e-9 {
+			t.Fatalf("MaxDist = %g, want %g", d, wantMax)
+		}
+		if _, d, ok := tr.Furthest(q); !ok || math.Abs(d-wantMax) > 1e-9 {
+			t.Fatalf("Furthest = %g, want %g", d, wantMax)
+		}
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	tr := New(2, 4)
+	if tr.Root() != nil {
+		t.Fatal("empty tree root must be nil")
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Fatal("empty Bounds ok")
+	}
+	if _, _, ok := tr.Nearest(geom.Point{0}); ok {
+		t.Fatal("Nearest on empty")
+	}
+	if got := tr.KNN(geom.Point{0}, 3); got != nil {
+		t.Fatal("KNN on empty")
+	}
+	if _, ok := tr.MaxDist(geom.Point{0}); ok {
+		t.Fatal("MaxDist on empty")
+	}
+	tr.Search(geom.PointRect(geom.Point{0}), func(Entry) bool { t.Fatal("visited"); return false })
+	if tr.NodesAtLevel(0) != nil {
+		t.Fatal("NodesAtLevel on empty")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	es := pointEntries(rng, 120, 2, 30)
+	tr := New(2, 5)
+	for _, e := range es {
+		tr.Insert(e)
+	}
+	perm := rng.Perm(len(es))
+	for i, pi := range perm {
+		if !tr.Delete(es[pi].Rect, es[pi].ID) {
+			t.Fatalf("delete %d failed", pi)
+		}
+		if tr.Len() != len(es)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+		checkInvariants(t, tr)
+	}
+	if tr.Delete(es[0].Rect, es[0].ID) {
+		t.Fatal("delete on empty tree succeeded")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New(2, 4)
+	tr.Insert(Entry{Rect: geom.PointRect(geom.Point{1, 1}), ID: 7})
+	if tr.Delete(geom.PointRect(geom.Point{1, 1}), 8) {
+		t.Fatal("deleted wrong ID")
+	}
+	if tr.Delete(geom.PointRect(geom.Point{2, 2}), 7) {
+		t.Fatal("deleted wrong rect")
+	}
+	if !tr.Delete(geom.PointRect(geom.Point{1, 1}), 7) {
+		t.Fatal("failed to delete present entry")
+	}
+}
+
+func TestNodesAtLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	es := pointEntries(rng, 64, 2, 10)
+	tr := Bulk(es, 2, 4)
+	if tr.Height() < 3 {
+		t.Fatalf("expected height >= 3, got %d", tr.Height())
+	}
+	for lvl := 0; lvl <= tr.Height()+1; lvl++ {
+		nodes := tr.NodesAtLevel(lvl)
+		if len(nodes) == 0 {
+			t.Fatalf("no nodes at level %d", lvl)
+		}
+		// Union of IDs across the level must be the full entry set.
+		var ids []int
+		for _, n := range nodes {
+			ids = n.CollectIDs(ids)
+		}
+		if len(ids) != tr.Len() {
+			t.Fatalf("level %d covers %d entries, want %d", lvl, len(ids), tr.Len())
+		}
+	}
+	if got := tr.NodesAtLevel(0); len(got) != 1 || got[0] != tr.Root() {
+		t.Fatal("level 0 must be the root")
+	}
+}
+
+func TestBulkSingleEntryAndHeight(t *testing.T) {
+	e := Entry{Rect: geom.PointRect(geom.Point{1, 2}), ID: 0}
+	tr := Bulk([]Entry{e}, 2, 4)
+	if tr.Height() != 1 || tr.Len() != 1 {
+		t.Fatalf("height=%d len=%d", tr.Height(), tr.Len())
+	}
+	var got []Entry
+	got = tr.Root().CollectEntries(got)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("CollectEntries = %v", got)
+	}
+}
+
+func TestInsertGrowsHeight(t *testing.T) {
+	tr := New(2, 4)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{Rect: geom.PointRect(randPoint(rng, 2, 100)), ID: i})
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d after 100 fanout-4 inserts", tr.Height())
+	}
+	checkInvariants(t, tr)
+}

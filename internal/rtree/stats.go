@@ -1,0 +1,46 @@
+package rtree
+
+// TreeStats summarizes the structure of a tree for introspection and
+// debugging (node counts, fill factors).
+type TreeStats struct {
+	Height        int
+	InternalNodes int
+	LeafNodes     int
+	Entries       int
+	// AvgLeafFill and AvgInternalFill are mean occupancy relative to the
+	// maximum node capacity (0 when there are no such nodes).
+	AvgLeafFill     float64
+	AvgInternalFill float64
+}
+
+// Stats walks the tree and returns its structural summary.
+func (t *Tree) Stats() TreeStats {
+	s := TreeStats{Height: t.height}
+	if t.size == 0 {
+		s.Height = 0
+		return s
+	}
+	var leafSlots, internalSlots int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			s.LeafNodes++
+			s.Entries += len(n.entries)
+			leafSlots += len(n.entries)
+			return
+		}
+		s.InternalNodes++
+		internalSlots += len(n.children)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	if s.LeafNodes > 0 {
+		s.AvgLeafFill = float64(leafSlots) / float64(s.LeafNodes*t.max)
+	}
+	if s.InternalNodes > 0 {
+		s.AvgInternalFill = float64(internalSlots) / float64(s.InternalNodes*t.max)
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStatsEmpty(t *testing.T) {
+	tr := New(2, 4)
+	s := tr.Stats()
+	if s.Height != 0 || s.Entries != 0 || s.LeafNodes != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestStatsBulkLoaded(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	es := pointEntries(rng, 200, 2, 50)
+	tr := Bulk(es, 2, 8)
+	s := tr.Stats()
+	if s.Entries != 200 {
+		t.Fatalf("entries = %d", s.Entries)
+	}
+	if s.Height != tr.Height() {
+		t.Fatalf("height mismatch: %d vs %d", s.Height, tr.Height())
+	}
+	if s.LeafNodes == 0 || s.AvgLeafFill <= 0 || s.AvgLeafFill > 1 {
+		t.Fatalf("leaf stats wrong: %+v", s)
+	}
+	// STR packs leaves tightly.
+	if s.AvgLeafFill < 0.8 {
+		t.Fatalf("STR leaf fill only %.2f", s.AvgLeafFill)
+	}
+	if s.InternalNodes > 0 && (s.AvgInternalFill <= 0 || s.AvgInternalFill > 1) {
+		t.Fatalf("internal fill wrong: %+v", s)
+	}
+}
+
+func TestStatsAfterInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tr := New(2, 4)
+	for i := 0; i < 150; i++ {
+		tr.Insert(Entry{Rect: pointEntries(rng, 1, 2, 50)[0].Rect, ID: i})
+	}
+	s := tr.Stats()
+	if s.Entries != 150 {
+		t.Fatalf("entries = %d", s.Entries)
+	}
+	// Guttman split keeps nodes at least min-full (except possibly the root).
+	if s.AvgLeafFill < 0.45 {
+		t.Fatalf("leaf fill %.2f below split invariant", s.AvgLeafFill)
+	}
+}

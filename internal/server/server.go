@@ -1,0 +1,336 @@
+// Package server exposes NN-candidate search over HTTP with a small JSON
+// API, turning the library into a queryable service:
+//
+//	GET  /healthz              → {"status":"ok", ...}
+//	GET  /objects              → dataset summary
+//	GET  /objects/{id}         → one object
+//	POST /query                → NN candidates for a query object
+//
+// The query request body:
+//
+//	{
+//	  "instances": [[x1,...,xd], ...],
+//	  "weights":   [w1, ...],          // optional, uniform when omitted
+//	  "operator":  "PSD",              // SSD | SSSD | PSD | FSD | F+SD
+//	  "k":         1,                  // optional, k-NN candidates
+//	  "metric":    "euclidean"         // optional: euclidean|manhattan|chebyshev
+//	}
+//
+// and the response carries the candidates in emission order with their
+// exact minimum distances, plus timing and dominance-check statistics.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// Server is the HTTP handler set over one immutable index.
+type Server struct {
+	idx *core.Index
+	mux *http.ServeMux
+}
+
+// New builds a server over the objects.
+func New(objs []*uncertain.Object) (*Server, error) {
+	idx, err := core.NewIndex(objs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{idx: idx, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/objects", s.handleObjects)
+	s.mux.HandleFunc("/objects/", s.handleObject)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- request/response types ---------------------------------------------------
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	Instances [][]float64 `json:"instances"`
+	Weights   []float64   `json:"weights,omitempty"`
+	Operator  string      `json:"operator"`
+	K         int         `json:"k,omitempty"`
+	Metric    string      `json:"metric,omitempty"`
+}
+
+// QueryCandidate is one candidate in the response.
+type QueryCandidate struct {
+	ID         int     `json:"id"`
+	Label      string  `json:"label,omitempty"`
+	MinDist    float64 `json:"min_dist"`
+	Dominators int     `json:"dominators"`
+}
+
+// QueryResponse is the POST /query response body.
+type QueryResponse struct {
+	Operator   string           `json:"operator"`
+	K          int              `json:"k"`
+	Candidates []QueryCandidate `json:"candidates"`
+	Examined   int              `json:"examined"`
+	ElapsedUS  int64            `json:"elapsed_us"`
+	Checks     int64            `json:"dominance_checks"`
+}
+
+// ObjectJSON is the wire form of an object.
+type ObjectJSON struct {
+	ID        int         `json:"id"`
+	Label     string      `json:"label,omitempty"`
+	Instances [][]float64 `json:"instances"`
+	Probs     []float64   `json:"probs"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// --- handlers -------------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  "ok",
+		"objects": s.idx.Len(),
+		"dim":     s.idx.Dim(),
+		"time":    time.Now().UTC().Format(time.RFC3339),
+	})
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	type summary struct {
+		Objects int `json:"objects"`
+		Dim     int `json:"dim"`
+		MinID   int `json:"min_id"`
+		MaxID   int `json:"max_id"`
+	}
+	sum := summary{Objects: s.idx.Len(), Dim: s.idx.Dim()}
+	for i, o := range s.idx.Objects() {
+		if i == 0 || o.ID() < sum.MinID {
+			sum.MinID = o.ID()
+		}
+		if i == 0 || o.ID() > sum.MaxID {
+			sum.MaxID = o.ID()
+		}
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/objects/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad object id %q", idStr))
+		return
+	}
+	o := s.idx.Object(id)
+	if o == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("object %d not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(o))
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	op, err := parseOperator(req.Operator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 || k > s.idx.Len() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range", k))
+		return
+	}
+	pts := make([]geom.Point, len(req.Instances))
+	for i, row := range req.Instances {
+		pts[i] = geom.Point(row)
+	}
+	q, err := uncertain.New(0, pts, req.Weights)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("building query object: %w", err))
+		return
+	}
+	if q.Dim() != s.idx.Dim() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.idx.Dim()))
+		return
+	}
+	res := s.idx.SearchKOpts(q, op, k, core.SearchOptions{Filters: core.AllFilters, Metric: metric})
+	resp := QueryResponse{
+		Operator:  op.String(),
+		K:         k,
+		Examined:  res.Examined,
+		ElapsedUS: res.Elapsed.Microseconds(),
+		Checks:    res.Stats.DominanceChecks,
+	}
+	for _, c := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, QueryCandidate{
+			ID:         c.Object.ID(),
+			Label:      c.Object.Label(),
+			MinDist:    c.MinDist,
+			Dominators: c.Dominators,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQueryStream is the progressive form of /query: candidates are
+// written as NDJSON lines the moment Algorithm 1 proves them, followed by
+// a summary line — the HTTP face of the paper's progressive property
+// (Figure 14). Closing the connection cancels the search.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	op, err := parseOperator(req.Operator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pts := make([]geom.Point, len(req.Instances))
+	for i, row := range req.Instances {
+		pts[i] = geom.Point(row)
+	}
+	q, err := uncertain.New(0, pts, req.Weights)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("building query object: %w", err))
+		return
+	}
+	if q.Dim() != s.idx.Dim() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.idx.Dim()))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	out, done := s.idx.Stream(r.Context(), q, op, core.SearchOptions{
+		Filters: core.AllFilters,
+		Metric:  metric,
+	})
+	for c := range out {
+		enc.Encode(QueryCandidate{
+			ID:         c.Object.ID(),
+			Label:      c.Object.Label(),
+			MinDist:    c.MinDist,
+			Dominators: c.Dominators,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if res := <-done; res != nil {
+		enc.Encode(map[string]interface{}{
+			"done":       true,
+			"candidates": len(res.Candidates),
+			"examined":   res.Examined,
+			"elapsed_us": res.Elapsed.Microseconds(),
+		})
+	}
+}
+
+// --- helpers --------------------------------------------------------------------
+
+func parseOperator(s string) (core.Operator, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "", "PSD":
+		return core.PSD, nil
+	case "SSD":
+		return core.SSD, nil
+	case "SSSD":
+		return core.SSSD, nil
+	case "FSD":
+		return core.FSD, nil
+	case "F+SD", "FPLUSSD":
+		return core.FPlusSD, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", s)
+}
+
+func parseMetric(s string) (geom.Metric, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "euclidean", "l2":
+		return geom.Euclidean, nil
+	case "manhattan", "l1":
+		return geom.Manhattan, nil
+	case "chebyshev", "linf":
+		return geom.Chebyshev, nil
+	}
+	return nil, fmt.Errorf("unknown metric %q", s)
+}
+
+func toJSON(o *uncertain.Object) ObjectJSON {
+	inst := make([][]float64, o.Len())
+	probs := make([]float64, o.Len())
+	for i := 0; i < o.Len(); i++ {
+		inst[i] = append([]float64(nil), o.Instance(i)...)
+		probs[i] = o.Prob(i)
+	}
+	return ObjectJSON{ID: o.ID(), Label: o.Label(), Instances: inst, Probs: probs}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
