@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover figures examples clean
+.PHONY: all build test vet bench cover figures examples clean check
 
 all: build test
 
@@ -17,6 +17,14 @@ test: vet
 
 race:
 	$(GO) test -race ./...
+
+# check is the CI gate: vet + build + race tests + a one-shot Figure 12
+# benchmark smoke so the engine's hot path stays exercised.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run='^$$' -bench=Fig12 -benchtime=1x .
 
 bench:
 	$(GO) test -bench=. -benchmem .

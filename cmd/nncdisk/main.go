@@ -42,6 +42,8 @@ func main() {
 		frames  = flag.Int("frames", 128, "buffer pool frames")
 		op      = flag.String("op", "all", "operator: ssd, sssd, psd, fsd, f+sd, all")
 		queries = flag.Int("queries", 3, "number of queries to run")
+		objCap  = flag.Int("objcache", diskindex.DefaultObjCacheCap, "decoded-object LRU capacity (0 disables)")
+		warm    = flag.Bool("warm", false, "keep the object cache warm across queries (default: cold per query)")
 	)
 	flag.Parse()
 
@@ -111,11 +113,14 @@ func main() {
 		ops = []core.Operator{o}
 	}
 
+	idx.SetObjCacheCap(*objCap)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "query\toperator\tcandidates\tpage accesses\treads\thit rate\ttime")
+	fmt.Fprintln(tw, "query\toperator\tcandidates\tpage accesses\treads\thit rate\tobj cache hits\tevictions\ttime")
 	for qi, q := range qs {
 		for _, o := range ops {
-			idx.ResetCache()
+			if !*warm {
+				idx.ResetCache()
+			}
 			res, err := idx.Search(q, o, core.AllFilters)
 			if err != nil {
 				fatal(err)
@@ -127,8 +132,9 @@ func main() {
 			if acc > 0 {
 				rate = float64(res.IO.Hits) / float64(acc) * 100
 			}
-			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%.0f%%\t%v\n",
-				qi, o, len(res.Candidates), acc, res.IO.Reads, rate, res.Elapsed.Round(0))
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%.0f%%\t%d\t%d\t%v\n",
+				qi, o, len(res.Candidates), acc, res.IO.Reads, rate,
+				res.IO.CacheHits, res.IO.CacheEvictions, res.Elapsed.Round(0))
 		}
 	}
 	tw.Flush()

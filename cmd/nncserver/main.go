@@ -4,6 +4,7 @@
 //
 //	nncserver -n=5000 -m=10 -addr=:8080          # generated dataset
 //	nncserver -input=objects.csv -addr=:8080     # CSV dataset
+//	nncserver -disk=objects.pg -frames=256       # disk-resident index file
 //
 // Then:
 //
@@ -13,6 +14,12 @@
 //	  "instances": [[5000,5000,5000],[5100,5050,4900]],
 //	  "operator": "PSD", "k": 1
 //	}'
+//
+// With -disk the server fronts a page file previously built by nncdisk
+// (or diskindex.Build): queries run through the same engine over the
+// buffer pool, and /objects endpoints answer 501 since the disk backend
+// does not enumerate. Canceled requests abort the search mid-traversal on
+// either backend.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 
 	"spatialdom/internal/datagen"
 	"spatialdom/internal/dataio"
+	"spatialdom/internal/diskindex"
+	"spatialdom/internal/pager"
 	"spatialdom/internal/server"
 	"spatialdom/internal/uncertain"
 )
@@ -39,36 +48,54 @@ var distNames = map[string]datagen.CenterDist{
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		n     = flag.Int("n", 2000, "number of objects to generate")
-		m     = flag.Int("m", 10, "average instances per object")
-		dist  = flag.String("dist", "anti", "dataset: anti, indep, house, nba, gw, clust")
-		seed  = flag.Int64("seed", 1, "generation seed")
-		input = flag.String("input", "", "load objects from CSV instead of generating")
+		addr   = flag.String("addr", ":8080", "listen address")
+		n      = flag.Int("n", 2000, "number of objects to generate")
+		m      = flag.Int("m", 10, "average instances per object")
+		dist   = flag.String("dist", "anti", "dataset: anti, indep, house, nba, gw, clust")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		input  = flag.String("input", "", "load objects from CSV instead of generating")
+		disk   = flag.String("disk", "", "serve from a disk index page file built by nncdisk")
+		frames = flag.Int("frames", 256, "buffer pool frames for -disk")
 	)
 	flag.Parse()
 
-	var objs []*uncertain.Object
-	if *input != "" {
-		var err error
-		objs, err = dataio.ReadFile(*input)
+	var srv *server.Server
+	if *disk != "" {
+		pf, err := pager.Open(*disk)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded %d objects from %s", len(objs), *input)
-	} else {
-		centers, ok := distNames[*dist]
-		if !ok {
-			log.Fatalf("unknown -dist %q", *dist)
+		defer pf.Close()
+		// The super page is the first page a Build allocates.
+		idx, err := diskindex.Open(pager.NewPool(pf, *frames), 1)
+		if err != nil {
+			log.Fatal(err)
 		}
-		ds := datagen.Generate(datagen.Params{N: *n, M: *m, Centers: centers, Seed: *seed})
-		objs = ds.Objects
-		log.Printf("generated %d %s objects", len(objs), centers)
-	}
-
-	srv, err := server.New(objs)
-	if err != nil {
-		log.Fatal(err)
+		log.Printf("serving disk index %s", idx)
+		srv = server.NewBackend(idx)
+	} else {
+		var objs []*uncertain.Object
+		if *input != "" {
+			var err error
+			objs, err = dataio.ReadFile(*input)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded %d objects from %s", len(objs), *input)
+		} else {
+			centers, ok := distNames[*dist]
+			if !ok {
+				log.Fatalf("unknown -dist %q", *dist)
+			}
+			ds := datagen.Generate(datagen.Params{N: *n, M: *m, Centers: centers, Seed: *seed})
+			objs = ds.Objects
+			log.Printf("generated %d %s objects", len(objs), centers)
+		}
+		var err error
+		srv, err = server.New(objs)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

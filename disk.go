@@ -1,6 +1,8 @@
 package spatialdom
 
 import (
+	"context"
+
 	"spatialdom/internal/core"
 	"spatialdom/internal/diskindex"
 	"spatialdom/internal/pager"
@@ -68,8 +70,20 @@ func (d *DiskIndex) SearchK(q *Object, op Operator, k int) (*DiskResult, error) 
 	return d.inner.SearchK(q, op, k, core.AllFilters)
 }
 
+// SearchKCtx is SearchK with full options: context cancellation (the
+// traversal aborts mid-search, returning the partial result with ctx's
+// error), Limit, progressive OnCandidate, metric and filter selection —
+// the same engine surface the in-memory index exposes.
+func (d *DiskIndex) SearchKCtx(ctx context.Context, q *Object, op Operator, k int, opts SearchOptions) (*DiskResult, error) {
+	return d.inner.SearchKCtx(ctx, q, op, k, opts)
+}
+
 // ResetCache drops the decoded-object cache for cold-cache measurements.
 func (d *DiskIndex) ResetCache() { d.inner.ResetCache() }
+
+// SetObjCacheCap re-bounds the decoded-object LRU (default
+// diskindex.DefaultObjCacheCap entries); n <= 0 disables object caching.
+func (d *DiskIndex) SetObjCacheCap(n int) { d.inner.SetObjCacheCap(n) }
 
 // Close flushes and closes the underlying page file.
 func (d *DiskIndex) Close() error { return d.file.Close() }

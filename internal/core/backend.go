@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+
+	"spatialdom/internal/rtree"
+	"spatialdom/internal/uncertain"
+)
+
+// Index is the memory-resident Backend: nodes are *rtree.Node pointers
+// carried in NodeRef.P, object references resolve eagerly (ObjRef.Obj is
+// always set), and storage counters are identically zero.
+var _ Backend = (*Index)(nil)
+
+// Root returns the global R-tree root.
+func (idx *Index) Root() (NodeRef, error) {
+	return NodeRef{P: idx.tree.Root()}, nil
+}
+
+// Expand visits the children of an in-memory R-tree node: object entries
+// of a leaf, subtree nodes otherwise.
+func (idx *Index) Expand(n NodeRef, visit func(BackendEntry)) error {
+	node := n.P.(*rtree.Node)
+	if node.IsLeaf() {
+		for _, e := range node.Entries() {
+			visit(BackendEntry{Rect: e.Rect, Obj: ObjRef{Obj: idx.objects[e.ID]}})
+		}
+	} else {
+		for _, ch := range node.Children() {
+			visit(BackendEntry{Rect: ch.Rect(), IsNode: true, Node: NodeRef{P: ch}})
+		}
+	}
+	return nil
+}
+
+// Resolve returns the eagerly-resolved object.
+func (idx *Index) Resolve(r ObjRef) (*uncertain.Object, error) { return r.Obj, nil }
+
+// AccessStats reports zero: the memory backend performs no storage I/O.
+func (idx *Index) AccessStats() IOStats { return IOStats{} }
+
+// SearchKCtx is SearchKOpts with a context: the traversal aborts at the
+// next heap pop or candidate emission once ctx is canceled, returning the
+// partial Result together with ctx.Err().
+func (idx *Index) SearchKCtx(ctx context.Context, q *uncertain.Object, op Operator, k int, opts SearchOptions) (*Result, error) {
+	return SearchBackend(ctx, idx, q, op, k, opts)
+}

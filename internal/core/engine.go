@@ -1,0 +1,450 @@
+package core
+
+// This file holds the storage-agnostic query engine: Algorithm 1
+// generalized to the k-skyband, running over any Backend. The k-NN
+// candidates are the objects dominated by fewer than k other objects;
+// k = 1 is the paper's NNC set. For every NN function f covered by the
+// operator, the top-k objects under f are guaranteed to be k-NN
+// candidates: if k objects dominate V they all score no worse than V under
+// f, pushing V out of the top k.
+//
+// Correctness of incremental counting. Any dominator of V has
+// min(U_Q) <= min(V_Q) (statistic necessity), so processing objects in
+// non-decreasing exact min-pair-distance order guarantees every dominator
+// of V is processed no later than V. Counting dominators only among
+// emitted band members suffices: ordering V's dominator poset by a linear
+// extension, its first k elements each have < k dominators themselves and
+// hence are band members.
+//
+// Ties. Objects whose exact keys coincide (within tieEps) could pop in
+// either order, so they are drained into one batch and each member counts
+// dominators over band ∪ batch: a batch member's true dominators all have
+// keys <= the batch key and therefore sit in the band or the batch, and
+// any counted dominator — band or not — witnesses a true domination.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// tieEps is the slack under which two exact heap keys count as tied.
+const tieEps = 1e-9
+
+// NodeRef identifies a tree node inside a Backend. Pointer-addressed
+// backends (the in-memory Index) store their node pointer in P — storing a
+// pointer in an interface value does not allocate — while page-addressed
+// backends use the numeric ID. The engine treats both fields as opaque.
+type NodeRef struct {
+	P  any
+	ID uint64
+}
+
+// ObjRef identifies an object held by a Backend. Memory-resident backends
+// resolve eagerly and set Obj; disk-resident backends set ID and defer
+// materialization to Backend.Resolve, which is only invoked once the
+// object's MBR has survived entry pruning.
+type ObjRef struct {
+	Obj *uncertain.Object
+	ID  uint64
+}
+
+// BackendEntry is one child of an expanded tree node: a subtree when
+// IsNode is set, an object reference otherwise. Rect is the child's MBR,
+// used for ordering (min-distance key) and entry pruning (Theorem 4).
+type BackendEntry struct {
+	Rect   geom.Rect
+	IsNode bool
+	Node   NodeRef
+	Obj    ObjRef
+}
+
+// Backend is the storage layer Algorithm 1 traverses: a global R-tree of
+// object MBRs plus a way to materialize leaf references into objects. The
+// in-memory Index and the disk-resident diskindex.Index are the two
+// implementations; the engine is the only traversal loop either uses.
+type Backend interface {
+	// Root returns the root node of the global tree.
+	Root() (NodeRef, error)
+	// Expand enumerates the children of n in storage order. For a
+	// disk-resident backend this is the point where a node page is read
+	// (and counted) through the buffer pool.
+	Expand(n NodeRef, visit func(BackendEntry)) error
+	// Resolve materializes an object reference. References whose Obj is
+	// already set must resolve to it without I/O.
+	Resolve(ObjRef) (*uncertain.Object, error)
+	// AccessStats reports the backend's cumulative storage counters. The
+	// engine records the delta across a search into Result.IO, so
+	// memory-resident backends simply return the zero value.
+	AccessStats() IOStats
+}
+
+// IOStats reports storage access counters for one search: buffer-pool and
+// page-file traffic plus decoded-object cache behavior. All fields are
+// zero for memory-resident backends.
+type IOStats struct {
+	// Hits and Misses count logical page requests served from / missing
+	// the buffer pool; Reads and Writes count physical page transfers.
+	Hits, Misses, Reads, Writes int64
+	// CacheHits and CacheEvictions count decoded-object LRU cache hits and
+	// capacity evictions.
+	CacheHits, CacheEvictions int64
+}
+
+// Sub returns s - o, field-wise; used to turn cumulative backend counters
+// into per-search deltas.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		Hits:           s.Hits - o.Hits,
+		Misses:         s.Misses - o.Misses,
+		Reads:          s.Reads - o.Reads,
+		Writes:         s.Writes - o.Writes,
+		CacheHits:      s.CacheHits - o.CacheHits,
+		CacheEvictions: s.CacheEvictions - o.CacheEvictions,
+	}
+}
+
+// Accesses returns the logical page accesses (pool hits + misses).
+func (s IOStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// --- the search heap ---------------------------------------------------------
+
+// heap item kinds: an R-tree node, an object keyed by an MBR lower bound,
+// and an object keyed by its exact min pair distance.
+type itemKind uint8
+
+const (
+	kindNode itemKind = iota
+	kindObjLB
+	kindObjExact
+)
+
+type searchItem struct {
+	key  float64
+	kind itemKind
+	rect geom.Rect // node/objLB: the entry MBR, for pop-time pruning
+	node NodeRef
+	obj  ObjRef
+}
+
+// searchHeap is a plain binary min-heap of searchItems, ordered by key. It
+// is deliberately a concrete type — no container/heap, no generics — so
+// Push/Pop never box items through interface{}; sift order matches
+// container/heap exactly (left child wins key ties), keeping emission
+// order stable across the refactor.
+type searchHeap struct {
+	s []searchItem
+}
+
+func (h *searchHeap) len() int { return len(h.s) }
+
+// peekKey returns the smallest key; the heap must be non-empty.
+func (h *searchHeap) peekKey() float64 { return h.s[0].key }
+
+func (h *searchHeap) push(it searchItem) {
+	h.s = append(h.s, it)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.s[parent].key <= h.s[i].key {
+			break
+		}
+		h.s[parent], h.s[i] = h.s[i], h.s[parent]
+		i = parent
+	}
+}
+
+func (h *searchHeap) pop() searchItem {
+	top := h.s[0]
+	n := len(h.s) - 1
+	h.s[0] = h.s[n]
+	h.s[n] = searchItem{} // drop references held by the vacated slot
+	h.s = h.s[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && h.s[l].key < h.s[small].key {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h.s[r].key < h.s[small].key {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.s[i], h.s[small] = h.s[small], h.s[i]
+		i = small
+	}
+	return top
+}
+
+// --- per-search scratch ------------------------------------------------------
+
+// searchScratch pools the engine's per-search slabs so steady-state
+// searches allocate no heap, batch or band backing arrays.
+type searchScratch struct {
+	heap  searchHeap
+	batch []searchItem
+	band  []*uncertain.Object
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// release clears every pooled slot (so pooled slabs don't pin objects from
+// finished searches) and returns the scratch to the pool.
+func (sc *searchScratch) release() {
+	for i := range sc.heap.s {
+		sc.heap.s[i] = searchItem{}
+	}
+	sc.heap.s = sc.heap.s[:0]
+	for i := range sc.batch {
+		sc.batch[i] = searchItem{}
+	}
+	sc.batch = sc.batch[:0]
+	for i := range sc.band {
+		sc.band[i] = nil
+	}
+	sc.band = sc.band[:0]
+	scratchPool.Put(sc)
+}
+
+// --- the engine --------------------------------------------------------------
+
+// SearchBackend runs Algorithm 1 over any Backend: a best-first traversal
+// of the global R-tree in non-decreasing min-distance order, testing each
+// reached object against the k-skyband found so far and pruning entries
+// whose every object is MBR-dominated by k existing candidates
+// (Theorem 4). Objects are re-keyed by their exact min(U_Q) before
+// evaluation — and exact-key ties are evaluated as one batch — so the
+// transitivity-based correctness argument of Section 5.2 applies.
+//
+// The context is checked once per heap pop and once per candidate
+// emission; on cancellation the partial Result (with timing, dominance
+// and I/O statistics up to that point) is returned together with
+// ctx.Err(). A backend storage error aborts the search and is returned
+// with a nil Result. SearchOptions.Limit truncates the search after that
+// many candidates; because emission is progressive, the truncated prefix
+// equals the same prefix of the full search.
+func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Operator, k int, opts SearchOptions) (*Result, error) {
+	if k < 1 {
+		panic("core: SearchBackend requires k >= 1")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	m := opts.metric()
+	checker := NewCheckerMetric(q, op, opts.Filters, m)
+	res := &Result{Operator: op}
+	qmbr := q.MBR()
+	ioBase := b.AccessStats()
+
+	root, err := b.Root()
+	if err != nil {
+		return nil, err
+	}
+
+	sc := scratchPool.Get().(*searchScratch)
+	h := &sc.heap
+	batch := sc.batch
+	band := sc.band
+	defer func() {
+		sc.batch = batch
+		sc.band = band
+		sc.release()
+	}()
+
+	finish := func() {
+		res.Elapsed = time.Since(start)
+		res.Stats = checker.Stats
+		res.IO = b.AccessStats().Sub(ioBase)
+	}
+
+	// The root is pushed with key 0 — a trivially valid lower bound, and
+	// irrelevant anyway since it is the only item when it pops.
+	h.push(searchItem{kind: kindNode, node: root})
+
+	var expandErr error
+	// visit keys each child entry by its MBR's min distance; one closure
+	// for the whole search.
+	visit := func(e BackendEntry) {
+		key := m.RectMinDist(e.Rect, qmbr)
+		if e.IsNode {
+			h.push(searchItem{key: key, kind: kindNode, rect: e.Rect, node: e.Node})
+		} else {
+			h.push(searchItem{key: key, kind: kindObjLB, rect: e.Rect, obj: e.Obj})
+		}
+	}
+	// expand handles non-exact items, pushing their successors. Node
+	// pruning happens at pop time — the band only grows, so testing late
+	// prunes strictly more than testing at push. Object entries are never
+	// MBR-pruned: rectLE tests domination against the query instances,
+	// which for F+SD (defined on the whole query MBR) is weaker than the
+	// operator's own dominance test, so every reached object must get the
+	// full instance-level evaluation to keep candidate sets exact.
+	expand := func(it searchItem) {
+		switch it.kind {
+		case kindNode:
+			if bandDominatesRect(checker, band, it.rect, k) {
+				checker.Stats.EntryPrunes++
+				return
+			}
+			if err := b.Expand(it.node, visit); err != nil {
+				expandErr = err
+			}
+		case kindObjLB:
+			o, err := b.Resolve(it.obj)
+			if err != nil {
+				expandErr = err
+				return
+			}
+			// Re-key by the exact min pair distance so objects are
+			// evaluated in true min(U_Q) order.
+			h.push(searchItem{key: checker.minPairDist(o), kind: kindObjExact, obj: ObjRef{Obj: o}})
+		}
+	}
+
+	for h.len() > 0 {
+		if ctx.Err() != nil {
+			finish()
+			return res, ctx.Err()
+		}
+		it := h.pop()
+		checker.Stats.HeapPops++
+		if it.kind != kindObjExact {
+			expand(it)
+			if expandErr != nil {
+				return nil, expandErr
+			}
+			continue
+		}
+		// Drain every item whose key ties the batch key: tied exact items
+		// join the batch; tied nodes/LBs may still produce tied exacts.
+		batch = batch[:0]
+		batch = append(batch, it)
+		limit := it.key + tieEps
+		for h.len() > 0 && h.peekKey() <= limit {
+			nxt := h.pop()
+			checker.Stats.HeapPops++
+			if nxt.kind == kindObjExact {
+				batch = append(batch, nxt)
+			} else {
+				expand(nxt)
+				if expandErr != nil {
+					return nil, expandErr
+				}
+			}
+		}
+		// Evaluate the batch: dominators are counted over the pre-batch
+		// band plus the other batch members (see the header comment for
+		// why that is the exact dominator count). Batch members emitted
+		// into the band during this batch must not be counted twice, so
+		// the band scan stops at its pre-batch length.
+		preBand := len(band)
+		for _, bi := range batch {
+			if ctx.Err() != nil {
+				finish()
+				return res, ctx.Err()
+			}
+			obj := bi.obj.Obj
+			res.Examined++
+			dominators := 0
+			for i, u := range band[:preBand] {
+				if checker.Dominates(u, obj) {
+					dominators++
+					if dominators == 1 && i > 0 {
+						// Move-to-front: a dominator tends to dominate the
+						// following objects too.
+						copy(band[1:i+1], band[:i])
+						band[0] = u
+					}
+					if dominators >= k {
+						break
+					}
+				}
+			}
+			if dominators < k {
+				for _, other := range batch {
+					if other.obj.Obj != obj && checker.Dominates(other.obj.Obj, obj) {
+						dominators++
+						if dominators >= k {
+							break
+						}
+					}
+				}
+			}
+			if dominators >= k {
+				continue
+			}
+			band = append(band, obj)
+			cand := Candidate{
+				Object:     obj,
+				Rank:       len(res.Candidates),
+				MinDist:    bi.key,
+				Elapsed:    time.Since(start),
+				Dominators: dominators,
+			}
+			res.Candidates = append(res.Candidates, cand)
+			if opts.OnCandidate != nil {
+				opts.OnCandidate(cand)
+			}
+			if opts.Limit > 0 && len(res.Candidates) >= opts.Limit {
+				finish()
+				return res, nil
+			}
+		}
+	}
+	finish()
+	return res, nil
+}
+
+// bandDominatesRect reports whether at least k current candidates strictly
+// MBR-dominate the whole entry rectangle, in which case every object in
+// the subtree has >= k dominators and the entry can be discarded
+// (Theorem 4 applied to the k-skyband).
+func bandDominatesRect(c *Checker, band []*uncertain.Object, r geom.Rect, k int) bool {
+	count := 0
+	for _, u := range band {
+		if le, strict := c.rectLE(u.MBR(), r); le && strict {
+			count++
+			if count >= k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StreamBackend runs the progressive search over any Backend in a
+// goroutine and returns a channel that yields each candidate the moment it
+// is proven undominated. The channel is closed when the search completes,
+// the context is canceled (cancellation now aborts the traversal itself,
+// not just the next emission), or the backend fails. The final Result is
+// delivered on the second channel, which receives exactly one value unless
+// the search was canceled or errored.
+func StreamBackend(ctx context.Context, b Backend, q *uncertain.Object, op Operator, opts SearchOptions) (<-chan Candidate, <-chan *Result) {
+	out := make(chan Candidate)
+	done := make(chan *Result, 1)
+	go func() {
+		defer close(out)
+		defer close(done)
+		inner := opts
+		inner.OnCandidate = func(c Candidate) {
+			select {
+			case out <- c:
+				if opts.OnCandidate != nil {
+					opts.OnCandidate(c)
+				}
+			case <-ctx.Done():
+			}
+		}
+		res, err := SearchBackend(ctx, b, q, op, 1, inner)
+		if err == nil && res != nil {
+			done <- res
+		}
+	}()
+	return out, done
+}

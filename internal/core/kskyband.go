@@ -1,36 +1,12 @@
 package core
 
 import (
-	"container/heap"
-	"time"
-
-	"spatialdom/internal/geom"
 	"spatialdom/internal/uncertain"
 )
 
-// This file holds the engine behind Search and SearchK: Algorithm 1
-// generalized to the k-skyband. The k-NN candidates are the objects
-// dominated by fewer than k other objects; k = 1 is the paper's NNC set.
-// For every NN function f covered by the operator, the top-k objects under
-// f are guaranteed to be k-NN candidates: if k objects dominate V they all
-// score no worse than V under f, pushing V out of the top k.
-//
-// Correctness of incremental counting. Any dominator of V has
-// min(U_Q) <= min(V_Q) (statistic necessity), so processing objects in
-// non-decreasing exact min-pair-distance order guarantees every dominator
-// of V is processed no later than V. Counting dominators only among
-// emitted band members suffices: ordering V's dominator poset by a linear
-// extension, its first k elements each have < k dominators themselves and
-// hence are band members.
-//
-// Ties. Objects whose exact keys coincide (within tieEps) could pop in
-// either order, so they are drained into one batch and each member counts
-// dominators over band ∪ batch: a batch member's true dominators all have
-// keys <= the batch key and therefore sit in the band or the batch, and
-// any counted dominator — band or not — witnesses a true domination.
-
-// tieEps is the slack under which two exact heap keys count as tied.
-const tieEps = 1e-9
+// The k-skyband search loop itself lives in engine.go (SearchBackend),
+// shared by every storage backend; this file keeps the in-memory
+// convenience entry points and the brute-force reference.
 
 // SearchK runs Algorithm 1 generalized to the k-skyband with all filters
 // enabled. SearchK(q, op, 1) computes exactly Search(q, op).
@@ -40,155 +16,14 @@ func (idx *Index) SearchK(q *uncertain.Object, op Operator, k int) *Result {
 
 // SearchKOpts is SearchK with explicit options. Candidates report in
 // Dominators how many other candidates dominate them (0 for skyline
-// members). k must be >= 1.
+// members). k must be >= 1. Cancellation, if wanted, arrives through
+// opts.Context; the partial result is returned when it fires.
 func (idx *Index) SearchKOpts(q *uncertain.Object, op Operator, k int, opts SearchOptions) *Result {
 	if k < 1 {
 		panic("core: SearchK requires k >= 1")
 	}
-	start := time.Now()
-	m := opts.metric()
-	checker := NewCheckerMetric(q, op, opts.Filters, m)
-	res := &Result{Operator: op}
-	qmbr := q.MBR()
-
-	h := searchHeap{{
-		key:  m.RectMinDist(idx.tree.Root().Rect(), qmbr),
-		kind: kindNode,
-		node: idx.tree.Root(),
-	}}
-	var band []*uncertain.Object
-	// expand handles non-exact items, pushing their successors.
-	expand := func(it searchItem) {
-		switch it.kind {
-		case kindNode:
-			if idx.entryDominatedK(checker, band, it.node.Rect(), k) {
-				checker.Stats.EntryPrunes++
-				return
-			}
-			if it.node.IsLeaf() {
-				for _, e := range it.node.Entries() {
-					heap.Push(&h, searchItem{
-						key:  m.RectMinDist(e.Rect, qmbr),
-						kind: kindObjLB,
-						obj:  idx.objects[e.ID],
-					})
-				}
-			} else {
-				for _, ch := range it.node.Children() {
-					heap.Push(&h, searchItem{
-						key:  m.RectMinDist(ch.Rect(), qmbr),
-						kind: kindNode,
-						node: ch,
-					})
-				}
-			}
-		case kindObjLB:
-			// Re-key by the exact min pair distance so objects are
-			// evaluated in true min(U_Q) order.
-			heap.Push(&h, searchItem{
-				key:  checker.minPairDist(it.obj),
-				kind: kindObjExact,
-				obj:  it.obj,
-			})
-		}
-	}
-
-	var batch []searchItem
-	for len(h) > 0 {
-		it := heap.Pop(&h).(searchItem)
-		checker.Stats.HeapPops++
-		if it.kind != kindObjExact {
-			expand(it)
-			continue
-		}
-		// Drain every item whose key ties the batch key: tied exact items
-		// join the batch; tied nodes/LBs may still produce tied exacts.
-		batch = batch[:0]
-		batch = append(batch, it)
-		limit := it.key + tieEps
-		for len(h) > 0 && h[0].key <= limit {
-			nxt := heap.Pop(&h).(searchItem)
-			checker.Stats.HeapPops++
-			if nxt.kind == kindObjExact {
-				batch = append(batch, nxt)
-			} else {
-				expand(nxt)
-			}
-		}
-		// Evaluate the batch: dominators are counted over the pre-batch
-		// band plus the other batch members (see the header comment for
-		// why that is the exact dominator count). Batch members emitted
-		// into the band during this batch must not be counted twice, so
-		// the band scan stops at its pre-batch length.
-		preBand := len(band)
-		for _, b := range batch {
-			res.Examined++
-			dominators := 0
-			for i, u := range band[:preBand] {
-				if checker.Dominates(u, b.obj) {
-					dominators++
-					if dominators == 1 && i > 0 {
-						// Move-to-front: a dominator tends to dominate the
-						// following objects too.
-						copy(band[1:i+1], band[:i])
-						band[0] = u
-					}
-					if dominators >= k {
-						break
-					}
-				}
-			}
-			if dominators < k {
-				for _, other := range batch {
-					if other.obj != b.obj && checker.Dominates(other.obj, b.obj) {
-						dominators++
-						if dominators >= k {
-							break
-						}
-					}
-				}
-			}
-			if dominators >= k {
-				continue
-			}
-			band = append(band, b.obj)
-			cand := Candidate{
-				Object:     b.obj,
-				Rank:       len(res.Candidates),
-				MinDist:    b.key,
-				Elapsed:    time.Since(start),
-				Dominators: dominators,
-			}
-			res.Candidates = append(res.Candidates, cand)
-			if opts.OnCandidate != nil {
-				opts.OnCandidate(cand)
-			}
-			if opts.Limit > 0 && len(res.Candidates) >= opts.Limit {
-				res.Elapsed = time.Since(start)
-				res.Stats = checker.Stats
-				return res
-			}
-		}
-	}
-	res.Elapsed = time.Since(start)
-	res.Stats = checker.Stats
+	res, _ := SearchBackend(opts.Context, idx, q, op, k, opts)
 	return res
-}
-
-// entryDominatedK reports whether at least k current candidates strictly
-// MBR-dominate the whole entry rectangle, in which case every object in
-// the subtree has >= k dominators and the entry can be discarded.
-func (idx *Index) entryDominatedK(c *Checker, band []*uncertain.Object, r geom.Rect, k int) bool {
-	count := 0
-	for _, u := range band {
-		if le, strict := c.rectLE(u.MBR(), r); le && strict {
-			count++
-			if count >= k {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // BruteForceK computes the k-skyband by exhaustive pairwise dominance

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -100,6 +101,9 @@ type Result struct {
 	Examined int
 	Elapsed  time.Duration
 	Stats    Stats
+	// IO reports the storage-access delta of this search. It is the zero
+	// value for memory-resident backends.
+	IO IOStats
 }
 
 // Objects returns the candidate objects in emission order.
@@ -136,6 +140,11 @@ type SearchOptions struct {
 	// candidates of a truncated search are exactly the first Limit of the
 	// full search.
 	Limit int
+	// Context, when non-nil, cancels the search: the traversal aborts at
+	// the next heap pop or candidate emission once the context is done.
+	// The ctx-taking entry points (SearchKCtx, SearchBackend, Stream)
+	// take precedence over this field.
+	Context context.Context
 }
 
 // metric resolves the options' metric, defaulting to Euclidean.
@@ -149,37 +158,6 @@ func (o SearchOptions) metric() geom.Metric {
 // Search runs Algorithm 1 with every filtering technique enabled.
 func (idx *Index) Search(q *uncertain.Object, op Operator) *Result {
 	return idx.SearchOpts(q, op, SearchOptions{Filters: AllFilters})
-}
-
-// heap item kinds: an R-tree node, an object keyed by an MBR lower bound,
-// and an object keyed by its exact min pair distance.
-type itemKind uint8
-
-const (
-	kindNode itemKind = iota
-	kindObjLB
-	kindObjExact
-)
-
-type searchItem struct {
-	key  float64
-	kind itemKind
-	node *rtree.Node
-	obj  *uncertain.Object
-}
-
-type searchHeap []searchItem
-
-func (h searchHeap) Len() int            { return len(h) }
-func (h searchHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h searchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *searchHeap) Push(x interface{}) { *h = append(*h, x.(searchItem)) }
-func (h *searchHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }
 
 // SearchOpts runs Algorithm 1: a best-first traversal of the global R-tree

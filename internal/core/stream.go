@@ -12,35 +12,10 @@ import (
 // for feeding a UI that renders results while the search runs.
 //
 // The channel is closed when the search completes or the context is
-// canceled; cancellation aborts the traversal at the next candidate
-// emission. The final Result (with timing and statistics) is delivered on
-// the second returned channel, which receives exactly one value unless the
-// context is canceled first.
+// canceled; cancellation aborts the traversal itself at the next heap pop
+// or candidate emission. The final Result (with timing and statistics) is
+// delivered on the second returned channel, which receives exactly one
+// value unless the context is canceled first.
 func (idx *Index) Stream(ctx context.Context, q *uncertain.Object, op Operator, opts SearchOptions) (<-chan Candidate, <-chan *Result) {
-	out := make(chan Candidate)
-	done := make(chan *Result, 1)
-	go func() {
-		defer close(out)
-		defer close(done)
-		inner := opts
-		canceled := false
-		inner.OnCandidate = func(c Candidate) {
-			if canceled {
-				return
-			}
-			select {
-			case out <- c:
-				if opts.OnCandidate != nil {
-					opts.OnCandidate(c)
-				}
-			case <-ctx.Done():
-				canceled = true
-			}
-		}
-		res := idx.SearchOpts(q, op, inner)
-		if !canceled {
-			done <- res
-		}
-	}()
-	return out, done
+	return StreamBackend(ctx, idx, q, op, opts)
 }

@@ -1,43 +1,62 @@
 // Package diskindex is the disk-resident form of the NN-candidate search:
 // object records in a page-file heap (diskstore), object MBRs in a
-// disk-resident global R-tree (diskrtree), and Algorithm 1 driven through
-// a buffer pool so that every page access is counted — the setting the
-// paper's efficiency experiments model with 4096-byte pages.
+// disk-resident global R-tree (diskrtree), with every page access counted
+// through a buffer pool — the setting the paper's efficiency experiments
+// model with 4096-byte pages.
 //
-// Per the paper's memory model, an object whose MBR survives pruning is
-// loaded into main memory in full ("we load the whole local R-tree into
-// the main memory if it could not be pruned based on its MBR"); dominance
-// checking then proceeds exactly as in the in-memory core package.
+// The search itself is not implemented here: Index is a core.Backend, and
+// queries run through the shared engine (core.SearchBackend), so the disk
+// path gets tie-batching, k-skyband, filters, metrics, context
+// cancellation and Limit identically to the in-memory index. Per the
+// paper's memory model, an object whose MBR survives pruning is loaded
+// into main memory in full ("we load the whole local R-tree into the main
+// memory if it could not be pruned based on its MBR"); decoded objects are
+// kept in a bounded LRU so long-running servers don't grow without limit.
 package diskindex
 
 import (
-	"container/heap"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"time"
+	"sync"
 
 	"spatialdom/internal/core"
 	"spatialdom/internal/diskrtree"
 	"spatialdom/internal/diskstore"
-	"spatialdom/internal/geom"
 	"spatialdom/internal/pager"
 	"spatialdom/internal/uncertain"
 )
 
 const superMagic = "SDIX"
 
-// Index is a disk-resident NNC index handle.
+// Result and IOStats are the engine's types; a disk search returns the
+// same Result shape as the in-memory index, with the IO field populated.
+type (
+	Result  = core.Result
+	IOStats = core.IOStats
+)
+
+// Index is a disk-resident NNC index handle. It implements core.Backend.
+// Searches are serialized internally (the buffer pool and object cache are
+// single-writer), so an Index is safe to share across HTTP handlers.
 type Index struct {
+	// mu serializes searches and cache mutations. The Backend methods
+	// themselves are unlocked: they only ever run inside the engine loop,
+	// under the lock taken by SearchKCtx.
+	mu    sync.Mutex
 	pool  *pager.Pool
 	super pager.PageID
 	store *diskstore.Store
 	tree  *diskrtree.Tree
 
-	// objCache holds objects already fetched this session, keyed by record
-	// pointer. Fetches go through the buffer pool and are counted there.
-	objCache map[diskstore.Ptr]*uncertain.Object
+	// objCache holds decoded objects keyed by record pointer, bounded by an
+	// LRU over DefaultObjCacheCap entries (SetObjCacheCap to tune). Fetches
+	// go through the buffer pool and are counted there.
+	objCache *objLRU
 }
+
+var _ core.Backend = (*Index)(nil)
 
 // ErrBadSuper is returned by Open when the super page is not an index.
 var ErrBadSuper = errors.New("diskindex: bad super page")
@@ -89,7 +108,7 @@ func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 		super:    super,
 		store:    store,
 		tree:     tree,
-		objCache: make(map[diskstore.Ptr]*uncertain.Object),
+		objCache: newObjLRU(DefaultObjCacheCap),
 	}, nil
 }
 
@@ -119,17 +138,28 @@ func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 		super:    super,
 		store:    store,
 		tree:     tree,
-		objCache: make(map[diskstore.Ptr]*uncertain.Object),
+		objCache: newObjLRU(DefaultObjCacheCap),
 	}, nil
 }
 
 // SuperPage returns the id to pass to Open.
 func (ix *Index) SuperPage() pager.PageID { return ix.super }
 
-// ResetCache drops the decoded-object cache, so the next search re-fetches
-// objects through the buffer pool (used by cold-cache measurements).
+// ResetCache drops the decoded-object cache (capacity and cumulative
+// hit/evict counters are kept), so the next search re-fetches objects
+// through the buffer pool (used by cold-cache measurements).
 func (ix *Index) ResetCache() {
-	ix.objCache = make(map[diskstore.Ptr]*uncertain.Object)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.objCache.reset()
+}
+
+// SetObjCacheCap re-bounds the decoded-object LRU. cap <= 0 disables
+// caching entirely; the cache is cleared either way.
+func (ix *Index) SetObjCacheCap(n int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.objCache.setCap(n)
 }
 
 // Len returns the number of indexed objects.
@@ -138,78 +168,78 @@ func (ix *Index) Len() int { return ix.store.Len() }
 // Dim returns the dimensionality.
 func (ix *Index) Dim() int { return ix.tree.Dim() }
 
-// IOStats reports buffer pool and file counters.
-type IOStats struct {
-	Hits, Misses, Reads, Writes int64
+// --- core.Backend ------------------------------------------------------------
+
+// Root returns the R-tree root page.
+func (ix *Index) Root() (core.NodeRef, error) {
+	return core.NodeRef{ID: uint64(ix.tree.Root())}, nil
 }
 
-// Result is a disk search outcome: the candidates plus dominance and I/O
-// statistics.
-type Result struct {
-	Operator   core.Operator
-	Candidates []*uncertain.Object
-	Examined   int
-	Elapsed    time.Duration
-	Stats      core.Stats
-	IO         IOStats
-}
-
-// IDs returns candidate IDs in emission order.
-func (r *Result) IDs() []int {
-	out := make([]int, len(r.Candidates))
-	for i, o := range r.Candidates {
-		out[i] = o.ID()
+// Expand reads the node page through the buffer pool (one counted page
+// access) and visits its children: record pointers for a leaf, child pages
+// otherwise.
+func (ix *Index) Expand(n core.NodeRef, visit func(core.BackendEntry)) error {
+	node, err := ix.tree.ReadNode(pager.PageID(n.ID))
+	if err != nil {
+		return err
 	}
-	return out
+	for i, rect := range node.Rects {
+		if node.Leaf {
+			visit(core.BackendEntry{Rect: rect, Obj: core.ObjRef{ID: uint64(node.IDs[i])}})
+		} else {
+			visit(core.BackendEntry{Rect: rect, IsNode: true, Node: core.NodeRef{ID: uint64(node.Children[i])}})
+		}
+	}
+	return nil
 }
 
-// fetch loads (and caches) the object stored at ptr.
-func (ix *Index) fetch(ptr diskstore.Ptr) (*uncertain.Object, error) {
-	if o, ok := ix.objCache[ptr]; ok {
+// Resolve materializes a record pointer into an object, through the
+// decoded-object LRU. Loading the object is the paper's "load the local
+// R-tree": it happens only when the MBR could not be pruned.
+func (ix *Index) Resolve(r core.ObjRef) (*uncertain.Object, error) {
+	if r.Obj != nil {
+		return r.Obj, nil
+	}
+	ptr := diskstore.Ptr(r.ID)
+	if o, ok := ix.objCache.get(ptr); ok {
 		return o, nil
 	}
 	o, err := ix.store.Read(ptr)
 	if err != nil {
 		return nil, err
 	}
-	ix.objCache[ptr] = o
+	ix.objCache.put(ptr, o)
 	return o, nil
 }
 
-type itemKind uint8
-
-const (
-	kindNode itemKind = iota
-	kindObjLB
-	kindObjExact
-)
-
-type item struct {
-	key  float64
-	kind itemKind
-	page pager.PageID
-	ptr  diskstore.Ptr
-	obj  *uncertain.Object
+// AccessStats combines the buffer pool's cumulative counters with the
+// decoded-object cache's; the engine turns them into per-search deltas.
+func (ix *Index) AccessStats() core.IOStats {
+	hits, misses, reads, writes := ix.pool.Stats()
+	return core.IOStats{
+		Hits: hits, Misses: misses, Reads: reads, Writes: writes,
+		CacheHits:      ix.objCache.hits,
+		CacheEvictions: ix.objCache.evictions,
+	}
 }
 
-type pq []item
+// --- search entry points -----------------------------------------------------
 
-func (h pq) Len() int            { return len(h) }
-func (h pq) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pq) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *pq) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// SearchKCtx runs the shared engine against the disk structures with full
+// options: context cancellation, Limit, progressive OnCandidate, metrics.
+// Result.IO carries the per-query page and cache counters.
+func (ix *Index) SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Operator, k int, opts core.SearchOptions) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("diskindex: k=%d must be >= 1", k)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return core.SearchBackend(ctx, ix, q, op, k, opts)
 }
 
-// Search runs Algorithm 1 against the disk-resident structures, with I/O
-// counters captured over the query (the pool's counters are reset at query
-// start). The in-memory dominance machinery (core.Checker) is reused
-// unchanged.
+// Search runs Algorithm 1 against the disk-resident structures with I/O
+// counters captured over the query. The in-memory dominance machinery
+// (core.Checker) is reused unchanged.
 func (ix *Index) Search(q *uncertain.Object, op core.Operator, cfg core.FilterConfig) (*Result, error) {
 	return ix.SearchK(q, op, 1, cfg)
 }
@@ -217,131 +247,7 @@ func (ix *Index) Search(q *uncertain.Object, op core.Operator, cfg core.FilterCo
 // SearchK generalizes Search to the k-skyband (objects dominated by fewer
 // than k others), mirroring the in-memory Index.SearchK.
 func (ix *Index) SearchK(q *uncertain.Object, op core.Operator, k int, cfg core.FilterConfig) (*Result, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("diskindex: k=%d must be >= 1", k)
-	}
-	start := time.Now()
-	ix.pool.ResetStats()
-	checker := core.NewChecker(q, op, cfg)
-	qmbr := q.MBR()
-	res := &Result{Operator: op}
-
-	// The root is pushed with key 0 — a trivially valid lower bound.
-	h := pq{{key: 0, kind: kindNode, page: ix.tree.Root()}}
-	var nnc []*uncertain.Object
-	var expandErr error
-	expand := func(it item) {
-		switch it.kind {
-		case kindNode:
-			node, err := ix.tree.ReadNode(it.page)
-			if err != nil {
-				expandErr = err
-				return
-			}
-			for i, rect := range node.Rects {
-				if ix.entryDominated(checker, nnc, rect, k) {
-					checker.Stats.EntryPrunes++
-					continue
-				}
-				if node.Leaf {
-					heap.Push(&h, item{
-						key:  rect.MinDistRect(qmbr),
-						kind: kindObjLB,
-						ptr:  diskstore.Ptr(node.IDs[i]),
-					})
-				} else {
-					heap.Push(&h, item{
-						key:  rect.MinDistRect(qmbr),
-						kind: kindNode,
-						page: node.Children[i],
-					})
-				}
-			}
-		case kindObjLB:
-			// Loading the object is the paper's "load the local R-tree":
-			// it happens only when the MBR could not be pruned.
-			obj, err := ix.fetch(it.ptr)
-			if err != nil {
-				expandErr = err
-				return
-			}
-			heap.Push(&h, item{key: checker.MinPairDist(obj), kind: kindObjExact, obj: obj})
-		}
-	}
-	// Exact-key ties are drained into a batch and evaluated together, as in
-	// the in-memory engine (see core/kskyband.go for the argument).
-	const tieEps = 1e-9
-	var batch []item
-	for len(h) > 0 && expandErr == nil {
-		it := heap.Pop(&h).(item)
-		checker.Stats.HeapPops++
-		if it.kind != kindObjExact {
-			expand(it)
-			continue
-		}
-		batch = batch[:0]
-		batch = append(batch, it)
-		limit := it.key + tieEps
-		for len(h) > 0 && h[0].key <= limit && expandErr == nil {
-			nxt := heap.Pop(&h).(item)
-			checker.Stats.HeapPops++
-			if nxt.kind == kindObjExact {
-				batch = append(batch, nxt)
-			} else {
-				expand(nxt)
-			}
-		}
-		preBand := len(nnc)
-		for _, b := range batch {
-			res.Examined++
-			dominators := 0
-			for _, u := range nnc[:preBand] {
-				if checker.Dominates(u, b.obj) {
-					dominators++
-					if dominators >= k {
-						break
-					}
-				}
-			}
-			if dominators < k {
-				for _, other := range batch {
-					if other.obj != b.obj && checker.Dominates(other.obj, b.obj) {
-						dominators++
-						if dominators >= k {
-							break
-						}
-					}
-				}
-			}
-			if dominators < k {
-				nnc = append(nnc, b.obj)
-				res.Candidates = append(res.Candidates, b.obj)
-			}
-		}
-	}
-	if expandErr != nil {
-		return nil, expandErr
-	}
-	res.Elapsed = time.Since(start)
-	res.Stats = checker.Stats
-	hits, misses, reads, writes := ix.pool.Stats()
-	res.IO = IOStats{Hits: hits, Misses: misses, Reads: reads, Writes: writes}
-	return res, nil
-}
-
-// entryDominated mirrors Algorithm 1's entry pruning: at least k current
-// candidates strictly MBR-dominate the whole rectangle.
-func (ix *Index) entryDominated(c *core.Checker, nnc []*uncertain.Object, r geom.Rect, k int) bool {
-	count := 0
-	for _, u := range nnc {
-		if le, strict := c.RectLE(u.MBR(), r); le && strict {
-			count++
-			if count >= k {
-				return true
-			}
-		}
-	}
-	return false
+	return ix.SearchKCtx(context.Background(), q, op, k, core.SearchOptions{Filters: cfg})
 }
 
 // String describes the index.

@@ -1,0 +1,81 @@
+package diskindex
+
+import (
+	"container/list"
+
+	"spatialdom/internal/diskstore"
+	"spatialdom/internal/uncertain"
+)
+
+// DefaultObjCacheCap bounds the decoded-object LRU: with the paper's
+// default of m = 10 instances in 3 dimensions an object decodes to a few
+// hundred bytes plus its local R-tree, so 4096 entries keep the cache in
+// the low megabytes while still covering the working set of a typical
+// query stream.
+const DefaultObjCacheCap = 4096
+
+// objLRU is a size-capped LRU of decoded objects keyed by their record
+// pointer. It exists because decoding an object (and rebuilding its local
+// R-tree) dominates a warm page read; the buffer pool below still bounds
+// raw page memory. Not safe for concurrent use — an Index serializes
+// searches the same way the buffer pool does.
+type objLRU struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[diskstore.Ptr]*list.Element
+
+	// hits and evictions are cumulative; the engine reports per-search
+	// deltas through core.IOStats.
+	hits      int64
+	evictions int64
+}
+
+type lruEntry struct {
+	ptr diskstore.Ptr
+	obj *uncertain.Object
+}
+
+func newObjLRU(cap int) *objLRU {
+	return &objLRU{cap: cap, ll: list.New(), items: make(map[diskstore.Ptr]*list.Element)}
+}
+
+func (c *objLRU) get(ptr diskstore.Ptr) (*uncertain.Object, bool) {
+	el, ok := c.items[ptr]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*lruEntry).obj, true
+}
+
+func (c *objLRU) put(ptr diskstore.Ptr, o *uncertain.Object) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[ptr]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).obj = o
+		return
+	}
+	c.items[ptr] = c.ll.PushFront(&lruEntry{ptr: ptr, obj: o})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).ptr)
+		c.evictions++
+	}
+}
+
+// reset drops every cached object but keeps capacity and the cumulative
+// counters.
+func (c *objLRU) reset() {
+	c.ll.Init()
+	clear(c.items)
+}
+
+// setCap re-bounds and clears the cache.
+func (c *objLRU) setCap(n int) {
+	c.cap = n
+	c.reset()
+}

@@ -12,6 +12,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -119,23 +120,68 @@ type Measurement struct {
 	Candidates  float64 // average NN candidate count
 	Millis      float64 // average query response time
 	Comparisons float64 // average instance comparisons
+
+	// WallMillis is the elapsed wall clock of the whole workload — for
+	// RunWorkloadParallel this is the reduced (parallel) elapsed time, not
+	// the per-query sum.
+	WallMillis float64
+	// P50Millis and P95Millis are nearest-rank per-query latency
+	// percentiles over the workload.
+	P50Millis float64
+	P95Millis float64
+}
+
+// Searcher is what a workload needs from an index: the context-aware
+// engine entry point. Both core.Index and diskindex.Index implement it,
+// so every workload can run against either backend.
+type Searcher interface {
+	SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Operator, k int, opts core.SearchOptions) (*core.Result, error)
 }
 
 // RunWorkload executes the query workload under one operator and filter
 // configuration, averaging the Figure 10/12/16 metrics.
 func RunWorkload(idx *core.Index, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig) Measurement {
+	return RunWorkloadOn(idx, queries, op, cfg)
+}
+
+// RunWorkloadOn is RunWorkload over any Searcher (memory or disk backend).
+func RunWorkloadOn(s Searcher, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig) Measurement {
 	var m Measurement
+	start := time.Now()
+	lats := make([]float64, 0, len(queries))
 	for _, q := range queries {
-		res := idx.SearchOpts(q, op, core.SearchOptions{Filters: cfg})
+		res, err := s.SearchKCtx(context.Background(), q, op, 1, core.SearchOptions{Filters: cfg})
+		if err != nil {
+			panic(fmt.Sprintf("harness: workload search failed: %v", err))
+		}
+		lat := float64(res.Elapsed) / float64(time.Millisecond)
+		lats = append(lats, lat)
 		m.Candidates += float64(len(res.Candidates))
-		m.Millis += float64(res.Elapsed) / float64(time.Millisecond)
+		m.Millis += lat
 		m.Comparisons += float64(res.Stats.InstanceComparisons)
 	}
+	m.WallMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	m.P50Millis = percentile(lats, 50)
+	m.P95Millis = percentile(lats, 95)
 	n := float64(len(queries))
 	m.Candidates /= n
 	m.Millis /= n
 	m.Comparisons /= n
 	return m
+}
+
+// percentile is the nearest-rank percentile of the (unsorted) latencies;
+// the slice is sorted in place.
+func percentile(lats []float64, p int) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Float64s(lats)
+	rank := (len(lats)*p + 99) / 100 // ceil(n*p/100)
+	if rank < 1 {
+		rank = 1
+	}
+	return lats[rank-1]
 }
 
 // dataset builds a named evaluation dataset plus its query workload.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -11,9 +12,11 @@ import (
 
 // RunWorkloadParallel is RunWorkload with the queries fanned out over up
 // to GOMAXPROCS worker goroutines. The Index is immutable and every search
-// builds its own Checker, so queries are embarrassingly parallel; the
-// reported Millis is per-query wall time averaged across workers (not the
-// reduced elapsed wall clock).
+// builds its own Checker, so queries are embarrassingly parallel. Millis
+// stays the per-query average (comparable to RunWorkload), WallMillis is
+// the reduced parallel elapsed time — their ratio is the effective
+// speedup — and P50Millis/P95Millis are per-query latency percentiles
+// under concurrency.
 func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig) Measurement {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
@@ -23,26 +26,37 @@ func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.O
 		return RunWorkload(idx, queries, op, cfg)
 	}
 	var (
-		mu  sync.Mutex
-		agg Measurement
-		wg  sync.WaitGroup
+		mu   sync.Mutex
+		agg  Measurement
+		lats []float64
+		wg   sync.WaitGroup
 	)
-	jobs := make(chan *uncertain.Object)
+	start := time.Now()
+	// Buffered to the workload size so the feed loop below completes
+	// without blocking and workers never stall on the feeder.
+	jobs := make(chan *uncertain.Object, len(queries))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var local Measurement
+			var localLats []float64
 			for q := range jobs {
-				res := idx.SearchOpts(q, op, core.SearchOptions{Filters: cfg})
+				res, err := idx.SearchKCtx(context.Background(), q, op, 1, core.SearchOptions{Filters: cfg})
+				if err != nil {
+					continue // background context: unreachable
+				}
+				lat := float64(res.Elapsed) / float64(time.Millisecond)
+				localLats = append(localLats, lat)
 				local.Candidates += float64(len(res.Candidates))
-				local.Millis += float64(res.Elapsed) / float64(time.Millisecond)
+				local.Millis += lat
 				local.Comparisons += float64(res.Stats.InstanceComparisons)
 			}
 			mu.Lock()
 			agg.Candidates += local.Candidates
 			agg.Millis += local.Millis
 			agg.Comparisons += local.Comparisons
+			lats = append(lats, localLats...)
 			mu.Unlock()
 		}()
 	}
@@ -51,6 +65,9 @@ func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.O
 	}
 	close(jobs)
 	wg.Wait()
+	agg.WallMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	agg.P50Millis = percentile(lats, 50)
+	agg.P95Millis = percentile(lats, 95)
 	n := float64(len(queries))
 	agg.Candidates /= n
 	agg.Millis /= n

@@ -21,6 +21,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,25 +35,51 @@ import (
 	"spatialdom/internal/uncertain"
 )
 
-// Server is the HTTP handler set over one immutable index.
+// Backend is what the server needs from an index: sizing for validation
+// and the context-aware engine entry point. Both core.Index and
+// diskindex.Index satisfy it, so one server binary fronts either storage
+// layer; a canceled request context aborts the search on both.
+type Backend interface {
+	Len() int
+	Dim() int
+	SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Operator, k int, opts core.SearchOptions) (*core.Result, error)
+}
+
+// ObjectLister is the optional Backend capability behind GET /objects and
+// GET /objects/{id}. The in-memory index implements it; backends that
+// can't enumerate cheaply (disk) simply don't, and those endpoints answer
+// 501.
+type ObjectLister interface {
+	Objects() []*uncertain.Object
+	Object(id int) *uncertain.Object
+}
+
+// Server is the HTTP handler set over one immutable backend.
 type Server struct {
-	idx *core.Index
+	b   Backend
 	mux *http.ServeMux
 }
 
-// New builds a server over the objects.
+// New builds a server over the objects with the in-memory index as its
+// backend.
 func New(objs []*uncertain.Object) (*Server, error) {
 	idx, err := core.NewIndex(objs)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{idx: idx, mux: http.NewServeMux()}
+	return NewBackend(idx), nil
+}
+
+// NewBackend builds a server over an existing backend (in-memory or
+// disk-resident).
+func NewBackend(b Backend) *Server {
+	s := &Server{b: b, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/objects", s.handleObjects)
 	s.mux.HandleFunc("/objects/", s.handleObject)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
-	return s, nil
+	return s
 }
 
 // ServeHTTP implements http.Handler.
@@ -104,8 +131,8 @@ type errorJSON struct {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":  "ok",
-		"objects": s.idx.Len(),
-		"dim":     s.idx.Dim(),
+		"objects": s.b.Len(),
+		"dim":     s.b.Dim(),
 		"time":    time.Now().UTC().Format(time.RFC3339),
 	})
 }
@@ -115,14 +142,19 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	lister, ok := s.b.(ObjectLister)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("backend cannot enumerate objects"))
+		return
+	}
 	type summary struct {
 		Objects int `json:"objects"`
 		Dim     int `json:"dim"`
 		MinID   int `json:"min_id"`
 		MaxID   int `json:"max_id"`
 	}
-	sum := summary{Objects: s.idx.Len(), Dim: s.idx.Dim()}
-	for i, o := range s.idx.Objects() {
+	sum := summary{Objects: s.b.Len(), Dim: s.b.Dim()}
+	for i, o := range lister.Objects() {
 		if i == 0 || o.ID() < sum.MinID {
 			sum.MinID = o.ID()
 		}
@@ -138,13 +170,18 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	lister, ok := s.b.(ObjectLister)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("backend cannot enumerate objects"))
+		return
+	}
 	idStr := strings.TrimPrefix(r.URL.Path, "/objects/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad object id %q", idStr))
 		return
 	}
-	o := s.idx.Object(id)
+	o := lister.Object(id)
 	if o == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("object %d not found", id))
 		return
@@ -178,7 +215,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = 1
 	}
-	if k < 1 || k > s.idx.Len() {
+	if k < 1 || k > s.b.Len() {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range", k))
 		return
 	}
@@ -191,12 +228,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("building query object: %w", err))
 		return
 	}
-	if q.Dim() != s.idx.Dim() {
+	if q.Dim() != s.b.Dim() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.idx.Dim()))
+			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.b.Dim()))
 		return
 	}
-	res := s.idx.SearchKOpts(q, op, k, core.SearchOptions{Filters: core.AllFilters, Metric: metric})
+	res, err := s.b.SearchKCtx(r.Context(), q, op, k, core.SearchOptions{Filters: core.AllFilters, Metric: metric})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone; the engine already aborted the traversal.
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	resp := QueryResponse{
 		Operator:  op.String(),
 		K:         k,
@@ -218,7 +263,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // handleQueryStream is the progressive form of /query: candidates are
 // written as NDJSON lines the moment Algorithm 1 proves them, followed by
 // a summary line — the HTTP face of the paper's progressive property
-// (Figure 14). Closing the connection cancels the search.
+// (Figure 14). Closing the connection cancels the request context, which
+// aborts the engine's traversal at its next heap pop; the summary line is
+// only written for a completed search.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
@@ -250,9 +297,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("building query object: %w", err))
 		return
 	}
-	if q.Dim() != s.idx.Dim() {
+	if q.Dim() != s.b.Dim() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.idx.Dim()))
+			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.b.Dim()))
 		return
 	}
 
@@ -260,22 +307,22 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	out, done := s.idx.Stream(r.Context(), q, op, core.SearchOptions{
+	res, err := s.b.SearchKCtx(r.Context(), q, op, 1, core.SearchOptions{
 		Filters: core.AllFilters,
 		Metric:  metric,
+		OnCandidate: func(c core.Candidate) {
+			enc.Encode(QueryCandidate{
+				ID:         c.Object.ID(),
+				Label:      c.Object.Label(),
+				MinDist:    c.MinDist,
+				Dominators: c.Dominators,
+			})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
 	})
-	for c := range out {
-		enc.Encode(QueryCandidate{
-			ID:         c.Object.ID(),
-			Label:      c.Object.Label(),
-			MinDist:    c.MinDist,
-			Dominators: c.Dominators,
-		})
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-	if res := <-done; res != nil {
+	if err == nil && res != nil {
 		enc.Encode(map[string]interface{}{
 			"done":       true,
 			"candidates": len(res.Candidates),

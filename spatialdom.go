@@ -33,6 +33,7 @@
 package spatialdom
 
 import (
+	"context"
 	"io"
 
 	"spatialdom/internal/core"
@@ -89,17 +90,37 @@ type Index = core.Index
 func NewIndex(objs []*Object) (*Index, error) { return core.NewIndex(objs) }
 
 // Candidate, Result and SearchOptions describe a search outcome; see the
-// core package for field documentation.
+// core package for field documentation. IOStats (Result.IO) carries the
+// storage-access counters of a disk-backed search and is zero in memory.
 type (
 	Candidate     = core.Candidate
 	Result        = core.Result
 	SearchOptions = core.SearchOptions
 	FilterConfig  = core.FilterConfig
 	Stats         = core.Stats
+	IOStats       = core.IOStats
 )
 
 // AllFilters enables every Section 5.1 filtering technique.
 var AllFilters = core.AllFilters
+
+// Backend is the storage interface the query engine traverses; Index and
+// DiskIndex are the built-in implementations. Custom storage layers
+// (remote shards, column stores, caches) implement it and pass through
+// SearchBackend to get the full Algorithm 1 feature set — filters,
+// metrics, k-skyband, Limit, cancellation, progressive emission.
+type (
+	Backend      = core.Backend
+	NodeRef      = core.NodeRef
+	ObjRef       = core.ObjRef
+	BackendEntry = core.BackendEntry
+)
+
+// SearchBackend runs Algorithm 1 generalized to the k-skyband over any
+// Backend; see core.SearchBackend.
+func SearchBackend(ctx context.Context, b Backend, q *Object, op Operator, k int, opts SearchOptions) (*Result, error) {
+	return core.SearchBackend(ctx, b, q, op, k, opts)
+}
 
 // Metric abstracts the instance distance; the paper's techniques extend to
 // any metric (Section 2.1). Pass one via SearchOptions.Metric or
