@@ -13,8 +13,11 @@ package spatialdom
 // One figure:      go test -bench=Fig10 -benchtime=5x
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -341,5 +344,68 @@ func BenchmarkEMD(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Scores(ds.Objects[:1], qs[0])
+	}
+}
+
+// --- parallel search benchmarks ----------------------------------------------
+
+// parallelWorkers are the sub-benchmark worker counts for the parallel
+// search benchmarks; speedup at w>1 requires GOMAXPROCS >= w.
+var parallelWorkers = []int{1, 2, 4, 8}
+
+// runParallelSearches distributes b.N searches over w goroutines via a
+// shared atomic work index — the same fan-out shape as SearchParallel, but
+// sized by the benchmark framework.
+func runParallelSearches(b *testing.B, s KSearcher, queries []*Object, w int) {
+	b.Helper()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				if _, err := s.SearchKCtx(context.Background(), queries[i%len(queries)], PSD, 1,
+					core.SearchOptions{Filters: AllFilters}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkParallelSearchMem — PSD search throughput on the in-memory
+// index as the goroutine count grows.
+func BenchmarkParallelSearchMem(b *testing.B) {
+	d := dataFor(b, "A-N", defaultParams(datagen.AntiCorrelated, benchN), benchMq, benchHq)
+	for _, w := range parallelWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runParallelSearches(b, d.idx, d.queries, w)
+		})
+	}
+}
+
+// BenchmarkParallelSearchDisk — PSD search throughput on the disk index
+// (sharded buffer pool, per-search leases) as the goroutine count grows.
+// The index is built once outside the timer.
+func BenchmarkParallelSearchDisk(b *testing.B) {
+	ds := datagen.Generate(defaultParams(datagen.AntiCorrelated, benchN))
+	queries := ds.Queries(benchQueries, benchMq, benchHq, benchSeed+7777)
+	disk, err := BuildDiskIndex(filepath.Join(b.TempDir(), "bench.pg"), ds.Objects, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer disk.Close()
+	for _, w := range parallelWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runParallelSearches(b, disk, queries, w)
+		})
 	}
 }

@@ -7,6 +7,7 @@
 //	nncbench -figure=all -scale=tiny -seed=7
 //	nncbench -verify -scale=small            # PASS/FAIL shape checks
 //	nncbench -figure=16 -format=csv          # machine-readable output
+//	nncbench -parallel -workers=1,2,4,8      # QPS scaling → BENCH_parallel.json
 //
 // Figures: 10, 11a…11f, 12, 13a…13f, 14, 16, plus the extension
 // experiments "k" (k-NN candidates) and "io" (disk-resident page I/O).
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +37,9 @@ func main() {
 		verify     = flag.Bool("verify", false, "run the Appendix C.2 shape checks instead of a figure")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		parallel   = flag.Bool("parallel", false, "run the parallel workload benchmark instead of a figure")
+		workers    = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel")
+		out        = flag.String("out", "BENCH_parallel.json", "JSON report path for -parallel (empty disables)")
 	)
 	flag.Parse()
 	if *cpuprofile != "" {
@@ -60,6 +65,35 @@ func main() {
 			runtime.GC()
 			pprof.WriteHeapProfile(f)
 		}()
+	}
+	if *parallel {
+		sc, err := harness.ParseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		counts, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep, err := harness.ParallelBench(sc, *seed, counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			if err := rep.WriteJSON(*out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
 	}
 	if *verify {
 		sc, err := harness.ParseScale(*scale)
@@ -108,4 +142,25 @@ func main() {
 			fmt.Printf("[%.1fs]\n\n", time.Since(start).Seconds())
 		}
 	}
+}
+
+// parseWorkers parses the -workers list ("1,2,4,8") into sorted-as-given
+// positive ints.
+func parseWorkers(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return counts, nil
 }

@@ -9,8 +9,11 @@ import (
 )
 
 // DiskIndex is the disk-resident form of the index: objects and the global
-// R-tree live in a page file (4096-byte pages) behind an LRU buffer pool,
-// and every search reports its exact I/O profile. See internal/diskindex.
+// R-tree live in a page file (4096-byte pages) behind a sharded LRU buffer
+// pool, and every search reports its exact I/O profile. All search methods
+// are safe to call from any number of goroutines — each search runs over a
+// private page lease, so concurrent results (candidates, order, Result.IO)
+// are identical to serial execution. See internal/diskindex.
 type DiskIndex struct {
 	inner *diskindex.Index
 	file  *pager.PageFile
@@ -78,11 +81,22 @@ func (d *DiskIndex) SearchKCtx(ctx context.Context, q *Object, op Operator, k in
 	return d.inner.SearchKCtx(ctx, q, op, k, opts)
 }
 
+// SearchKParallel fans the queries out over workers goroutines (workers
+// <= 0 uses GOMAXPROCS), each search reading through its own page lease
+// over the shared sharded buffer pool, and returns the results in input
+// order. Candidate sets and per-query Result.IO match serial execution
+// exactly; the first error cancels the remaining work.
+func (d *DiskIndex) SearchKParallel(ctx context.Context, queries []*Object, op Operator, k int, opts SearchOptions, workers int) ([]*DiskResult, error) {
+	return d.inner.SearchKParallel(ctx, queries, op, k, opts, workers)
+}
+
 // ResetCache drops the decoded-object cache for cold-cache measurements.
 func (d *DiskIndex) ResetCache() { d.inner.ResetCache() }
 
 // SetObjCacheCap re-bounds the decoded-object LRU (default
 // diskindex.DefaultObjCacheCap entries); n <= 0 disables object caching.
+// Safe while searches are in flight: the cache is swapped atomically and
+// racing searches finish against the instance they started with.
 func (d *DiskIndex) SetObjCacheCap(n int) { d.inner.SetObjCacheCap(n) }
 
 // Close flushes and closes the underlying page file.

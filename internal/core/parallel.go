@@ -1,0 +1,85 @@
+package core
+
+// Parallel batch search: queries are independent (each search builds its
+// own Checker and pooled scratch, and both built-in backends are
+// internally sharded), so a query batch is embarrassingly parallel. This
+// file is the one fan-out loop every caller shares — the public API,
+// the HTTP server's callers and the harness all funnel through it.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spatialdom/internal/uncertain"
+)
+
+// KSearcher is the minimal context-aware search surface a parallel batch
+// needs. *Index and diskindex.Index implement it; so does any custom
+// wrapper whose SearchKCtx is safe for concurrent use.
+type KSearcher interface {
+	SearchKCtx(ctx context.Context, q *uncertain.Object, op Operator, k int, opts SearchOptions) (*Result, error)
+}
+
+// SearchParallel runs one search per query, fanned out over workers
+// goroutines, and returns the results in input order. workers <= 0 uses
+// GOMAXPROCS; the fan-out never exceeds len(queries).
+//
+// The first search error cancels the remaining work and is returned with
+// the partial results (nil at unfinished positions). Cancelling ctx stops
+// the batch the same way. opts is shared by every search; an OnCandidate
+// callback will therefore be invoked from multiple goroutines and must be
+// safe for that.
+func SearchParallel(ctx context.Context, s KSearcher, queries []*uncertain.Object, op Operator, k int, opts SearchOptions, workers int) ([]*Result, error) {
+	results := make([]*Result, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || ctx.Err() != nil {
+					return
+				}
+				res, err := s.SearchKCtx(ctx, queries[i], op, k, opts)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// SearchKParallel is SearchParallel over the in-memory index.
+func (idx *Index) SearchKParallel(ctx context.Context, queries []*uncertain.Object, op Operator, k int, opts SearchOptions, workers int) ([]*Result, error) {
+	return SearchParallel(ctx, idx, queries, op, k, opts, workers)
+}

@@ -222,7 +222,7 @@ func TestObjCacheEviction(t *testing.T) {
 	if res.IO.CacheEvictions == 0 {
 		t.Fatalf("capped cache never evicted: %+v", res.IO)
 	}
-	if got := disk.objCache.ll.Len(); got > 8 {
+	if got := disk.objCacheLen(); got > 8 {
 		t.Fatalf("cache grew past its cap: %d entries", got)
 	}
 	// Capped caching must not change results.

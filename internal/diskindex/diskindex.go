@@ -4,14 +4,22 @@
 // through a buffer pool — the setting the paper's efficiency experiments
 // model with 4096-byte pages.
 //
-// The search itself is not implemented here: Index is a core.Backend, and
-// queries run through the shared engine (core.SearchBackend), so the disk
-// path gets tie-batching, k-skyband, filters, metrics, context
-// cancellation and Limit identically to the in-memory index. Per the
-// paper's memory model, an object whose MBR survives pruning is loaded
-// into main memory in full ("we load the whole local R-tree into the main
-// memory if it could not be pruned based on its MBR"); decoded objects are
-// kept in a bounded LRU so long-running servers don't grow without limit.
+// The search itself is not implemented here: searches run through the
+// shared engine (core.SearchBackend), so the disk path gets tie-batching,
+// k-skyband, filters, metrics, context cancellation and Limit identically
+// to the in-memory index. Per the paper's memory model, an object whose
+// MBR survives pruning is loaded into main memory in full ("we load the
+// whole local R-tree into the main memory if it could not be pruned based
+// on its MBR"); decoded objects are kept in a bounded LRU so long-running
+// servers don't grow without limit.
+//
+// Concurrency: an Index holds no global lock. SearchKCtx materializes a
+// per-search session (a pager.Lease over the sharded buffer pool plus
+// local cache counters), so N goroutines search the same Index
+// simultaneously with candidate sets and per-query Result.IO identical to
+// serial execution — the tree and store are immutable after Build, the
+// buffer pool and the decoded-object LRU are sharded, and every counter a
+// search reports is goroutine-local.
 package diskindex
 
 import (
@@ -19,7 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"spatialdom/internal/core"
 	"spatialdom/internal/diskrtree"
@@ -38,22 +46,24 @@ type (
 )
 
 // Index is a disk-resident NNC index handle. It implements core.Backend.
-// Searches are serialized internally (the buffer pool and object cache are
-// single-writer), so an Index is safe to share across HTTP handlers.
+// All search entry points are safe for concurrent use — there is no
+// internal serialization; see the package comment for the sharded design.
 type Index struct {
-	// mu serializes searches and cache mutations. The Backend methods
-	// themselves are unlocked: they only ever run inside the engine loop,
-	// under the lock taken by SearchKCtx.
-	mu    sync.Mutex
 	pool  *pager.Pool
 	super pager.PageID
 	store *diskstore.Store
 	tree  *diskrtree.Tree
 
-	// objCache holds decoded objects keyed by record pointer, bounded by an
-	// LRU over DefaultObjCacheCap entries (SetObjCacheCap to tune). Fetches
-	// go through the buffer pool and are counted there.
-	objCache *objLRU
+	// objCache holds decoded objects keyed by record pointer, bounded by a
+	// sharded LRU over DefaultObjCacheCap entries (SetObjCacheCap to
+	// tune). The pointer is swapped atomically on reset/re-cap so
+	// in-flight searches keep a consistent cache instance; fetches go
+	// through the buffer pool and are counted there.
+	objCache atomic.Pointer[objLRU]
+
+	// cacheHits and cacheEvictions are the cumulative decoded-object cache
+	// counters, owned here so they survive cache swaps.
+	cacheHits, cacheEvictions atomic.Int64
 }
 
 var _ core.Backend = (*Index)(nil)
@@ -63,7 +73,8 @@ var ErrBadSuper = errors.New("diskindex: bad super page")
 
 // Build writes the objects and their R-tree into the pool's file and
 // returns the index. The first page Build allocates is the super page;
-// pass its id (SuperPage) to Open to reattach.
+// pass its id (SuperPage) to Open to reattach. Build itself is
+// single-goroutine; only the returned Index is concurrency-safe.
 func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 	if len(objs) == 0 {
 		return nil, errors.New("diskindex: no objects")
@@ -103,13 +114,7 @@ func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 	if err := pool.Flush(); err != nil {
 		return nil, err
 	}
-	return &Index{
-		pool:     pool,
-		super:    super,
-		store:    store,
-		tree:     tree,
-		objCache: newObjLRU(DefaultObjCacheCap),
-	}, nil
+	return newIndex(pool, super, store, tree), nil
 }
 
 // Open reattaches to an index previously Built in the pool's file.
@@ -133,13 +138,13 @@ func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
-		pool:     pool,
-		super:    super,
-		store:    store,
-		tree:     tree,
-		objCache: newObjLRU(DefaultObjCacheCap),
-	}, nil
+	return newIndex(pool, super, store, tree), nil
+}
+
+func newIndex(pool *pager.Pool, super pager.PageID, store *diskstore.Store, tree *diskrtree.Tree) *Index {
+	ix := &Index{pool: pool, super: super, store: store, tree: tree}
+	ix.objCache.Store(newObjLRU(DefaultObjCacheCap, &ix.cacheHits, &ix.cacheEvictions))
+	return ix
 }
 
 // SuperPage returns the id to pass to Open.
@@ -147,20 +152,25 @@ func (ix *Index) SuperPage() pager.PageID { return ix.super }
 
 // ResetCache drops the decoded-object cache (capacity and cumulative
 // hit/evict counters are kept), so the next search re-fetches objects
-// through the buffer pool (used by cold-cache measurements).
+// through the buffer pool (used by cold-cache measurements). The cache is
+// swapped atomically: searches already in flight keep resolving against
+// the old instance; searches started afterwards see the empty one.
 func (ix *Index) ResetCache() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.objCache.reset()
+	cap := ix.objCache.Load().capacity
+	ix.objCache.Store(newObjLRU(cap, &ix.cacheHits, &ix.cacheEvictions))
 }
 
 // SetObjCacheCap re-bounds the decoded-object LRU. cap <= 0 disables
-// caching entirely; the cache is cleared either way.
+// caching entirely; the cache is cleared either way. Safe to call while
+// searches are in flight: the new cache is swapped in atomically, racing
+// searches finish against the instance they started with, and the
+// cumulative counters (shared across instances) lose nothing.
 func (ix *Index) SetObjCacheCap(n int) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.objCache.setCap(n)
+	ix.objCache.Store(newObjLRU(n, &ix.cacheHits, &ix.cacheEvictions))
 }
+
+// objCacheLen reports the entries cached right now (test hook).
+func (ix *Index) objCacheLen() int { return ix.objCache.Load().len() }
 
 // Len returns the number of indexed objects.
 func (ix *Index) Len() int { return ix.store.Len() }
@@ -169,6 +179,13 @@ func (ix *Index) Len() int { return ix.store.Len() }
 func (ix *Index) Dim() int { return ix.tree.Dim() }
 
 // --- core.Backend ------------------------------------------------------------
+
+// Index itself remains a core.Backend reading through the shared pool
+// with cumulative counters — the compatibility surface for callers that
+// pass it to core.SearchBackend directly. Such direct use is
+// concurrency-safe, but per-search IO deltas then include other searches'
+// traffic; SearchKCtx goes through a per-search session instead and is
+// the entry point that keeps Result.IO exact under concurrency.
 
 // Root returns the R-tree root page.
 func (ix *Index) Root() (core.NodeRef, error) {
@@ -201,14 +218,15 @@ func (ix *Index) Resolve(r core.ObjRef) (*uncertain.Object, error) {
 		return r.Obj, nil
 	}
 	ptr := diskstore.Ptr(r.ID)
-	if o, ok := ix.objCache.get(ptr); ok {
+	cache := ix.objCache.Load()
+	if o, ok := cache.get(ptr); ok {
 		return o, nil
 	}
 	o, err := ix.store.Read(ptr)
 	if err != nil {
 		return nil, err
 	}
-	ix.objCache.put(ptr, o)
+	cache.put(ptr, o)
 	return o, nil
 }
 
@@ -218,8 +236,72 @@ func (ix *Index) AccessStats() core.IOStats {
 	hits, misses, reads, writes := ix.pool.Stats()
 	return core.IOStats{
 		Hits: hits, Misses: misses, Reads: reads, Writes: writes,
-		CacheHits:      ix.objCache.hits,
-		CacheEvictions: ix.objCache.evictions,
+		CacheHits:      ix.cacheHits.Load(),
+		CacheEvictions: ix.cacheEvictions.Load(),
+	}
+}
+
+// --- per-search session ------------------------------------------------------
+
+// session is the per-search core.Backend: it reads pages through a
+// pager.Lease and tallies object-cache behavior locally, so the engine's
+// AccessStats delta is exactly this search's I/O no matter how many other
+// searches run concurrently. The decoded-object cache instance is pinned
+// at session creation, keeping one search internally consistent across a
+// concurrent ResetCache/SetObjCacheCap swap.
+type session struct {
+	ix    *Index
+	lease *pager.Lease
+	cache *objLRU
+
+	cacheHits, cacheEvictions int64
+}
+
+var _ core.Backend = (*session)(nil)
+
+func (s *session) Root() (core.NodeRef, error) {
+	return core.NodeRef{ID: uint64(s.ix.tree.Root())}, nil
+}
+
+func (s *session) Expand(n core.NodeRef, visit func(core.BackendEntry)) error {
+	node, err := s.ix.tree.ReadNodeVia(s.lease, pager.PageID(n.ID))
+	if err != nil {
+		return err
+	}
+	for i, rect := range node.Rects {
+		if node.Leaf {
+			visit(core.BackendEntry{Rect: rect, Obj: core.ObjRef{ID: uint64(node.IDs[i])}})
+		} else {
+			visit(core.BackendEntry{Rect: rect, IsNode: true, Node: core.NodeRef{ID: uint64(node.Children[i])}})
+		}
+	}
+	return nil
+}
+
+func (s *session) Resolve(r core.ObjRef) (*uncertain.Object, error) {
+	if r.Obj != nil {
+		return r.Obj, nil
+	}
+	ptr := diskstore.Ptr(r.ID)
+	if o, ok := s.cache.get(ptr); ok {
+		s.cacheHits++
+		return o, nil
+	}
+	o, err := s.ix.store.ReadVia(s.lease, ptr)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheEvictions += s.cache.put(ptr, o)
+	return o, nil
+}
+
+func (s *session) AccessStats() core.IOStats {
+	return core.IOStats{
+		Hits:           s.lease.Hits,
+		Misses:         s.lease.Misses,
+		Reads:          s.lease.Reads,
+		CacheHits:      s.cacheHits,
+		CacheEvictions: s.cacheEvictions,
 	}
 }
 
@@ -227,14 +309,16 @@ func (ix *Index) AccessStats() core.IOStats {
 
 // SearchKCtx runs the shared engine against the disk structures with full
 // options: context cancellation, Limit, progressive OnCandidate, metrics.
-// Result.IO carries the per-query page and cache counters.
+// Result.IO carries the per-query page and cache counters — exact even
+// under concurrency, because the search runs over a private session whose
+// counters no other goroutine touches. Any number of SearchKCtx calls may
+// run in parallel on one Index.
 func (ix *Index) SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Operator, k int, opts core.SearchOptions) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("diskindex: k=%d must be >= 1", k)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return core.SearchBackend(ctx, ix, q, op, k, opts)
+	s := &session{ix: ix, lease: ix.pool.NewLease(), cache: ix.objCache.Load()}
+	return core.SearchBackend(ctx, s, q, op, k, opts)
 }
 
 // Search runs Algorithm 1 against the disk-resident structures with I/O
@@ -248,6 +332,13 @@ func (ix *Index) Search(q *uncertain.Object, op core.Operator, cfg core.FilterCo
 // than k others), mirroring the in-memory Index.SearchK.
 func (ix *Index) SearchK(q *uncertain.Object, op core.Operator, k int, cfg core.FilterConfig) (*Result, error) {
 	return ix.SearchKCtx(context.Background(), q, op, k, core.SearchOptions{Filters: cfg})
+}
+
+// SearchKParallel fans the queries out over workers goroutines, each
+// running its own session against the shared sharded storage; results
+// come back in input order. See core.SearchParallel for semantics.
+func (ix *Index) SearchKParallel(ctx context.Context, queries []*uncertain.Object, op core.Operator, k int, opts core.SearchOptions, workers int) ([]*Result, error) {
+	return core.SearchParallel(ctx, ix, queries, op, k, opts, workers)
 }
 
 // String describes the index.

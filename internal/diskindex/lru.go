@@ -2,6 +2,8 @@ package diskindex
 
 import (
 	"container/list"
+	"sync"
+	"sync/atomic"
 
 	"spatialdom/internal/diskstore"
 	"spatialdom/internal/uncertain"
@@ -14,20 +16,39 @@ import (
 // query stream.
 const DefaultObjCacheCap = 4096
 
-// objLRU is a size-capped LRU of decoded objects keyed by their record
-// pointer. It exists because decoding an object (and rebuilding its local
-// R-tree) dominates a warm page read; the buffer pool below still bounds
-// raw page memory. Not safe for concurrent use — an Index serializes
-// searches the same way the buffer pool does.
+// objCacheShards is the maximum shard count of the decoded-object LRU;
+// caches smaller than this use one shard per entry so the global capacity
+// bound stays exact (a cap-1 cache is a single 1-entry shard, not 16
+// 1-entry shards).
+const objCacheShards = 16
+
+// objLRU is a size-capped, sharded LRU of decoded objects keyed by their
+// record pointer. It exists because decoding an object (and rebuilding its
+// local R-tree) dominates a warm page read; the buffer pool below still
+// bounds raw page memory.
+//
+// Concurrency: entries are partitioned by a hash of the record pointer
+// into shards with independent locks, so N searches resolve objects with
+// no global lock. The capacity bound is exact globally (shard capacities
+// sum to cap) while eviction order is per-shard LRU. The hit/eviction
+// counters are shared atomics owned by the Index, so they survive
+// atomic-swap cache replacement (SetObjCacheCap / ResetCache) and searches
+// still racing against a swapped-out cache keep counting.
 type objLRU struct {
+	capacity int
+	shards   []objShard
+
+	// hits and evictions are cumulative and shared with the owning Index;
+	// the engine reports per-search deltas through core.IOStats using the
+	// session's local counters instead.
+	hits, evictions *atomic.Int64
+}
+
+type objShard struct {
+	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[diskstore.Ptr]*list.Element
-
-	// hits and evictions are cumulative; the engine reports per-search
-	// deltas through core.IOStats.
-	hits      int64
-	evictions int64
 }
 
 type lruEntry struct {
@@ -35,47 +56,97 @@ type lruEntry struct {
 	obj *uncertain.Object
 }
 
-func newObjLRU(cap int) *objLRU {
-	return &objLRU{cap: cap, ll: list.New(), items: make(map[diskstore.Ptr]*list.Element)}
+// newObjLRU builds a sharded LRU with a global capacity of cap entries,
+// wiring the shared cumulative counters (which may belong to an Index
+// outliving this particular cache instance).
+func newObjLRU(cap int, hits, evictions *atomic.Int64) *objLRU {
+	n := objCacheShards
+	if cap < n {
+		n = cap
+	}
+	if n < 1 {
+		n = 1
+	}
+	c := &objLRU{capacity: cap, shards: make([]objShard, n), hits: hits, evictions: evictions}
+	base, rem := 0, 0
+	if cap > 0 {
+		base, rem = cap/n, cap%n
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = base
+		if i < rem {
+			sh.cap++
+		}
+		sh.ll = list.New()
+		sh.items = make(map[diskstore.Ptr]*list.Element)
+	}
+	return c
 }
 
+// shardFor spreads record pointers (byte offsets, so low bits are skewed
+// by record sizes) across shards with a Fibonacci hash.
+func (c *objLRU) shardFor(ptr diskstore.Ptr) *objShard {
+	h := uint64(ptr) * 0x9E3779B97F4A7C15
+	return &c.shards[(h>>32)%uint64(len(c.shards))]
+}
+
+// get returns the cached object for ptr, counting a hit on the shared
+// cumulative counter; callers needing per-search attribution count the
+// returned ok themselves.
 func (c *objLRU) get(ptr diskstore.Ptr) (*uncertain.Object, bool) {
-	el, ok := c.items[ptr]
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	sh := c.shardFor(ptr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[ptr]
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	c.hits++
+	sh.ll.MoveToFront(el)
+	c.hits.Add(1)
 	return el.Value.(*lruEntry).obj, true
 }
 
-func (c *objLRU) put(ptr diskstore.Ptr, o *uncertain.Object) {
-	if c.cap <= 0 {
-		return
+// put inserts (or refreshes) ptr and returns how many entries its shard
+// evicted to stay within capacity; evictions are also added to the shared
+// cumulative counter.
+func (c *objLRU) put(ptr diskstore.Ptr, o *uncertain.Object) int64 {
+	if c.capacity <= 0 {
+		return 0
 	}
-	if el, ok := c.items[ptr]; ok {
-		c.ll.MoveToFront(el)
+	sh := c.shardFor(ptr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[ptr]; ok {
+		sh.ll.MoveToFront(el)
 		el.Value.(*lruEntry).obj = o
-		return
+		return 0
 	}
-	c.items[ptr] = c.ll.PushFront(&lruEntry{ptr: ptr, obj: o})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).ptr)
-		c.evictions++
+	sh.items[ptr] = sh.ll.PushFront(&lruEntry{ptr: ptr, obj: o})
+	var evicted int64
+	for sh.ll.Len() > sh.cap {
+		oldest := sh.ll.Back()
+		sh.ll.Remove(oldest)
+		delete(sh.items, oldest.Value.(*lruEntry).ptr)
+		evicted++
 	}
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+	return evicted
 }
 
-// reset drops every cached object but keeps capacity and the cumulative
-// counters.
-func (c *objLRU) reset() {
-	c.ll.Init()
-	clear(c.items)
-}
-
-// setCap re-bounds and clears the cache.
-func (c *objLRU) setCap(n int) {
-	c.cap = n
-	c.reset()
+// len returns the total number of cached entries across shards.
+func (c *objLRU) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }

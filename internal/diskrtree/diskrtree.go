@@ -332,13 +332,21 @@ func (t *Tree) writeNode(leaf bool, rects []geom.Rect, kids []pager.PageID, ids 
 }
 
 // ReadNode materializes the node stored at the given page. Each call is
-// one buffer-pool access (a hit or a physical read).
+// one buffer-pool access (a hit or a physical read) counted on the shared
+// pool.
 func (t *Tree) ReadNode(page pager.PageID) (*Node, error) {
-	buf, err := t.pool.Get(page)
+	return t.ReadNodeVia(t.pool, page)
+}
+
+// ReadNodeVia is ReadNode reading through an arbitrary pager.Reader —
+// typically a per-search pager.Lease, so the page access is attributed to
+// exactly one search even under concurrency.
+func (t *Tree) ReadNodeVia(r pager.Reader, page pager.PageID) (*Node, error) {
+	buf, err := r.Get(page)
 	if err != nil {
 		return nil, err
 	}
-	defer t.pool.Unpin(page)
+	defer r.Unpin(page)
 	leaf := buf[0] == 1
 	count := int(binary.LittleEndian.Uint16(buf[1:]))
 	n := &Node{Leaf: leaf, Rects: make([]geom.Rect, count)}

@@ -105,10 +105,20 @@ func (s *Store) Append(o *uncertain.Object) (Ptr, error) {
 	return ptr, s.writeMeta()
 }
 
-// Read fetches and decodes the record at ptr.
+// Read fetches and decodes the record at ptr, counting page accesses on
+// the shared pool.
 func (s *Store) Read(ptr Ptr) (*uncertain.Object, error) {
+	return s.ReadVia(s.pool, ptr)
+}
+
+// ReadVia is Read fetching pages through an arbitrary pager.Reader —
+// typically a per-search pager.Lease, so the record's page accesses are
+// attributed to exactly one search even under concurrency. The store's
+// layout fields are immutable after build, so any number of ReadVia calls
+// may run concurrently.
+func (s *Store) ReadVia(r pager.Reader, ptr Ptr) (*uncertain.Object, error) {
 	hdr := make([]byte, 16)
-	if err := s.readAt(uint64(ptr), hdr); err != nil {
+	if err := s.readAtVia(r, uint64(ptr), hdr); err != nil {
 		return nil, err
 	}
 	m := int(binary.LittleEndian.Uint32(hdr[8:]))
@@ -117,7 +127,7 @@ func (s *Store) Read(ptr Ptr) (*uncertain.Object, error) {
 		return nil, fmt.Errorf("diskstore: corrupt record at %d (m=%d d=%d)", ptr, m, d)
 	}
 	body := make([]byte, 8*m+8*m*d+2)
-	if err := s.readAt(uint64(ptr)+16, body); err != nil {
+	if err := s.readAtVia(r, uint64(ptr)+16, body); err != nil {
 		return nil, err
 	}
 	id := int(int64(binary.LittleEndian.Uint64(hdr[:8])))
@@ -140,7 +150,7 @@ func (s *Store) Read(ptr Ptr) (*uncertain.Object, error) {
 	var label string
 	if labelLen > 0 {
 		lb := make([]byte, labelLen)
-		if err := s.readAt(uint64(ptr)+16+uint64(off)+2, lb); err != nil {
+		if err := s.readAtVia(r, uint64(ptr)+16+uint64(off)+2, lb); err != nil {
 			return nil, err
 		}
 		label = string(lb)
@@ -223,18 +233,18 @@ func (s *Store) writeAt(off uint64, data []byte) error {
 	return nil
 }
 
-func (s *Store) readAt(off uint64, data []byte) error {
+func (s *Store) readAtVia(r pager.Reader, off uint64, data []byte) error {
 	for len(data) > 0 {
 		id, inPage, err := s.page(off, false)
 		if err != nil {
 			return err
 		}
-		buf, err := s.pool.Get(id)
+		buf, err := r.Get(id)
 		if err != nil {
 			return err
 		}
 		n := copy(data, buf[inPage:])
-		s.pool.Unpin(id)
+		r.Unpin(id)
 		data = data[n:]
 		off += uint64(n)
 	}

@@ -129,6 +129,9 @@ type Measurement struct {
 	// percentiles over the workload.
 	P50Millis float64
 	P95Millis float64
+	// QPS is queries per wall-clock second (len(queries)/WallMillis),
+	// the throughput number worker sweeps compare across parallelism.
+	QPS float64
 }
 
 // Searcher is what a workload needs from an index: the context-aware
@@ -161,6 +164,9 @@ func RunWorkloadOn(s Searcher, queries []*uncertain.Object, op core.Operator, cf
 		m.Comparisons += float64(res.Stats.InstanceComparisons)
 	}
 	m.WallMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	if m.WallMillis > 0 {
+		m.QPS = float64(len(queries)) / (m.WallMillis / 1000)
+	}
 	m.P50Millis = percentile(lats, 50)
 	m.P95Millis = percentile(lats, 95)
 	n := float64(len(queries))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spatialdom/internal/core"
@@ -11,38 +12,47 @@ import (
 )
 
 // RunWorkloadParallel is RunWorkload with the queries fanned out over up
-// to GOMAXPROCS worker goroutines. The Index is immutable and every search
-// builds its own Checker, so queries are embarrassingly parallel. Millis
-// stays the per-query average (comparable to RunWorkload), WallMillis is
-// the reduced parallel elapsed time — their ratio is the effective
-// speedup — and P50Millis/P95Millis are per-query latency percentiles
-// under concurrency.
+// to GOMAXPROCS worker goroutines against the in-memory index; see
+// RunWorkloadParallelOn for the general form.
 func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig) Measurement {
-	workers := runtime.GOMAXPROCS(0)
+	return RunWorkloadParallelOn(idx, queries, op, cfg, runtime.GOMAXPROCS(0))
+}
+
+// RunWorkloadParallelOn runs the workload over any Searcher (memory or
+// disk backend) fanned out over the given number of worker goroutines.
+// Every search builds its own Checker and — on the disk backend — its own
+// page lease, so queries are embarrassingly parallel on both backends.
+// Millis stays the per-query average (comparable to RunWorkload),
+// WallMillis is the reduced parallel elapsed time, QPS = queries per
+// wall-clock second, and P50Millis/P95Millis are per-query latency
+// percentiles under concurrency.
+func RunWorkloadParallelOn(s Searcher, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig, workers int) Measurement {
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	if workers <= 1 {
-		return RunWorkload(idx, queries, op, cfg)
+		return RunWorkloadOn(s, queries, op, cfg)
 	}
 	var (
 		mu   sync.Mutex
 		agg  Measurement
 		lats []float64
 		wg   sync.WaitGroup
+		next atomic.Int64
 	)
 	start := time.Now()
-	// Buffered to the workload size so the feed loop below completes
-	// without blocking and workers never stall on the feeder.
-	jobs := make(chan *uncertain.Object, len(queries))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var local Measurement
 			var localLats []float64
-			for q := range jobs {
-				res, err := idx.SearchKCtx(context.Background(), q, op, 1, core.SearchOptions{Filters: cfg})
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					break
+				}
+				res, err := s.SearchKCtx(context.Background(), queries[i], op, 1, core.SearchOptions{Filters: cfg})
 				if err != nil {
 					continue // background context: unreachable
 				}
@@ -60,12 +70,11 @@ func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.O
 			mu.Unlock()
 		}()
 	}
-	for _, q := range queries {
-		jobs <- q
-	}
-	close(jobs)
 	wg.Wait()
 	agg.WallMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	if agg.WallMillis > 0 {
+		agg.QPS = float64(len(queries)) / (agg.WallMillis / 1000)
+	}
 	agg.P50Millis = percentile(lats, 50)
 	agg.P95Millis = percentile(lats, 95)
 	n := float64(len(queries))
@@ -73,4 +82,36 @@ func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.O
 	agg.Millis /= n
 	agg.Comparisons /= n
 	return agg
+}
+
+// WorkerPoint is one row of a worker-count sweep: throughput and latency
+// percentiles at a given parallelism, with Speedup relative to the sweep's
+// single-worker (serialized) baseline.
+type WorkerPoint struct {
+	Workers   int     `json:"workers"`
+	QPS       float64 `json:"qps"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// WorkerSweep runs the same workload at each worker count and reports
+// QPS/p50/p95 per point. The first point's QPS is the speedup baseline,
+// so pass workers in increasing order starting at 1 for the conventional
+// reading.
+func WorkerSweep(s Searcher, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig, workers []int) []WorkerPoint {
+	points := make([]WorkerPoint, 0, len(workers))
+	var base float64
+	for _, w := range workers {
+		m := RunWorkloadParallelOn(s, queries, op, cfg, w)
+		p := WorkerPoint{Workers: w, QPS: m.QPS, P50Millis: m.P50Millis, P95Millis: m.P95Millis}
+		if base == 0 {
+			base = m.QPS
+		}
+		if base > 0 {
+			p.Speedup = m.QPS / base
+		}
+		points = append(points, p)
+	}
+	return points
 }

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/diskindex"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+)
+
+// BackendSweep is one backend's worker-count sweep in a parallel report.
+type BackendSweep struct {
+	Backend string        `json:"backend"` // "mem" or "disk"
+	Points  []WorkerPoint `json:"points"`
+}
+
+// ParallelReport is the machine-readable outcome of the parallel workload
+// benchmark (nncbench -parallel → BENCH_parallel.json). GOMAXPROCS is
+// recorded because the speedup ceiling is min(workers, GOMAXPROCS): on a
+// single-core box every point degenerates to ~1×, and only a multi-core
+// reading demonstrates scaling.
+type ParallelReport struct {
+	Scale      string         `json:"scale"`
+	Seed       int64          `json:"seed"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Queries    int            `json:"queries"`
+	Operator   string         `json:"operator"`
+	Backends   []BackendSweep `json:"backends"`
+}
+
+// replicateQueries tiles the workload up to at least want queries so each
+// sweep point has enough work to amortize goroutine startup; the same
+// query objects repeat, which is fine for throughput measurement.
+func replicateQueries(qs []*uncertain.Object, want int) []*uncertain.Object {
+	if len(qs) == 0 || len(qs) >= want {
+		return qs
+	}
+	out := make([]*uncertain.Object, 0, want)
+	for len(out) < want {
+		out = append(out, qs...)
+	}
+	return out[:want]
+}
+
+// ParallelBench sweeps the PSD workload over the worker counts on both
+// backends (in-memory index; disk index in a throwaway page file) and
+// returns the report. The disk pool is sized generously so the sweep
+// measures concurrency overhead, not eviction thrash.
+func ParallelBench(sc Scale, seed int64, workers []int) (*ParallelReport, error) {
+	sp := specFor(sc)
+	ds := datagen.Generate(datagen.Params{
+		N: sp.N, M: sp.Md, EdgeLen: sp.Hd, Centers: datagen.AntiCorrelated, Seed: seed,
+	})
+	queries := replicateQueries(ds.Queries(sp.Queries, sp.Mq, sp.Hq, seed+7777), 128)
+
+	mem, err := core.NewIndex(ds.Objects)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "spatialdom-par-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	pf, err := pager.Create(filepath.Join(dir, "idx.pg"), pager.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	disk, err := diskindex.Build(pager.NewPool(pf, 1024), ds.Objects)
+	if err != nil {
+		return nil, err
+	}
+
+	scaleName := map[Scale]string{Tiny: "tiny", Small: "small", Medium: "medium", Paper: "paper"}[sc]
+	rep := &ParallelReport{
+		Scale:      scaleName,
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Queries:    len(queries),
+		Operator:   core.PSD.String(),
+	}
+	for _, b := range []struct {
+		name string
+		s    Searcher
+	}{{"mem", mem}, {"disk", disk}} {
+		rep.Backends = append(rep.Backends, BackendSweep{
+			Backend: b.name,
+			Points:  WorkerSweep(b.s, queries, core.PSD, core.AllFilters, workers),
+		})
+	}
+	return rep, nil
+}
+
+// WriteText renders the report as an aligned table per backend.
+func (r *ParallelReport) WriteText(w io.Writer) error {
+	for i, b := range r.Backends {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		t := Table{
+			Title: fmt.Sprintf("parallel %s workload, %s backend (%d queries, GOMAXPROCS=%d)",
+				r.Operator, b.Backend, r.Queries, r.GOMAXPROCS),
+			Columns: []string{"workers", "QPS", "p50 (ms)", "p95 (ms)", "speedup"},
+		}
+		for _, p := range b.Points {
+			t.AddRow(fmt.Sprint(p.Workers),
+				fmt.Sprintf("%.1f", p.QPS),
+				fmt.Sprintf("%.3f", p.P50Millis),
+				fmt.Sprintf("%.3f", p.P95Millis),
+				fmt.Sprintf("%.2fx", p.Speedup))
+		}
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path with a trailing newline.
+func (r *ParallelReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

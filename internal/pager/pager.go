@@ -1,20 +1,25 @@
-// Package pager provides a fixed-size page file and an LRU buffer pool —
-// the storage substrate for the disk-resident form of the paper's indexes.
-// The paper's experiments use 4096-byte pages for the global R-tree and
-// report query response times that are dominated by how many pages a
-// search touches; this package makes those page accesses explicit and
-// countable.
+// Package pager provides a fixed-size page file and a sharded LRU buffer
+// pool — the storage substrate for the disk-resident form of the paper's
+// indexes. The paper's experiments use 4096-byte pages for the global
+// R-tree and report query response times that are dominated by how many
+// pages a search touches; this package makes those page accesses explicit
+// and countable.
 //
 // A PageFile stores fixed-size pages in a single OS file addressed by page
 // id. A Pool caches pages with LRU eviction, write-back of dirty pages and
-// hit/miss/read/write counters. Both are safe for single-goroutine use;
-// wrap with your own locking for concurrent access.
+// hit/miss/read/write counters. Both are safe for concurrent use: the file
+// uses positional reads/writes and atomic counters, and the pool shards
+// its frame table so N goroutines can Get/Unpin pages with no global lock
+// (see pool.go). Per-search I/O attribution goes through a Lease (see
+// lease.go), whose counters are goroutine-local.
 package pager
 
 import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the default page size, matching the paper's configuration.
@@ -35,15 +40,21 @@ var (
 )
 
 // PageFile is a page-granular file. Page 0 holds the file header (magic +
-// page size + page count); user pages start at 1.
+// page size + page count); user pages start at 1. Reads and writes use
+// positional I/O (pread/pwrite), so concurrent page transfers never race
+// on a shared file offset; Allocate, Sync and Close serialize on an
+// internal mutex.
 type PageFile struct {
 	f        *os.File
 	pageSize int
-	pages    PageID // number of allocated pages, including page 0
-	closed   bool
 
-	// Reads and Writes count physical page transfers.
-	Reads, Writes int64
+	mu     sync.Mutex  // guards Allocate / Sync / Close (header + growth)
+	pages  atomic.Uint32 // number of allocated pages, including page 0
+	closed atomic.Bool
+
+	// reads and writes count physical page transfers; read them through
+	// Stats on the pool or IOCounts here.
+	reads, writes atomic.Int64
 }
 
 const magic = "SDPG"
@@ -57,7 +68,8 @@ func Create(path string, pageSize int) (*PageFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	pf := &PageFile{f: f, pageSize: pageSize, pages: 1}
+	pf := &PageFile{f: f, pageSize: pageSize}
+	pf.pages.Store(1)
 	if err := pf.writeHeader(); err != nil {
 		f.Close()
 		return nil, err
@@ -104,14 +116,16 @@ func Open(path string) (*PageFile, error) {
 		return nil, fmt.Errorf("pager: header declares %d pages of %d bytes but file has only %d bytes",
 			pages, ps, st.Size())
 	}
-	return &PageFile{f: f, pageSize: ps, pages: pages}, nil
+	pf := &PageFile{f: f, pageSize: ps}
+	pf.pages.Store(uint32(pages))
+	return pf, nil
 }
 
 func (pf *PageFile) writeHeader() error {
 	hdr := make([]byte, pf.pageSize)
 	copy(hdr, magic)
 	putLE32(hdr[4:8], uint32(pf.pageSize))
-	putLE32(hdr[8:12], uint32(pf.pages))
+	putLE32(hdr[8:12], pf.pages.Load())
 	_, err := pf.f.WriteAt(hdr, 0)
 	return err
 }
@@ -120,30 +134,38 @@ func (pf *PageFile) writeHeader() error {
 func (pf *PageFile) PageSize() int { return pf.pageSize }
 
 // Len returns the number of user pages allocated.
-func (pf *PageFile) Len() int { return int(pf.pages) - 1 }
+func (pf *PageFile) Len() int { return int(pf.pages.Load()) - 1 }
+
+// IOCounts returns the cumulative physical page reads and writes.
+func (pf *PageFile) IOCounts() (reads, writes int64) {
+	return pf.reads.Load(), pf.writes.Load()
+}
 
 // Allocate appends a zeroed page and returns its id.
 func (pf *PageFile) Allocate() (PageID, error) {
-	if pf.closed {
+	if pf.closed.Load() {
 		return InvalidPage, ErrClosed
 	}
-	id := pf.pages
-	pf.pages++
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	id := PageID(pf.pages.Load())
 	zero := make([]byte, pf.pageSize)
 	if _, err := pf.f.WriteAt(zero, int64(id)*int64(pf.pageSize)); err != nil {
 		return InvalidPage, err
 	}
-	pf.Writes++
+	pf.pages.Add(1)
+	pf.writes.Add(1)
 	return id, nil
 }
 
-// ReadPage reads page id into buf (len must equal PageSize).
+// ReadPage reads page id into buf (len must equal PageSize). Safe to call
+// from any number of goroutines.
 func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
-	if pf.closed {
+	if pf.closed.Load() {
 		return ErrClosed
 	}
-	if id == InvalidPage || id >= pf.pages {
-		return fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, pf.pages)
+	if pages := PageID(pf.pages.Load()); id == InvalidPage || id >= pages {
+		return fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, pages)
 	}
 	if len(buf) != pf.pageSize {
 		return fmt.Errorf("pager: buffer size %d != page size %d", len(buf), pf.pageSize)
@@ -151,16 +173,16 @@ func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
 	if _, err := pf.f.ReadAt(buf, int64(id)*int64(pf.pageSize)); err != nil {
 		return err
 	}
-	pf.Reads++
+	pf.reads.Add(1)
 	return nil
 }
 
 // WritePage writes buf to page id.
 func (pf *PageFile) WritePage(id PageID, buf []byte) error {
-	if pf.closed {
+	if pf.closed.Load() {
 		return ErrClosed
 	}
-	if id == InvalidPage || id >= pf.pages {
+	if id == InvalidPage || id >= PageID(pf.pages.Load()) {
 		return fmt.Errorf("%w: %d", ErrPageRange, id)
 	}
 	if len(buf) != pf.pageSize {
@@ -169,15 +191,17 @@ func (pf *PageFile) WritePage(id PageID, buf []byte) error {
 	if _, err := pf.f.WriteAt(buf, int64(id)*int64(pf.pageSize)); err != nil {
 		return err
 	}
-	pf.Writes++
+	pf.writes.Add(1)
 	return nil
 }
 
 // Sync flushes the header and file contents to stable storage.
 func (pf *PageFile) Sync() error {
-	if pf.closed {
+	if pf.closed.Load() {
 		return ErrClosed
 	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	if err := pf.writeHeader(); err != nil {
 		return err
 	}
@@ -186,15 +210,15 @@ func (pf *PageFile) Sync() error {
 
 // Close syncs and closes the file.
 func (pf *PageFile) Close() error {
-	if pf.closed {
+	if pf.closed.Load() {
 		return nil
 	}
 	if err := pf.Sync(); err != nil {
+		pf.closed.Store(true)
 		pf.f.Close()
-		pf.closed = true
 		return err
 	}
-	pf.closed = true
+	pf.closed.Store(true)
 	return pf.f.Close()
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -231,15 +232,36 @@ func TestPoolPinnedPagesSurvive(t *testing.T) {
 	pool.Unpin(id1)
 }
 
-func TestPoolAllPinnedErrors(t *testing.T) {
+// With every frame pinned the pool overflows its capacity instead of
+// failing (a concurrent searcher mid-traversal must be able to pin a
+// page), and shrinks back to capacity once pins are released and later
+// requests evict the surplus.
+func TestPoolAllPinnedOverflowsThenShrinks(t *testing.T) {
 	pf := newFile(t, 128)
 	pool := NewPool(pf, 1)
-	if _, _, err := pool.Allocate(); err != nil {
+	id1, _, err := pool.Allocate()
+	if err != nil {
 		t.Fatal(err)
 	}
-	// The only frame is pinned; the next allocation must fail.
-	if _, _, err := pool.Allocate(); err == nil {
-		t.Fatal("expected all-pinned error")
+	// The only steady-state frame is pinned; the next allocation must
+	// still succeed via a transient overflow frame.
+	id2, _, err := pool.Allocate()
+	if err != nil {
+		t.Fatalf("all-pinned allocation failed instead of overflowing: %v", err)
+	}
+	if got := pool.frameCount(); got != 2 {
+		t.Fatalf("overflowed pool holds %d frames, want 2", got)
+	}
+	pool.Unpin(id1)
+	pool.Unpin(id2)
+	// Churn: subsequent requests evict the surplus back down to capacity.
+	id3, _, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(id3)
+	if got := pool.frameCount(); got != 1 {
+		t.Fatalf("pool did not shrink back to capacity: %d frames, want 1", got)
 	}
 }
 
@@ -323,4 +345,68 @@ func writeJunk(path string) error {
 	defer f.Close()
 	_, err = f.WriteAt([]byte("XXXX"), 0)
 	return err
+}
+
+// Concurrent readers over a shared pool (run under -race): every page
+// read must return that page's stamped content, and the per-lease
+// counters must sum to the total number of Gets.
+func TestPoolConcurrentLeases(t *testing.T) {
+	pf := newFile(t, 128)
+	pool := NewPool(pf, 8) // smaller than the page count: real eviction traffic
+	const pages = 32
+	var ids []PageID
+	for i := 0; i < pages; i++ {
+		id, buf, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(id) // stamp each page with its id
+		pool.MarkDirty(id)
+		pool.Unpin(id)
+		ids = append(ids, id)
+	}
+
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	var totalHits, totalMisses int64
+	var mu sync.Mutex
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lease := pool.NewLease()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for r := 0; r < rounds; r++ {
+				id := ids[rng.Intn(len(ids))]
+				buf, err := lease.Get(id)
+				if err != nil {
+					t.Errorf("Get(%d): %v", id, err)
+					return
+				}
+				if buf[0] != byte(id) {
+					t.Errorf("page %d returned stamp %d", id, buf[0])
+					lease.Unpin(id)
+					return
+				}
+				lease.Unpin(id)
+			}
+			if got := lease.Accesses(); got != rounds {
+				t.Errorf("lease counted %d accesses, want %d", got, rounds)
+			}
+			mu.Lock()
+			totalHits += lease.Hits
+			totalMisses += lease.Misses
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total := totalHits + totalMisses; total != goroutines*rounds {
+		t.Fatalf("lease counters sum to %d, want %d", total, goroutines*rounds)
+	}
+	hits, misses, _, _ := pool.Stats()
+	if hits != totalHits || misses != totalMisses {
+		t.Fatalf("pool stats (%d, %d) disagree with lease sums (%d, %d)",
+			hits, misses, totalHits, totalMisses)
+	}
 }

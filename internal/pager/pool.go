@@ -2,22 +2,47 @@ package pager
 
 import (
 	"container/list"
-	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
-// Pool is an LRU buffer pool over a PageFile. Get returns a cached frame
-// when present; otherwise the least-recently-used unpinned frame is
-// evicted (written back if dirty) and reused. Pinned frames are never
-// evicted.
+// maxPoolShards bounds the number of buffer-pool shards; the actual count
+// is scaled down so every shard keeps at least minFramesPerShard frames
+// (small pools degenerate gracefully to a single shard).
+const (
+	maxPoolShards     = 16
+	minFramesPerShard = 4
+)
+
+// Pool is a sharded LRU buffer pool over a PageFile, safe for concurrent
+// use by any number of goroutines: frames are partitioned by page id into
+// shards with independent locks, so concurrent searches only contend when
+// they touch pages of the same shard at the same instant. Get returns a
+// cached frame when present; otherwise the shard's least-recently-used
+// unpinned frame is evicted (written back if dirty) and reused. Pinned
+// frames are never evicted.
+//
+// When every frame of a shard is pinned simultaneously, Get and Allocate
+// do not fail: the shard temporarily overflows its capacity with an extra
+// frame and shrinks back to capacity as pins are released and later
+// requests evict the surplus. The capacity is therefore a steady-state
+// bound — transiently the pool holds at most capacity + (number of
+// concurrently pinned pages) frames.
 type Pool struct {
 	file   *PageFile
 	cap    int
+	shards []poolShard
+
+	// hits and misses count logical page requests served from / missing
+	// the cache; physical transfers are counted on the PageFile.
+	hits, misses atomic.Int64
+}
+
+type poolShard struct {
+	mu     sync.Mutex
+	cap    int
 	frames map[PageID]*frame
 	lru    *list.List // front = most recently used
-
-	// Hits and Misses count logical page requests served from / missing
-	// the cache; physical transfers are on the PageFile.
-	Hits, Misses int64
 }
 
 type frame struct {
@@ -28,46 +53,79 @@ type frame struct {
 	elem  *list.Element
 }
 
-// NewPool wraps file with a buffer pool of capacity pages.
+// NewPool wraps file with a buffer pool of capacity pages, sharded for
+// concurrent access.
 func NewPool(file *PageFile, capacity int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
-		file:   file,
-		cap:    capacity,
-		frames: make(map[PageID]*frame, capacity),
-		lru:    list.New(),
+	nshards := capacity / minFramesPerShard
+	if nshards > maxPoolShards {
+		nshards = maxPoolShards
 	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	p := &Pool{file: file, cap: capacity, shards: make([]poolShard, nshards)}
+	base, rem := capacity/nshards, capacity%nshards
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.cap = base
+		if i < rem {
+			sh.cap++
+		}
+		sh.frames = make(map[PageID]*frame, sh.cap)
+		sh.lru = list.New()
+	}
+	return p
 }
 
 // File returns the underlying page file.
 func (p *Pool) File() *PageFile { return p.file }
 
+// Capacity returns the pool's steady-state frame capacity.
+func (p *Pool) Capacity() int { return p.cap }
+
+func (p *Pool) shardFor(id PageID) *poolShard {
+	return &p.shards[uint32(id)%uint32(len(p.shards))]
+}
+
 // Get pins page id and returns its buffer. The caller must Unpin it;
-// mutations must be flagged with MarkDirty before Unpin.
+// mutations must be flagged with MarkDirty before Unpin. Safe for
+// concurrent use; per-call hit/miss attribution is available through a
+// Lease.
 func (p *Pool) Get(id PageID) ([]byte, error) {
-	if fr, ok := p.frames[id]; ok {
-		p.Hits++
+	buf, _, err := p.get(id)
+	return buf, err
+}
+
+// get is Get plus the hit/miss outcome of this particular call, for
+// goroutine-local accounting by leases.
+func (p *Pool) get(id PageID) (buf []byte, hit bool, err error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[id]; ok {
+		p.hits.Add(1)
 		fr.pins++
-		p.lru.MoveToFront(fr.elem)
-		return fr.buf, nil
+		sh.lru.MoveToFront(fr.elem)
+		return fr.buf, true, nil
 	}
-	p.Misses++
-	fr, err := p.victim()
+	p.misses.Add(1)
+	fr, err := sh.victim(p.file)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if err := p.file.ReadPage(id, fr.buf); err != nil {
-		// Return the frame to the pool unused.
+		// Return the frame to the shard unused.
 		fr.id = InvalidPage
-		return nil, err
+		return nil, false, err
 	}
 	fr.id = id
 	fr.dirty = false
 	fr.pins = 1
-	p.frames[id] = fr
-	return fr.buf, nil
+	sh.frames[id] = fr
+	return fr.buf, false, nil
 }
 
 // Allocate creates a new zeroed page, pins it and returns its id+buffer.
@@ -76,7 +134,10 @@ func (p *Pool) Allocate() (PageID, []byte, error) {
 	if err != nil {
 		return InvalidPage, nil, err
 	}
-	fr, err := p.victim()
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fr, err := sh.victim(p.file)
 	if err != nil {
 		return InvalidPage, nil, err
 	}
@@ -86,69 +147,111 @@ func (p *Pool) Allocate() (PageID, []byte, error) {
 	fr.id = id
 	fr.dirty = true // the zero page must eventually hit the disk image
 	fr.pins = 1
-	p.frames[id] = fr
+	sh.frames[id] = fr
 	return id, fr.buf, nil
 }
 
-// victim returns a free frame: a fresh one while below capacity, else the
-// LRU unpinned frame (written back when dirty).
-func (p *Pool) victim() (*frame, error) {
-	if len(p.frames) < p.cap {
-		fr := &frame{buf: make([]byte, p.file.PageSize())}
-		fr.elem = p.lru.PushFront(fr)
-		return fr, nil
-	}
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
-		fr := e.Value.(*frame)
-		if fr.pins > 0 {
-			continue
-		}
-		if fr.dirty {
-			if err := p.file.WritePage(fr.id, fr.buf); err != nil {
-				return nil, err
+// victim returns a free frame not present in the shard's map: a fresh one
+// while below capacity, else the LRU unpinned frame (written back when
+// dirty). While at it, any overflow frames beyond the shard capacity are
+// evicted and discarded, shrinking a shard that previously overflowed.
+// When every frame is pinned the shard overflows with a fresh frame
+// instead of failing — the caller is mid-search and holds pins the
+// eviction scan cannot reclaim.
+func (sh *poolShard) victim(file *PageFile) (*frame, error) {
+	for sh.lru.Len() >= sh.cap {
+		var e *list.Element
+		for e = sh.lru.Back(); e != nil; e = e.Prev() {
+			if e.Value.(*frame).pins == 0 {
+				break
 			}
 		}
-		delete(p.frames, fr.id)
-		p.lru.MoveToFront(e)
-		return fr, nil
+		if e == nil {
+			break // every frame pinned: overflow below
+		}
+		fr := e.Value.(*frame)
+		if fr.dirty {
+			if err := file.WritePage(fr.id, fr.buf); err != nil {
+				return nil, err
+			}
+			fr.dirty = false
+		}
+		delete(sh.frames, fr.id)
+		if sh.lru.Len() == sh.cap {
+			// The frame that brings us to capacity-1 is reused in place.
+			sh.lru.MoveToFront(e)
+			return fr, nil
+		}
+		// Surplus frame from an earlier overflow: drop it entirely.
+		sh.lru.Remove(e)
 	}
-	return nil, fmt.Errorf("pager: all %d frames pinned", p.cap)
+	fr := &frame{buf: make([]byte, file.PageSize())}
+	fr.elem = sh.lru.PushFront(fr)
+	return fr, nil
 }
 
 // MarkDirty flags a pinned page as modified.
 func (p *Pool) MarkDirty(id PageID) {
-	if fr, ok := p.frames[id]; ok {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[id]; ok {
 		fr.dirty = true
 	}
 }
 
 // Unpin releases one pin on the page.
 func (p *Pool) Unpin(id PageID) {
-	if fr, ok := p.frames[id]; ok && fr.pins > 0 {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[id]; ok && fr.pins > 0 {
 		fr.pins--
 	}
 }
 
 // Flush writes every dirty frame back and syncs the file.
 func (p *Pool) Flush() error {
-	for _, fr := range p.frames {
-		if fr.dirty {
-			if err := p.file.WritePage(fr.id, fr.buf); err != nil {
-				return err
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.dirty {
+				if err := p.file.WritePage(fr.id, fr.buf); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
 			}
-			fr.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 	return p.file.Sync()
 }
 
 // Stats returns (hits, misses, physical reads, physical writes).
 func (p *Pool) Stats() (hits, misses, reads, writes int64) {
-	return p.Hits, p.Misses, p.file.Reads, p.file.Writes
+	r, w := p.file.IOCounts()
+	return p.hits.Load(), p.misses.Load(), r, w
 }
 
 // ResetStats zeroes all counters (pool and file).
 func (p *Pool) ResetStats() {
-	p.Hits, p.Misses = 0, 0
-	p.file.Reads, p.file.Writes = 0, 0
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.file.reads.Store(0)
+	p.file.writes.Store(0)
+}
+
+// frameCount returns the total number of resident frames (test hook for
+// the overflow-and-shrink behavior).
+func (p *Pool) frameCount() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -39,6 +39,12 @@ import (
 // and the context-aware engine entry point. Both core.Index and
 // diskindex.Index satisfy it, so one server binary fronts either storage
 // layer; a canceled request context aborts the search on both.
+//
+// SearchKCtx must be safe for concurrent calls — net/http serves every
+// request on its own goroutine and the server adds no serialization of
+// its own. Both built-in backends qualify: the in-memory index is
+// immutable during searches, and the disk index runs each search over a
+// private page lease against a sharded buffer pool.
 type Backend interface {
 	Len() int
 	Dim() int
@@ -124,6 +130,28 @@ type ObjectJSON struct {
 
 type errorJSON struct {
 	Error string `json:"error"`
+	// Code is a stable machine-readable identifier derived from the HTTP
+	// status (e.g. "not_implemented" for the disk backend's enumeration
+	// endpoints), so clients can branch without parsing Error text.
+	Code string `json:"code"`
+}
+
+// errorCode maps an HTTP status to the stable code carried in errorJSON.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusNotImplemented:
+		return "not_implemented"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return strings.ReplaceAll(strings.ToLower(http.StatusText(status)), " ", "_")
+	}
 }
 
 // --- handlers -------------------------------------------------------------------
@@ -379,5 +407,5 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorJSON{Error: err.Error()})
+	writeJSON(w, status, errorJSON{Error: err.Error(), Code: errorCode(status)})
 }

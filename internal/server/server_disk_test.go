@@ -78,6 +78,21 @@ func TestServerDiskBackend(t *testing.T) {
 		if rec.Code != http.StatusNotImplemented {
 			t.Fatalf("%s status %d, want 501", path, rec.Code)
 		}
+		// The 501 must carry the same JSON error shape as every other
+		// error response, not a bare status.
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s 501 Content-Type = %q, want application/json", path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("%s 501 body is not JSON: %v (%q)", path, err, rec.Body)
+		}
+		if e.Error == "" || e.Code != "not_implemented" {
+			t.Fatalf("%s 501 body = %+v, want non-empty error and code=not_implemented", path, e)
+		}
 	}
 
 	// The stream endpoint serves NDJSON from the disk backend too.

@@ -122,6 +122,21 @@ func SearchBackend(ctx context.Context, b Backend, q *Object, op Operator, k int
 	return core.SearchBackend(ctx, b, q, op, k, opts)
 }
 
+// KSearcher is the minimal concurrent search surface a parallel batch
+// needs; *Index and *DiskIndex both satisfy it.
+type KSearcher = core.KSearcher
+
+// SearchParallel runs one search per query fanned out over workers
+// goroutines (workers <= 0 uses GOMAXPROCS) and returns results in input
+// order. Both built-in backends are safe for this: the in-memory index is
+// immutable during searches, and the disk index's buffer pool and object
+// cache are sharded with per-search I/O attribution, so concurrent
+// batches return byte-for-byte the candidates of serial execution. The
+// first error cancels the rest of the batch; see core.SearchParallel.
+func SearchParallel(ctx context.Context, s KSearcher, queries []*Object, op Operator, k int, opts SearchOptions, workers int) ([]*Result, error) {
+	return core.SearchParallel(ctx, s, queries, op, k, opts, workers)
+}
+
 // Metric abstracts the instance distance; the paper's techniques extend to
 // any metric (Section 2.1). Pass one via SearchOptions.Metric or
 // NewCheckerMetric; nil/default is Euclidean.
