@@ -2,7 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover figures examples clean check
+.PHONY: all build test vet bench bench-baseline bench-compare hotpath cover figures examples clean check
+
+# The hot-path benchmark set and flags; bench-baseline and bench-compare
+# must agree so the committed BENCH_baseline.txt stays comparable. The
+# sub-microsecond DominanceCheck set needs far more iterations than the
+# millisecond Fig12 workloads to escape warmup noise.
+BENCH_FIG_FLAGS = -run='^$$' -bench=Fig12 -benchtime=100x -count=3 -benchmem
+BENCH_DOM_FLAGS = -run='^$$' -bench=DominanceCheck -benchtime=5000x -count=3 -benchmem
 
 all: build test
 
@@ -29,6 +36,25 @@ check:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# bench-baseline refreshes the committed perf baseline; run it on the
+# reference machine after an intentional perf change and commit the file.
+bench-baseline:
+	$(GO) test $(BENCH_FIG_FLAGS) . | tee BENCH_baseline.txt
+	$(GO) test $(BENCH_DOM_FLAGS) . | tee -a BENCH_baseline.txt
+
+# bench-compare re-runs the same set and diffs against the committed
+# baseline. Informational by default (-gate=0): absolute ns/op is only
+# comparable on the reference machine, but allocs/op is portable.
+bench-compare:
+	$(GO) test $(BENCH_FIG_FLAGS) . > bench_new.txt
+	$(GO) test $(BENCH_DOM_FLAGS) . >> bench_new.txt
+	$(GO) run ./cmd/benchdiff BENCH_baseline.txt bench_new.txt
+
+# hotpath regenerates BENCH_hotpath.json (ns/op, allocs/op, QPS on
+# Figure 12-style workloads, both backends, serial and parallel).
+hotpath:
+	$(GO) run ./cmd/nncbench -hotpath -scale=small
+
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
@@ -43,7 +69,7 @@ examples:
 	$(GO) run ./examples/nncore
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_new.txt
 
 verify:
 	$(GO) run ./cmd/nncbench -verify -scale=small

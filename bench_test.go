@@ -74,6 +74,7 @@ func defaultParams(centers datagen.CenterDist, n int) datagen.Params {
 func runSearches(b *testing.B, d benchData, op Operator, cfg FilterConfig) {
 	b.Helper()
 	var candidates, comparisons float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := d.queries[i%len(d.queries)]
@@ -136,6 +137,7 @@ func BenchmarkFig12(b *testing.B) {
 		for _, op := range Operators {
 			b.Run(fmt.Sprintf("%s/%s", ds.label, op), func(b *testing.B) {
 				d := dataFor(b, ds.label, ds.p, benchMq, benchHq)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					d.idx.Search(d.queries[i%len(d.queries)], op)
@@ -216,6 +218,7 @@ func BenchmarkFig13(b *testing.B) {
 			b.Run(fmt.Sprintf("%s=%s/%s", c.sub, c.label, op), func(b *testing.B) {
 				key := fmt.Sprintf("sweep/%s/%s/%d/%g", c.sub, c.label, c.mq, c.hq)
 				d := dataFor(b, key, c.p, c.mq, c.hq)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					d.idx.Search(d.queries[i%len(d.queries)], op)
@@ -233,6 +236,7 @@ func BenchmarkFig14(b *testing.B) {
 	p.Clusters = 60
 	d := dataFor(b, "fig14", p, benchMq, benchHq)
 	var first, half, full float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := d.queries[i%len(d.queries)]
@@ -280,6 +284,7 @@ func BenchmarkDominanceCheck(b *testing.B) {
 		b.Run(op.String(), func(b *testing.B) {
 			checker := core.NewChecker(qs[0], op, AllFilters)
 			objs := ds.Objects
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				u := objs[i%len(objs)]
@@ -296,6 +301,7 @@ func BenchmarkDominanceCheck(b *testing.B) {
 // BenchmarkIndexBuild times global R-tree construction.
 func BenchmarkIndexBuild(b *testing.B) {
 	ds := datagen.Generate(defaultParams(datagen.AntiCorrelated, benchN))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NewIndex(ds.Objects); err != nil {
@@ -311,6 +317,7 @@ func BenchmarkSearchK(b *testing.B) {
 	for _, k := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			var candidates float64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res := d.idx.SearchK(d.queries[i%len(d.queries)], SSSD, k)
@@ -327,6 +334,7 @@ func BenchmarkMetric(b *testing.B) {
 	d := dataFor(b, "A-N", p, benchMq, benchHq)
 	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
 		b.Run(m.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				d.idx.SearchOpts(d.queries[i%len(d.queries)], SSSD,
@@ -341,6 +349,7 @@ func BenchmarkEMD(b *testing.B) {
 	ds := datagen.Generate(defaultParams(datagen.AntiCorrelated, 8))
 	qs := ds.Queries(1, benchMq, benchHq, 3)
 	f := EMDFunc()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Scores(ds.Objects[:1], qs[0])
@@ -358,6 +367,7 @@ var parallelWorkers = []int{1, 2, 4, 8}
 // sized by the benchmark framework.
 func runParallelSearches(b *testing.B, s KSearcher, queries []*Object, w int) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var next atomic.Int64
 	var wg sync.WaitGroup

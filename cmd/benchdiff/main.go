@@ -1,0 +1,184 @@
+// Command benchdiff compares two `go test -bench` output files and
+// prints the per-benchmark change in ns/op, B/op and allocs/op — a
+// dependency-free benchstat for the perf-regression workflow:
+//
+//	go test -run='^$' -bench='Fig12|DominanceCheck' -benchtime=30x -benchmem . > new.txt
+//	benchdiff BENCH_baseline.txt new.txt
+//
+// Changes within -threshold (default 10%) print as "~" (noise).
+// With -gate=N, the exit status is 1 if any benchmark's ns/op regressed
+// by more than N percent; the default (-gate=0) never fails, which is
+// the right setting for cross-machine CI comparisons where absolute
+// times are not comparable — allocs/op, however, is machine-independent
+// and is worth eyeballing in the report even there.
+//
+// Benchmarks appearing in only one file are listed but not compared.
+// Repeated runs of the same benchmark (e.g. -count=5) are averaged.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metrics accumulates one benchmark's parsed values across repeated runs.
+type metrics struct {
+	ns, bytes, allocs float64
+	runs              int
+	hasBytes          bool
+	hasAllocs         bool
+}
+
+func (m metrics) avg(v float64) float64 { return v / float64(m.runs) }
+
+// benchLine matches "BenchmarkName-8  30  123 ns/op[  456 B/op  7 allocs/op]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(\S+) ns/op(?:\s+(\S+) B/op\s+(\S+) allocs/op)?`)
+
+// parseFile reads one `go test -bench` output file into name→metrics.
+// The -GOMAXPROCS suffix is stripped so files from differently sized
+// machines still line up. Insertion order is returned for stable output.
+func parseFile(path string) (map[string]*metrics, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*metrics)
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		sub := benchLine.FindStringSubmatch(sc.Text())
+		if sub == nil {
+			continue
+		}
+		name := sub[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(sub[2], 64)
+		if err != nil {
+			continue
+		}
+		m, ok := out[name]
+		if !ok {
+			m = &metrics{}
+			out[name] = m
+			order = append(order, name)
+		}
+		m.ns += ns
+		m.runs++
+		if sub[3] != "" {
+			if b, err := strconv.ParseFloat(sub[3], 64); err == nil {
+				m.bytes += b
+				m.hasBytes = true
+			}
+			if a, err := strconv.ParseFloat(sub[4], 64); err == nil {
+				m.allocs += a
+				m.hasAllocs = true
+			}
+		}
+	}
+	return out, order, sc.Err()
+}
+
+// delta formats the old→new change, or "~" when within the threshold.
+func delta(old, new, threshold float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "~"
+		}
+		return "+inf"
+	}
+	pct := (new - old) / old * 100
+	if pct > -threshold && pct < threshold {
+		return "~"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "percent change below which a delta is reported as noise")
+	gate := flag.Float64("gate", 0, "fail (exit 1) if any ns/op regression exceeds this percent; 0 disables")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold=pct] [-gate=pct] old.txt new.txt")
+		os.Exit(2)
+	}
+	oldM, oldOrder, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newM, newOrder, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rows := [][]string{{"benchmark", "old ns/op", "new ns/op", "Δtime", "old allocs", "new allocs", "Δallocs"}}
+	failed := false
+	for _, name := range oldOrder {
+		o := oldM[name]
+		n, ok := newM[name]
+		if !ok {
+			rows = append(rows, []string{strings.TrimPrefix(name, "Benchmark"),
+				fmt.Sprintf("%.1f", o.avg(o.ns)), "-", "gone", "", "", ""})
+			continue
+		}
+		oNs, nNs := o.avg(o.ns), n.avg(n.ns)
+		row := []string{strings.TrimPrefix(name, "Benchmark"),
+			fmt.Sprintf("%.1f", oNs), fmt.Sprintf("%.1f", nNs), delta(oNs, nNs, *threshold)}
+		if o.hasAllocs && n.hasAllocs {
+			oA, nA := o.avg(o.allocs), n.avg(n.allocs)
+			row = append(row,
+				fmt.Sprintf("%.0f", oA), fmt.Sprintf("%.0f", nA), delta(oA, nA, *threshold))
+		} else {
+			row = append(row, "", "", "")
+		}
+		rows = append(rows, row)
+		if *gate > 0 && oNs > 0 && (nNs-oNs)/oNs*100 > *gate {
+			failed = true
+		}
+	}
+	for _, name := range newOrder {
+		if _, ok := oldM[name]; !ok {
+			n := newM[name]
+			rows = append(rows, []string{strings.TrimPrefix(name, "Benchmark"),
+				"-", fmt.Sprintf("%.1f", n.avg(n.ns)), "new", "", "", ""})
+		}
+	}
+
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", widths[i]-len(c)))
+			} else {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)) + c)
+			}
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%% gate\n", *gate)
+		os.Exit(1)
+	}
+}

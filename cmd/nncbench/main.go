@@ -8,6 +8,7 @@
 //	nncbench -verify -scale=small            # PASS/FAIL shape checks
 //	nncbench -figure=16 -format=csv          # machine-readable output
 //	nncbench -parallel -workers=1,2,4,8      # QPS scaling → BENCH_parallel.json
+//	nncbench -hotpath -scale=small           # ns/op + allocs/op → BENCH_hotpath.json
 //
 // Figures: 10, 11a…11f, 12, 13a…13f, 14, 16, plus the extension
 // experiments "k" (k-NN candidates) and "io" (disk-resident page I/O).
@@ -40,6 +41,9 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "run the parallel workload benchmark instead of a figure")
 		workers    = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel")
 		out        = flag.String("out", "BENCH_parallel.json", "JSON report path for -parallel (empty disables)")
+		hotpath    = flag.Bool("hotpath", false, "run the dominance hot-path benchmark (ns/op, allocs/op, QPS) instead of a figure")
+		hotWorkers = flag.Int("hotworkers", 0, "parallel worker count for -hotpath (0 = GOMAXPROCS)")
+		hotOut     = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -hotpath (empty disables)")
 	)
 	flag.Parse()
 	if *cpuprofile != "" {
@@ -65,6 +69,30 @@ func main() {
 			runtime.GC()
 			pprof.WriteHeapProfile(f)
 		}()
+	}
+	if *hotpath {
+		sc, err := harness.ParseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep, err := harness.HotpathBench(sc, *seed, *hotWorkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *hotOut != "" {
+			if err := rep.WriteJSON(*hotOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *hotOut)
+		}
+		return
 	}
 	if *parallel {
 		sc, err := harness.ParseScale(*scale)

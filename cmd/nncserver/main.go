@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"spatialdom/internal/datagen"
@@ -48,16 +49,32 @@ var distNames = map[string]datagen.CenterDist{
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		n      = flag.Int("n", 2000, "number of objects to generate")
-		m      = flag.Int("m", 10, "average instances per object")
-		dist   = flag.String("dist", "anti", "dataset: anti, indep, house, nba, gw, clust")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		input  = flag.String("input", "", "load objects from CSV instead of generating")
-		disk   = flag.String("disk", "", "serve from a disk index page file built by nncdisk")
-		frames = flag.Int("frames", 256, "buffer pool frames for -disk")
+		addr    = flag.String("addr", ":8080", "listen address")
+		n       = flag.Int("n", 2000, "number of objects to generate")
+		m       = flag.Int("m", 10, "average instances per object")
+		dist    = flag.String("dist", "anti", "dataset: anti, indep, house, nba, gw, clust")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		input   = flag.String("input", "", "load objects from CSV instead of generating")
+		disk    = flag.String("disk", "", "serve from a disk index page file built by nncdisk")
+		frames  = flag.Int("frames", 256, "buffer pool frames for -disk")
+		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofOn != "" {
+		// A separate listener keeps the profiling endpoints off the query
+		// port, so they can stay bound to localhost in deployments.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("serving pprof on %s", *pprofOn)
+			log.Println(http.ListenAndServe(*pprofOn, mux))
+		}()
+	}
 
 	var srv *server.Server
 	if *disk != "" {

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// allocObjs builds a deterministic little workload: a query plus objects
+// with enough instances to exercise distributions, level bounds and the
+// P-SD flow networks.
+func allocObjs(n, m int, seed int64) (q *uncertain.Object, objs []*uncertain.Object) {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(id int, cx, cy float64) *uncertain.Object {
+		pts := make([]geom.Point, m)
+		for i := range pts {
+			pts[i] = geom.Point{cx + rng.Float64()*4, cy + rng.Float64()*4}
+		}
+		return uncertain.MustNew(id, pts, nil)
+	}
+	q = mk(1000, 50, 50)
+	for i := 0; i < n; i++ {
+		objs = append(objs, mk(i, rng.Float64()*100, rng.Float64()*100))
+	}
+	return q, objs
+}
+
+// Warm dominance checks — every cache already built, every slab already
+// grown — must not allocate, for any operator. This is the tentpole's
+// regression guard: a future change that re-introduces a per-check
+// allocation fails here before it shows up in benchmarks.
+func TestWarmCheckZeroAllocs(t *testing.T) {
+	q, objs := allocObjs(12, 10, 7)
+	for _, op := range Operators {
+		t.Run(op.String(), func(t *testing.T) {
+			var sc CheckScratch
+			c := sc.Checker(q, op, AllFilters, geom.Euclidean)
+			run := func() {
+				for i, u := range objs {
+					for j, v := range objs {
+						if i != j {
+							c.Dominates(u, v)
+						}
+					}
+				}
+			}
+			run() // warm: build caches, grow slabs and networks
+			if avg := testing.AllocsPerRun(20, run); avg != 0 {
+				t.Errorf("warm %s checks allocated %.1f times per round, want 0", op, avg)
+			}
+		})
+	}
+}
+
+// A warm checker re-initialized from its scratch (the per-search reset the
+// engine performs) must also run allocation-free: the reset recycles slabs
+// rather than discarding them.
+func TestWarmSearchResetZeroAllocs(t *testing.T) {
+	q, objs := allocObjs(10, 8, 11)
+	var sc CheckScratch
+	sc.setDenseSpan(64)
+	round := func() {
+		for _, op := range Operators {
+			c := sc.Checker(q, op, AllFilters, geom.Euclidean)
+			for i, u := range objs {
+				for j, v := range objs {
+					if i != j {
+						c.Dominates(u, v)
+					}
+				}
+			}
+		}
+	}
+	round()
+	round() // second round reaches the high-water marks everywhere
+	if avg := testing.AllocsPerRun(10, round); avg != 0 {
+		t.Errorf("warm reset+check rounds allocated %.1f times, want 0", avg)
+	}
+}
+
+// Equivalence: a checker backed by one long-lived scratch (arena path,
+// dense cache table) must return exactly the verdicts of a fresh checker
+// per pair (the naive allocation path, map-backed cache), for every
+// operator, on tie-heavy quick-generated inputs.
+func TestQuickArenaNaiveEquivalence(t *testing.T) {
+	for _, op := range Operators {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			var sc CheckScratch
+			sc.setDenseSpan(16)
+			f := func(ru, rv, rq rawObj) bool {
+				q := rq.object(0)
+				u := ru.object(1)
+				v := rv.object(2)
+				arena := sc.Checker(q, op, AllFilters, geom.Euclidean)
+				got := arena.Dominates(u, v)
+				gotRev := arena.Dominates(v, u)
+				naive := NewChecker(q, op, AllFilters)
+				want := naive.Dominates(u, v)
+				wantRev := naive.Dominates(v, u)
+				if got != want || gotRev != wantRev {
+					t.Logf("op=%s got=(%v,%v) want=(%v,%v)\nq=%v\nu=%v\nv=%v",
+						op, got, gotRev, want, wantRev, q, u, v)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, quickCfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Dense-table and map-backed object caches must be interchangeable: the
+// same workload run with IDs inside and outside the dense span yields
+// identical verdicts.
+func TestDenseSparseCacheEquivalence(t *testing.T) {
+	q, objs := allocObjs(10, 8, 23)
+	// Shifted copies with IDs far outside any dense span.
+	shifted := make([]*uncertain.Object, len(objs))
+	for i, o := range objs {
+		shifted[i] = uncertain.MustNew(o.ID()+maxDenseSpan+100, o.Points(), nil)
+	}
+	for _, op := range Operators {
+		var dense, sparse CheckScratch
+		dense.setDenseSpan(len(objs))
+		cd := dense.Checker(q, op, AllFilters, geom.Euclidean)
+		cs := sparse.Checker(q, op, AllFilters, geom.Euclidean)
+		for i := range objs {
+			for j := range objs {
+				if i == j {
+					continue
+				}
+				if got, want := cd.Dominates(objs[i], objs[j]), cs.Dominates(shifted[i], shifted[j]); got != want {
+					t.Fatalf("%s: dense=%v sparse=%v for pair (%d,%d)", op, got, want, i, j)
+				}
+			}
+		}
+	}
+}
+
+// The engine's pooled scratch must not leak state between searches: the
+// same query repeated against the same index returns identical candidates,
+// and interleaved different queries don't perturb each other.
+func TestPooledScratchSearchStability(t *testing.T) {
+	qa, objs := allocObjs(40, 6, 31)
+	qb, _ := allocObjs(1, 6, 77)
+	idx, err := NewIndex(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range Operators {
+		base := idx.Search(qa, op).IDs()
+		for round := 0; round < 5; round++ {
+			idx.Search(qb, op) // interleave a different query through the pool
+			got := idx.Search(qa, op).IDs()
+			if fmt.Sprint(got) != fmt.Sprint(base) {
+				t.Fatalf("%s round %d: candidates %v, want %v", op, round, got, base)
+			}
+		}
+	}
+}

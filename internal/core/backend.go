@@ -39,6 +39,20 @@ func (idx *Index) Resolve(r ObjRef) (*uncertain.Object, error) { return r.Obj, n
 // AccessStats reports zero: the memory backend performs no storage I/O.
 func (idx *Index) AccessStats() IOStats { return IOStats{} }
 
+// DenseIDSpanner is an optional Backend interface: a backend whose object
+// IDs occupy a dense range [0, n) reports n, letting the engine swap the
+// checker's per-object cache from a hash map to a directly indexed table.
+// A return of 0 means the span is unknown (or IDs are sparse/negative) and
+// the checker stays on the map.
+type DenseIDSpanner interface {
+	DenseIDSpan() int
+}
+
+var _ DenseIDSpanner = (*Index)(nil)
+
+// DenseIDSpan reports the object-ID span computed at build time.
+func (idx *Index) DenseIDSpan() int { return idx.denseSpan }
+
 // SearchKCtx is SearchKOpts with a context: the traversal aborts at the
 // next heap pop or candidate emission once ctx is canceled, returning the
 // partial Result together with ctx.Err().

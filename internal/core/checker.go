@@ -14,6 +14,11 @@ import (
 // bounds and hull-distance matrices across checks. A Checker is not safe
 // for concurrent use.
 //
+// Every cache a checker builds lives in its CheckScratch arena, so a warm
+// check — one whose pair of objects has been seen before — performs zero
+// heap allocations, and a pooled scratch makes whole steady-state searches
+// allocation-free.
+//
 // Object identity is the object ID: callers must give distinct IDs to
 // distinct objects.
 type Checker struct {
@@ -26,11 +31,12 @@ type Checker struct {
 	hullIdx []int        // indices into query instances used by point-level checks
 	hullPts []geom.Point // the corresponding points
 	qMBR    geom.Rect
+	cmpFn   func() // preallocated comparison-counting callback
 
 	// Stats accumulates work counters; reset or read between searches.
 	Stats Stats
 
-	cache map[int]*objCache
+	scratch *CheckScratch
 }
 
 // NewChecker returns a dominance checker for the given query, operator, and
@@ -43,30 +49,12 @@ func NewChecker(query *uncertain.Object, op Operator, cfg FilterConfig) *Checker
 // metrics disable the convex-hull reduction (its bisector argument is
 // L2-specific) and the local-R-tree shortcuts whose bounds assume L2, but
 // keep every other filter; verdicts are metric-exact.
+//
+// The checker owns a private CheckScratch; searches that run many checkers
+// should pool scratches and use CheckScratch.Checker instead, which is what
+// the engine does.
 func NewCheckerMetric(query *uncertain.Object, op Operator, cfg FilterConfig, m geom.Metric) *Checker {
-	c := &Checker{
-		query:  query,
-		op:     op,
-		cfg:    cfg,
-		eps:    distr.Eps,
-		metric: m,
-		euclid: m == geom.Euclidean,
-		qMBR:   query.MBR(),
-		cache:  make(map[int]*objCache),
-	}
-	if cfg.Geometric && c.euclid {
-		c.hullIdx = query.HullIndices()
-	} else {
-		c.hullIdx = make([]int, query.Len())
-		for i := range c.hullIdx {
-			c.hullIdx[i] = i
-		}
-	}
-	c.hullPts = make([]geom.Point, len(c.hullIdx))
-	for i, j := range c.hullIdx {
-		c.hullPts[i] = query.Instance(j)
-	}
-	return c
+	return new(CheckScratch).Checker(query, op, cfg, m)
 }
 
 // Metric returns the metric the checker evaluates distances under.
@@ -117,27 +105,54 @@ type objCache struct {
 	sphereOK bool
 	sphere   geom.Sphere // bounding sphere, radius under the checker's metric
 
-	levels     []*levelBounds                  // S-SD level bounds, index = local-tree level
-	perQLevels map[int][][2]distr.Distribution // SS-SD per-level, per-q (lb, ub)
+	levels []*levelBounds // S-SD level bounds, index = local-tree level
 }
 
+// cacheOf returns (creating on first use) the per-object cache. Dense IDs
+// hit a slice-backed table — one bounds-checked load instead of a map
+// probe — with the map kept as the fallback for sparse or out-of-range
+// IDs.
 func (c *Checker) cacheOf(o *uncertain.Object) *objCache {
-	if oc, ok := c.cache[o.ID()]; ok {
+	sc := c.scratch
+	if id := o.ID(); id >= 0 && id < len(sc.dense) {
+		oc := sc.dense[id]
+		if oc == nil {
+			oc = sc.newObjCache(o)
+			sc.dense[id] = oc
+			sc.touched = append(sc.touched, id)
+		}
 		return oc
 	}
-	oc := &objCache{obj: o}
-	c.cache[o.ID()] = oc
+	if oc, ok := sc.sparse[o.ID()]; ok {
+		return oc
+	}
+	if sc.sparse == nil {
+		sc.sparse = make(map[int]*objCache, 64)
+	}
+	oc := sc.newObjCache(o)
+	sc.sparse[o.ID()] = oc
 	return oc
 }
 
-// distQ returns the cached U_Q, building it on first use.
+// lookupCache returns the per-object cache if one exists, without creating
+// it.
+func (c *Checker) lookupCache(o *uncertain.Object) *objCache {
+	sc := c.scratch
+	if id := o.ID(); id >= 0 && id < len(sc.dense) {
+		return sc.dense[id]
+	}
+	return sc.sparse[o.ID()]
+}
+
+// distQ returns the cached U_Q, building it on first use out of the
+// scratch arena.
 func (c *Checker) distQ(o *uncertain.Object) distr.Distribution {
 	oc := c.cacheOf(o)
 	if !oc.distQOK {
 		if c.euclid {
-			oc.distQ = distr.Between(o, c.query)
+			oc.distQ = distr.BetweenArena(&c.scratch.pairs, o, c.query)
 		} else {
-			oc.distQ = distr.BetweenFunc(o, c.query, c.metric.Dist)
+			oc.distQ = distr.BetweenFuncArena(&c.scratch.pairs, o, c.query, c.metric.Dist)
 		}
 		oc.distQOK = true
 		c.Stats.InstanceComparisons += int64(o.Len() * c.query.Len())
@@ -149,12 +164,12 @@ func (c *Checker) distQ(o *uncertain.Object) distr.Distribution {
 func (c *Checker) perQ(o *uncertain.Object) []distr.Distribution {
 	oc := c.cacheOf(o)
 	if oc.perQ == nil {
-		oc.perQ = make([]distr.Distribution, c.query.Len())
+		oc.perQ = c.scratch.dists.Alloc(c.query.Len())
 		for j := 0; j < c.query.Len(); j++ {
 			if c.euclid {
-				oc.perQ[j] = distr.BetweenInstance(o, c.query.Instance(j))
+				oc.perQ[j] = distr.BetweenInstanceArena(&c.scratch.pairs, o, c.query.Instance(j))
 			} else {
-				oc.perQ[j] = distr.BetweenInstanceFunc(o, c.query.Instance(j), c.metric.Dist)
+				oc.perQ[j] = distr.BetweenInstanceFuncArena(&c.scratch.pairs, o, c.query.Instance(j), c.metric.Dist)
 			}
 		}
 		c.Stats.InstanceComparisons += int64(o.Len() * c.query.Len())
@@ -180,7 +195,7 @@ func (c *Checker) perQStatsOf(o *uncertain.Object) *objCache {
 	oc := c.cacheOf(o)
 	if oc.perQStat == nil {
 		per := c.perQ(o)
-		oc.perQStat = make([][3]float64, len(per))
+		oc.perQStat = c.scratch.stats.Alloc(len(per))
 		for j, d := range per {
 			oc.perQStat[j] = [3]float64{d.Min(), d.Mean(), d.Max()}
 		}
@@ -194,9 +209,9 @@ func (c *Checker) perQStatsOf(o *uncertain.Object) *objCache {
 func (c *Checker) hullDists(o *uncertain.Object) [][]float64 {
 	oc := c.cacheOf(o)
 	if oc.hullD == nil {
-		oc.hullD = make([][]float64, o.Len())
+		oc.hullD = c.scratch.rows.Alloc(o.Len())
 		for i := 0; i < o.Len(); i++ {
-			row := make([]float64, len(c.hullPts))
+			row := c.scratch.floats.Alloc(len(c.hullPts))
 			for k, q := range c.hullPts {
 				row[k] = c.metric.Dist(o.Instance(i), q)
 			}
@@ -207,10 +222,9 @@ func (c *Checker) hullDists(o *uncertain.Object) [][]float64 {
 	return oc.hullD
 }
 
-// cmp returns a counting callback for stochastic-order scans.
-func (c *Checker) cmp() func() {
-	return func() { c.Stats.InstanceComparisons++ }
-}
+// cmp returns the counting callback for stochastic-order scans; the
+// closure is built once per scratch, never per check.
+func (c *Checker) cmp() func() { return c.cmpFn }
 
 // sphereOf returns the object's bounding hypersphere with the radius
 // re-measured under the checker's metric (Ritter's center is metric-
@@ -219,7 +233,7 @@ func (c *Checker) cmp() func() {
 func (c *Checker) sphereOf(o *uncertain.Object) geom.Sphere {
 	oc := c.cacheOf(o)
 	if !oc.sphereOK {
-		s := geom.BoundingSphere(o.Points())
+		s := o.Sphere()
 		if !c.euclid {
 			r := 0.0
 			for i := 0; i < o.Len(); i++ {
@@ -397,8 +411,12 @@ func (c *Checker) fsd(u, v *uncertain.Object) bool {
 }
 
 // minInstDist and maxInstDist are metric-aware linear scans over an
-// object's instances.
+// object's instances. Under the Euclidean metric the scan compares squared
+// distances and takes one square root at the end.
 func (c *Checker) minInstDist(o *uncertain.Object, q geom.Point) float64 {
+	if c.euclid {
+		return math.Sqrt(geom.MinSqDistToPoints(q, o.Points()))
+	}
 	best := c.metric.Dist(o.Instance(0), q)
 	for i := 1; i < o.Len(); i++ {
 		if d := c.metric.Dist(o.Instance(i), q); d < best {
@@ -409,6 +427,9 @@ func (c *Checker) minInstDist(o *uncertain.Object, q geom.Point) float64 {
 }
 
 func (c *Checker) maxInstDist(o *uncertain.Object, q geom.Point) float64 {
+	if c.euclid {
+		return math.Sqrt(geom.MaxSqDistToPoints(q, o.Points()))
+	}
 	best := c.metric.Dist(o.Instance(0), q)
 	for i := 1; i < o.Len(); i++ {
 		if d := c.metric.Dist(o.Instance(i), q); d > best {
@@ -444,7 +465,7 @@ func (c *Checker) RectLE(a, b geom.Rect) (le, strict bool) { return c.rectLE(a, 
 // minPairDist returns min(U_Q): the smallest pairwise distance between the
 // query and the object — the exact key Algorithm 1 orders objects by.
 func (c *Checker) minPairDist(o *uncertain.Object) float64 {
-	if oc, ok := c.cache[o.ID()]; ok && oc.statOK {
+	if oc := c.lookupCache(o); oc != nil && oc.statOK {
 		return oc.statMin
 	}
 	best := math.Inf(1)

@@ -184,11 +184,14 @@ func (h *searchHeap) pop() searchItem {
 // --- per-search scratch ------------------------------------------------------
 
 // searchScratch pools the engine's per-search slabs so steady-state
-// searches allocate no heap, batch or band backing arrays.
+// searches allocate no heap, batch or band backing arrays — and, through
+// the embedded CheckScratch, no checker caches, distribution atoms or flow
+// networks either.
 type searchScratch struct {
 	heap  searchHeap
 	batch []searchItem
 	band  []*uncertain.Object
+	check CheckScratch
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
@@ -208,6 +211,7 @@ func (sc *searchScratch) release() {
 		sc.band[i] = nil
 	}
 	sc.band = sc.band[:0]
+	sc.check.reset()
 	scratchPool.Put(sc)
 }
 
@@ -237,7 +241,6 @@ func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 	}
 	start := time.Now()
 	m := opts.metric()
-	checker := NewCheckerMetric(q, op, opts.Filters, m)
 	res := &Result{Operator: op}
 	qmbr := q.MBR()
 	ioBase := b.AccessStats()
@@ -248,6 +251,10 @@ func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 	}
 
 	sc := scratchPool.Get().(*searchScratch)
+	if ds, ok := b.(DenseIDSpanner); ok {
+		sc.check.setDenseSpan(ds.DenseIDSpan())
+	}
+	checker := sc.check.Checker(q, op, opts.Filters, m)
 	h := &sc.heap
 	batch := sc.batch
 	band := sc.band

@@ -39,18 +39,22 @@ type levelBounds struct {
 const maxCoarseLevel = 3
 
 // levelInfo returns the cached level bounds of object o at the given local
-// tree level, constructing the S-SD bounds eagerly.
+// tree level, constructing the S-SD bounds eagerly. Every buffer — the
+// bounds struct, the level-pointer table, masses and bound atoms — comes
+// from the checker's scratch arenas.
 func (c *Checker) levelInfo(o *objCache, level int) *levelBounds {
-	for len(o.levels) <= level {
-		o.levels = append(o.levels, nil)
+	if o.levels == nil {
+		o.levels = c.scratch.levelPtrs.AllocZeroed(maxCoarseLevel + 1)
 	}
 	if o.levels[level] != nil {
 		return o.levels[level]
 	}
 	tree := o.obj.LocalTree()
 	nodes := tree.NodesAtLevel(level)
-	lb := &levelBounds{nodes: nodes, masses: make([]float64, len(nodes))}
-	var scratch []int
+	lb := &c.scratch.levels.AllocZeroed(1)[0]
+	lb.nodes = nodes
+	lb.masses = c.scratch.floats.Alloc(len(nodes))
+	scratch := c.scratch.ids[:0]
 	for i, n := range nodes {
 		scratch = n.CollectIDs(scratch[:0])
 		var mass float64
@@ -59,23 +63,40 @@ func (c *Checker) levelInfo(o *objCache, level int) *levelBounds {
 		}
 		lb.masses[i] = mass
 	}
+	c.scratch.ids = scratch[:0] // retain capacity growth
 	// S-SD bounds: one atom per (node, query instance).
-	lbPairs := make([]distr.Pair, 0, len(nodes)*c.query.Len())
-	ubPairs := make([]distr.Pair, 0, len(nodes)*c.query.Len())
+	lbPairs := c.scratch.pairs.Alloc(len(nodes) * c.query.Len())
+	ubPairs := c.scratch.pairs.Alloc(len(nodes) * c.query.Len())
+	w := 0
 	for i, n := range nodes {
 		r := n.Rect()
 		for j := 0; j < c.query.Len(); j++ {
 			q := c.query.Instance(j)
 			p := c.query.Prob(j) * lb.masses[i]
-			lbPairs = append(lbPairs, distr.Pair{Dist: c.metric.MinDistRect(q, r), Prob: p})
-			ubPairs = append(ubPairs, distr.Pair{Dist: c.metric.MaxDistRect(q, r), Prob: p})
+			lbPairs[w] = distr.Pair{Dist: c.metric.MinDistRect(q, r), Prob: p}
+			ubPairs[w] = distr.Pair{Dist: c.metric.MaxDistRect(q, r), Prob: p}
+			w++
 		}
 	}
 	c.Stats.InstanceComparisons += int64(2 * len(nodes) * c.query.Len())
-	lb.lbQ = distr.MustFromPairs(lbPairs)
-	lb.ubQ = distr.MustFromPairs(ubPairs)
+	lb.lbQ = ownNonNeg(lbPairs)
+	lb.ubQ = ownNonNeg(ubPairs)
 	o.levels[level] = lb
 	return lb
+}
+
+// ownNonNeg wraps arena-built bound atoms as a distribution, dropping
+// zero-probability atoms exactly as the previous MustFromPairs path did
+// (zero-mass local-tree nodes contribute nothing).
+func ownNonNeg(pairs []distr.Pair) distr.Distribution {
+	w := 0
+	for _, p := range pairs {
+		if p.Prob > 0 {
+			pairs[w] = p
+			w++
+		}
+	}
+	return distr.Own(pairs[:w])
 }
 
 // levelPerQ lazily builds the per-query-instance bounds at a level.
@@ -84,17 +105,17 @@ func (c *Checker) levelPerQ(o *objCache, level int) *levelBounds {
 	if lb.perQOK {
 		return lb
 	}
-	lb.perQ = make([][2]distr.Distribution, c.query.Len())
+	lb.perQ = c.scratch.distPairs.Alloc(c.query.Len())
 	for j := 0; j < c.query.Len(); j++ {
 		q := c.query.Instance(j)
-		lo := make([]distr.Pair, len(lb.nodes))
-		hi := make([]distr.Pair, len(lb.nodes))
+		lo := c.scratch.pairs.Alloc(len(lb.nodes))
+		hi := c.scratch.pairs.Alloc(len(lb.nodes))
 		for i, n := range lb.nodes {
 			r := n.Rect()
 			lo[i] = distr.Pair{Dist: c.metric.MinDistRect(q, r), Prob: lb.masses[i]}
 			hi[i] = distr.Pair{Dist: c.metric.MaxDistRect(q, r), Prob: lb.masses[i]}
 		}
-		lb.perQ[j] = [2]distr.Distribution{distr.MustFromPairs(lo), distr.MustFromPairs(hi)}
+		lb.perQ[j] = [2]distr.Distribution{ownNonNeg(lo), ownNonNeg(hi)}
 	}
 	c.Stats.InstanceComparisons += int64(2 * len(lb.nodes) * c.query.Len())
 	lb.perQOK = true

@@ -20,6 +20,9 @@ type Index struct {
 	list    []*uncertain.Object
 	tree    *rtree.Tree
 	dim     int
+	// denseSpan is max(ID)+1 when every object ID is non-negative (so IDs
+	// fit a directly indexed cache table), 0 otherwise.
+	denseSpan int
 }
 
 // GlobalPageBytes is the page size the global R-tree fanout is derived
@@ -42,6 +45,7 @@ func NewIndex(objs []*uncertain.Object) (*Index, error) {
 	dim := objs[0].Dim()
 	byID := make(map[int]*uncertain.Object, len(objs))
 	entries := make([]rtree.Entry, len(objs))
+	span := 0
 	for i, o := range objs {
 		if o.Dim() != dim {
 			return nil, fmt.Errorf("%w: object %d has dim %d, want %d", ErrIndexDimMix, o.ID(), o.Dim(), dim)
@@ -51,15 +55,25 @@ func NewIndex(objs []*uncertain.Object) (*Index, error) {
 		}
 		byID[o.ID()] = o
 		entries[i] = rtree.Entry{Rect: o.MBR(), ID: o.ID()}
+		switch {
+		case o.ID() < 0:
+			span = -1
+		case span >= 0 && o.ID() >= span:
+			span = o.ID() + 1
+		}
+	}
+	if span < 0 {
+		span = 0
 	}
 	fan := rtree.DefaultFanout(GlobalPageBytes, dim)
 	list := make([]*uncertain.Object, len(objs))
 	copy(list, objs)
 	return &Index{
-		objects: byID,
-		list:    list,
-		tree:    rtree.Bulk(entries, 2, fan),
-		dim:     dim,
+		objects:   byID,
+		list:      list,
+		tree:      rtree.Bulk(entries, 2, fan),
+		dim:       dim,
+		denseSpan: span,
 	}, nil
 }
 

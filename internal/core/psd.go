@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"spatialdom/internal/distr"
-	"spatialdom/internal/flow"
 	"spatialdom/internal/geom"
 	"spatialdom/internal/rtree"
 	"spatialdom/internal/uncertain"
@@ -119,12 +118,22 @@ func (c *Checker) instLE(du, dv []float64) (le, strict bool) {
 // techniques, we can efficiently improve the network construction time").
 const distSpaceThreshold = 48
 
-// psdExact runs Theorem 12 on the instance-level network.
+// admEdge records one admissible u→v edge of the exact P-SD network: the
+// edge index and whether some hull instance strictly separates the pair.
+type admEdge struct {
+	e      int
+	strict bool
+}
+
+// psdExact runs Theorem 12 on the instance-level network. The network and
+// the admissible-edge records are carved out of the checker's scratch, so
+// repeat solves do not allocate.
 func (c *Checker) psdExact(u, v *uncertain.Object) bool {
 	hu := c.hullDists(u)
 	hv := c.hullDists(v)
 	nu, nv := u.Len(), v.Len()
-	g := flow.NewNetwork(nu + nv + 2)
+	g := &c.scratch.exact
+	g.Reuse(nu + nv + 2)
 	s, t := 0, nu+nv+1
 	for i := 0; i < nu; i++ {
 		g.AddEdge(s, 1+i, u.Prob(i))
@@ -132,21 +141,23 @@ func (c *Checker) psdExact(u, v *uncertain.Object) bool {
 	for j := 0; j < nv; j++ {
 		g.AddEdge(1+nu+j, t, v.Prob(j))
 	}
-	type adm struct {
-		e      int
-		strict bool
-	}
-	var admissible []adm
+	admissible := c.scratch.adm[:0]
+	defer func() { c.scratch.adm = admissible[:0] }() // retain capacity growth
 	anyEdges := false
 	if nu >= distSpaceThreshold && nv >= distSpaceThreshold {
 		// Distance-space construction: u ⪯Q v iff u's hull-distance vector
 		// lies inside the box [0, hv[j]] — a range query.
 		tree := c.distSpaceTree(u, hu)
-		lo := make(geom.Point, len(c.hullPts))
+		lo := growFloats(c.scratch.lo, len(c.hullPts))
+		for k := range lo {
+			lo[k] = 0
+		}
+		c.scratch.lo = lo
+		hi := growFloats(c.scratch.hi, len(c.hullPts))
+		c.scratch.hi = hi
 		for j := 0; j < nv; j++ {
 			// Expand the box by eps so the range query is a superset of
 			// the tolerance-aware instLE test, then recheck each hit.
-			hi := make(geom.Point, len(hv[j]))
 			for k, d := range hv[j] {
 				hi[k] = d + c.eps
 			}
@@ -157,7 +168,7 @@ func (c *Checker) psdExact(u, v *uncertain.Object) bool {
 				le, strict := c.instLE(hu[i], hv[j])
 				if le {
 					edge := g.AddEdge(1+i, 1+nu+j, math.Inf(1))
-					admissible = append(admissible, adm{edge, strict})
+					admissible = append(admissible, admEdge{edge, strict})
 					anyEdges = true
 				}
 				return true
@@ -168,7 +179,7 @@ func (c *Checker) psdExact(u, v *uncertain.Object) bool {
 			for j := 0; j < nv; j++ {
 				if le, strict := c.instLE(hu[i], hv[j]); le {
 					e := g.AddEdge(1+i, 1+nu+j, math.Inf(1))
-					admissible = append(admissible, adm{e, strict})
+					admissible = append(admissible, admEdge{e, strict})
 					anyEdges = true
 				}
 			}
@@ -220,11 +231,13 @@ func (c *Checker) levelDecidePSD(u, v *uncertain.Object) (dec, ok bool) {
 		// G⁻ (validation): an edge U^i→V^j only when EVERY u∈U^i is at
 		// least as close as every v∈V^j to every query instance, decided
 		// exactly on node MBRs. |f⁻| = 1 proves a full instance match.
-		gMinus := flow.NewNetwork(nu + nv + 2)
+		gMinus := &c.scratch.gMinus
+		gMinus.Reuse(nu + nv + 2)
 		// G⁺ (pruning): an edge unless some query instance strictly
 		// separates V^j's MBR below U^i's MBR (making u ⪯Q v impossible
 		// for every pair in the nodes). |f⁺| < 1 disproves the match.
-		gPlus := flow.NewNetwork(nu + nv + 2)
+		gPlus := &c.scratch.gPlus
+		gPlus.Reuse(nu + nv + 2)
 		s, t := 0, nu+nv+1
 		for i := 0; i < nu; i++ {
 			gMinus.AddEdge(s, 1+i, bu.masses[i])

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"spatialdom/internal/distr"
+	"spatialdom/internal/flow"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/slab"
+	"spatialdom/internal/uncertain"
+)
+
+// CheckScratch is the allocation arena behind a Checker: slab arenas for
+// every cached artifact a search builds (distribution atoms, hull-distance
+// matrices, per-object caches, level bounds), reusable flow networks for
+// the P-SD solves, and the dense object-cache table. One scratch backs one
+// live Checker at a time; Checker re-initializes it, releasing everything
+// the previous search cached. The engine pools these alongside its other
+// per-search scratch, which is what makes steady-state searches
+// allocation-free: every slab and table reaches its high-water size and is
+// then recycled verbatim.
+//
+// A CheckScratch is not safe for concurrent use.
+type CheckScratch struct {
+	// Arenas for plain-old-data caches: recycled without clearing, their
+	// contents are fully overwritten before use.
+	pairs     distr.PairArena
+	floats    slab.Arena[float64]
+	rows      slab.Arena[[]float64]
+	dists     slab.Arena[distr.Distribution]
+	distPairs slab.Arena[[2]distr.Distribution]
+	stats     slab.Arena[[3]float64]
+
+	// Arenas whose elements hold pointers (objects, local-tree nodes):
+	// cleared on reset so a pooled scratch never pins a finished search's
+	// object graph.
+	caches    slab.Arena[objCache]
+	levels    slab.Arena[levelBounds]
+	levelPtrs slab.Arena[*levelBounds]
+
+	// Object-cache table: IDs inside [0, len(dense)) hit the slice,
+	// everything else falls back to the map. touched records the dense
+	// slots in use so reset clears them without sweeping the whole table.
+	dense   []*objCache
+	touched []int
+	sparse  map[int]*objCache
+
+	// Flow-network arenas for P-SD: the exact instance network and the
+	// per-level G⁻/G⁺ pair, each rebuilt in place via Reuse.
+	exact, gMinus, gPlus flow.Network
+
+	// Assorted reusable buffers.
+	adm     []admEdge    // admissible-edge records of the exact network
+	lo, hi  geom.Point   // range-query corners in hull-distance space
+	ids     []int        // CollectIDs scratch for level masses
+	hullIdx []int        // non-geometric fallback hull index list
+	hullPts []geom.Point // hull instances of the current query
+
+	checker Checker
+}
+
+// maxDenseSpan caps the dense table: backends reporting a larger ID span
+// stay on the map so one scratch never holds a giant pointer table.
+const maxDenseSpan = 1 << 22
+
+// setDenseSpan sizes the dense object-cache table for IDs in [0, n).
+func (sc *CheckScratch) setDenseSpan(n int) {
+	if n <= 0 || n > maxDenseSpan {
+		return
+	}
+	if cap(sc.dense) < n {
+		sc.dense = make([]*objCache, n)
+	}
+	sc.dense = sc.dense[:n]
+}
+
+// reset releases everything cached by the current checker so the scratch
+// can back a new search. Pointer-bearing arenas are zeroed; POD arenas are
+// recycled as-is.
+func (sc *CheckScratch) reset() {
+	sc.pairs.Reset()
+	sc.floats.Reset()
+	sc.rows.Reset()
+	sc.dists.Reset()
+	sc.distPairs.Reset()
+	sc.stats.Reset()
+	sc.caches.ResetZero()
+	sc.levels.ResetZero()
+	sc.levelPtrs.ResetZero()
+	for _, id := range sc.touched {
+		sc.dense[id] = nil
+	}
+	sc.touched = sc.touched[:0]
+	clear(sc.sparse)
+	sc.adm = sc.adm[:0]
+	clear(sc.hullPts[:cap(sc.hullPts)]) // drop references to the previous query
+}
+
+// newObjCache carves a zeroed per-object cache out of the arena.
+func (sc *CheckScratch) newObjCache(o *uncertain.Object) *objCache {
+	oc := &sc.caches.AllocZeroed(1)[0]
+	oc.obj = o
+	return oc
+}
+
+// Checker re-initializes the scratch for a new search and returns its
+// checker, configured like NewCheckerMetric. The returned checker borrows
+// every buffer from the scratch: it is valid until the next Checker call,
+// and at most one checker per scratch is live at a time.
+func (sc *CheckScratch) Checker(query *uncertain.Object, op Operator, cfg FilterConfig, m geom.Metric) *Checker {
+	sc.reset()
+	c := &sc.checker
+	c.scratch = sc
+	c.query = query
+	c.op = op
+	c.cfg = cfg
+	c.eps = distr.Eps
+	c.metric = m
+	c.euclid = m == geom.Euclidean
+	c.qMBR = query.MBR()
+	c.Stats = Stats{}
+	if c.cmpFn == nil {
+		// One closure for the scratch's lifetime: c is a stable pointer
+		// into sc, so the counter always targets the live search's stats.
+		c.cmpFn = func() { c.Stats.InstanceComparisons++ }
+	}
+	if cfg.Geometric && c.euclid {
+		c.hullIdx = query.HullIndices()
+	} else {
+		sc.hullIdx = growInts(sc.hullIdx, query.Len())
+		for i := range sc.hullIdx {
+			sc.hullIdx[i] = i
+		}
+		c.hullIdx = sc.hullIdx
+	}
+	sc.hullPts = growPoints(sc.hullPts, len(c.hullIdx))
+	for i, j := range c.hullIdx {
+		sc.hullPts[i] = query.Instance(j)
+	}
+	c.hullPts = sc.hullPts
+	return c
+}
+
+// growInts returns s resized to n, reusing its capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growPoints returns s resized to n, reusing its capacity.
+func growPoints(s []geom.Point, n int) []geom.Point {
+	if cap(s) < n {
+		return make([]geom.Point, n)
+	}
+	return s[:n]
+}
+
+// growFloats returns s resized to n, reusing its capacity.
+func growFloats(s geom.Point, n int) geom.Point {
+	if cap(s) < n {
+		return make(geom.Point, n)
+	}
+	return s[:n]
+}

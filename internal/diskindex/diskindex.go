@@ -54,6 +54,12 @@ type Index struct {
 	store *diskstore.Store
 	tree  *diskrtree.Tree
 
+	// denseSpan is max(object ID)+1, persisted in the super page at Build
+	// time when every ID is non-negative; 0 means unknown (including files
+	// written before the field existed — the bytes were zeroed), in which
+	// case the checker keeps its map-backed cache.
+	denseSpan int
+
 	// objCache holds decoded objects keyed by record pointer, bounded by a
 	// sharded LRU over DefaultObjCacheCap entries (SetObjCacheCap to
 	// tune). The pointer is swapped atomically on reset/re-cap so
@@ -90,12 +96,22 @@ func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 		return nil, err
 	}
 	entries := make([]diskrtree.Entry, len(objs))
+	span := 0
 	for i, o := range objs {
 		ptr, err := store.Append(o)
 		if err != nil {
 			return nil, err
 		}
 		entries[i] = diskrtree.Entry{Rect: o.MBR(), ID: int64(ptr)}
+		switch {
+		case o.ID() < 0:
+			span = -1
+		case span >= 0 && o.ID() >= span:
+			span = o.ID() + 1
+		}
+	}
+	if span < 0 {
+		span = 0
 	}
 	tree, err := diskrtree.Build(pool, entries)
 	if err != nil {
@@ -109,12 +125,13 @@ func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 	copy(buf, superMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(store.Meta()))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(tree.Meta()))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(span))
 	pool.MarkDirty(super)
 	pool.Unpin(super)
 	if err := pool.Flush(); err != nil {
 		return nil, err
 	}
-	return newIndex(pool, super, store, tree), nil
+	return newIndex(pool, super, store, tree, span), nil
 }
 
 // Open reattaches to an index previously Built in the pool's file.
@@ -129,6 +146,7 @@ func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 	}
 	storeMeta := pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
 	treeMeta := pager.PageID(binary.LittleEndian.Uint32(buf[8:]))
+	span := int(binary.LittleEndian.Uint64(buf[12:]))
 	pool.Unpin(super)
 	store, err := diskstore.Open(pool, storeMeta)
 	if err != nil {
@@ -138,11 +156,11 @@ func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(pool, super, store, tree), nil
+	return newIndex(pool, super, store, tree, span), nil
 }
 
-func newIndex(pool *pager.Pool, super pager.PageID, store *diskstore.Store, tree *diskrtree.Tree) *Index {
-	ix := &Index{pool: pool, super: super, store: store, tree: tree}
+func newIndex(pool *pager.Pool, super pager.PageID, store *diskstore.Store, tree *diskrtree.Tree, span int) *Index {
+	ix := &Index{pool: pool, super: super, store: store, tree: tree, denseSpan: span}
 	ix.objCache.Store(newObjLRU(DefaultObjCacheCap, &ix.cacheHits, &ix.cacheEvictions))
 	return ix
 }
@@ -230,6 +248,9 @@ func (ix *Index) Resolve(r core.ObjRef) (*uncertain.Object, error) {
 	return o, nil
 }
 
+// DenseIDSpan reports the persisted object-ID span (core.DenseIDSpanner).
+func (ix *Index) DenseIDSpan() int { return ix.denseSpan }
+
 // AccessStats combines the buffer pool's cumulative counters with the
 // decoded-object cache's; the engine turns them into per-search deltas.
 func (ix *Index) AccessStats() core.IOStats {
@@ -257,7 +278,14 @@ type session struct {
 	cacheHits, cacheEvictions int64
 }
 
-var _ core.Backend = (*session)(nil)
+var (
+	_ core.Backend        = (*session)(nil)
+	_ core.DenseIDSpanner = (*session)(nil)
+	_ core.DenseIDSpanner = (*Index)(nil)
+)
+
+// DenseIDSpan forwards the index's persisted span to the engine.
+func (s *session) DenseIDSpan() int { return s.ix.denseSpan }
 
 func (s *session) Root() (core.NodeRef, error) {
 	return core.NodeRef{ID: uint64(s.ix.tree.Root())}, nil

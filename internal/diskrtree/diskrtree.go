@@ -16,11 +16,12 @@
 package diskrtree
 
 import (
+	"cmp"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"spatialdom/internal/geom"
 	"spatialdom/internal/pager"
@@ -246,7 +247,7 @@ func unionAll(rects []geom.Rect) geom.Rect {
 
 // strTile mirrors the in-memory STR packing.
 func strTile(idx []int, centers []geom.Point, d, dim, capacity int) {
-	sort.Slice(idx, func(i, j int) bool { return centers[idx[i]][d] < centers[idx[j]][d] })
+	slices.SortFunc(idx, func(i, j int) int { return cmp.Compare(centers[i][d], centers[j][d]) })
 	if d == dim-1 {
 		return
 	}

@@ -13,9 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"spatialdom/internal/geom"
+	"spatialdom/internal/slab"
 	"spatialdom/internal/uncertain"
 )
 
@@ -39,6 +39,33 @@ type Distribution struct {
 
 var errBadProb = errors.New("distr: probabilities must be finite and non-negative")
 
+// PairArena is a slab arena of distribution atoms. The *Arena constructor
+// variants carve their backing arrays out of one, so a search that owns an
+// arena builds every distribution without touching the heap once the slabs
+// are warm. A nil *PairArena falls back to make.
+type PairArena = slab.Arena[Pair]
+
+// allocPairs returns a length-n atom buffer from the arena, or a fresh one
+// when the arena is nil.
+func allocPairs(a *PairArena, n int) []Pair {
+	if a == nil {
+		return make([]Pair, n)
+	}
+	return a.Alloc(n)
+}
+
+// Own builds a distribution that takes ownership of the given atom slice,
+// sorting it in place with no copy and no validation. It is the arena-path
+// counterpart of the Between* constructors for atoms the caller has already
+// computed from validated objects (finite values, non-negative
+// probabilities); unlike FromPairs it keeps zero-probability atoms, exactly
+// as the Between* constructors always have. The slice must not be used by
+// the caller afterwards.
+func Own(pairs []Pair) Distribution {
+	sortPairs(pairs)
+	return Distribution{pairs: pairs}
+}
+
 // FromPairs builds a distribution from atoms in any order. Atoms are copied
 // and sorted; zero-probability atoms are dropped. The probabilities must be
 // non-negative and finite but need not sum to one (sub-distributions are
@@ -56,7 +83,7 @@ func FromPairs(pairs []Pair) (Distribution, error) {
 			cp = append(cp, p)
 		}
 	}
-	sort.Slice(cp, func(i, j int) bool { return cp[i].Dist < cp[j].Dist })
+	sortPairs(cp)
 	return Distribution{pairs: cp}, nil
 }
 
@@ -73,61 +100,84 @@ func MustFromPairs(pairs []Pair) Distribution {
 // q containing every instance pair (q_j, u_i) with value δ(q_j, u_i) and
 // probability p(q_j)·p(u_i).
 func Between(u, q *uncertain.Object) Distribution {
-	pairs := make([]Pair, 0, u.Len()*q.Len())
+	return BetweenArena(nil, u, q)
+}
+
+// BetweenArena is Between with the atom buffer carved out of the arena.
+func BetweenArena(a *PairArena, u, q *uncertain.Object) Distribution {
+	pairs := allocPairs(a, u.Len()*q.Len())
+	w := 0
 	for j := 0; j < q.Len(); j++ {
 		qp := q.Instance(j)
 		qprob := q.Prob(j)
 		for i := 0; i < u.Len(); i++ {
-			pairs = append(pairs, Pair{
+			pairs[w] = Pair{
 				Dist: geom.Dist(qp, u.Instance(i)),
 				Prob: qprob * u.Prob(i),
-			})
+			}
+			w++
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
-	return Distribution{pairs: pairs}
+	return Own(pairs)
 }
 
 // BetweenFunc is Between under an arbitrary instance distance function —
 // the extension point for non-Euclidean metrics (Section 2.1 notes the
 // techniques carry over to any metric).
 func BetweenFunc(u, q *uncertain.Object, dist func(a, b geom.Point) float64) Distribution {
-	pairs := make([]Pair, 0, u.Len()*q.Len())
+	return BetweenFuncArena(nil, u, q, dist)
+}
+
+// BetweenFuncArena is BetweenFunc with the atom buffer carved out of the
+// arena.
+func BetweenFuncArena(a *PairArena, u, q *uncertain.Object, dist func(a, b geom.Point) float64) Distribution {
+	pairs := allocPairs(a, u.Len()*q.Len())
+	w := 0
 	for j := 0; j < q.Len(); j++ {
 		qp := q.Instance(j)
 		qprob := q.Prob(j)
 		for i := 0; i < u.Len(); i++ {
-			pairs = append(pairs, Pair{
+			pairs[w] = Pair{
 				Dist: dist(qp, u.Instance(i)),
 				Prob: qprob * u.Prob(i),
-			})
+			}
+			w++
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
-	return Distribution{pairs: pairs}
+	return Own(pairs)
 }
 
 // BetweenInstanceFunc is BetweenInstance under an arbitrary instance
 // distance function.
 func BetweenInstanceFunc(u *uncertain.Object, q geom.Point, dist func(a, b geom.Point) float64) Distribution {
-	pairs := make([]Pair, u.Len())
+	return BetweenInstanceFuncArena(nil, u, q, dist)
+}
+
+// BetweenInstanceFuncArena is BetweenInstanceFunc with the atom buffer
+// carved out of the arena.
+func BetweenInstanceFuncArena(a *PairArena, u *uncertain.Object, q geom.Point, dist func(a, b geom.Point) float64) Distribution {
+	pairs := allocPairs(a, u.Len())
 	for i := 0; i < u.Len(); i++ {
 		pairs[i] = Pair{Dist: dist(q, u.Instance(i)), Prob: u.Prob(i)}
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
-	return Distribution{pairs: pairs}
+	return Own(pairs)
 }
 
 // BetweenInstance returns U_q: the distance distribution between object u
 // and a single query instance, each atom carrying the instance probability
 // p(u_i).
 func BetweenInstance(u *uncertain.Object, q geom.Point) Distribution {
-	pairs := make([]Pair, u.Len())
+	return BetweenInstanceArena(nil, u, q)
+}
+
+// BetweenInstanceArena is BetweenInstance with the atom buffer carved out
+// of the arena.
+func BetweenInstanceArena(a *PairArena, u *uncertain.Object, q geom.Point) Distribution {
+	pairs := allocPairs(a, u.Len())
 	for i := 0; i < u.Len(); i++ {
 		pairs[i] = Pair{Dist: geom.Dist(q, u.Instance(i)), Prob: u.Prob(i)}
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
-	return Distribution{pairs: pairs}
+	return Own(pairs)
 }
 
 // Len returns the number of atoms.

@@ -1,0 +1,27 @@
+package distr
+
+import (
+	"cmp"
+	"slices"
+)
+
+// insertionCutoff is the length below which straight insertion sort beats
+// the general sorter. The bulk of the hot path sorts U_q distributions of
+// m ≈ 8–16 atoms, which this catches without any dispatch overhead.
+const insertionCutoff = 24
+
+// sortPairs sorts atoms by non-decreasing value without reflection. Small
+// inputs use insertion sort; larger ones use the stdlib's pattern-defeating
+// quicksort through a typed comparator, which, unlike sort.Slice, neither
+// boxes the slice through reflect nor allocates.
+func sortPairs(p []Pair) {
+	if len(p) <= insertionCutoff {
+		for i := 1; i < len(p); i++ {
+			for j := i; j > 0 && p[j].Dist < p[j-1].Dist; j-- {
+				p[j], p[j-1] = p[j-1], p[j]
+			}
+		}
+		return
+	}
+	slices.SortFunc(p, func(a, b Pair) int { return cmp.Compare(a.Dist, b.Dist) })
+}

@@ -25,17 +25,73 @@ type edge struct {
 	cost float64
 }
 
-// Network is a directed flow network over vertices 0..n-1. The zero value
-// is not usable; construct with NewNetwork.
+// Network is a directed flow network over vertices 0..n-1. Construct with
+// NewNetwork, or recycle one across solves with Reuse: the edge list,
+// adjacency lists and solver scratch are all retained between uses, so a
+// warm network builds and solves without allocating. The zero value is a
+// usable empty network after Reuse.
 type Network struct {
 	n     int
 	edges []edge // paired: e and e^1 are an arc and its residual twin
 	adj   [][]int
+
+	// Solver scratch, sized lazily to n and reused across solves.
+	level, iter, queue []int
+	dist               []float64
+	inQueue            []bool
+	prevEdge           []int
 }
 
 // NewNetwork returns an empty network with n vertices.
 func NewNetwork(n int) *Network {
-	return &Network{n: n, adj: make([][]int, n)}
+	g := &Network{}
+	g.Reuse(n)
+	return g
+}
+
+// Reuse re-initializes the network to n empty vertices, keeping every
+// backing array: the recycled network adds edges and solves without heap
+// allocation once its arrays have grown to the workload's high-water size.
+// All edge indices from before the call are invalidated.
+func (g *Network) Reuse(n int) {
+	g.n = n
+	g.edges = g.edges[:0]
+	if cap(g.adj) < n {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+}
+
+// ensureDinic sizes the Dinic scratch to the vertex count.
+func (g *Network) ensureDinic() {
+	if cap(g.level) < g.n {
+		g.level = make([]int, g.n)
+		g.iter = make([]int, g.n)
+		g.queue = make([]int, 0, g.n)
+	}
+	g.level = g.level[:g.n]
+	g.iter = g.iter[:g.n]
+}
+
+// ensureSPFA sizes the min-cost scratch to the vertex count.
+func (g *Network) ensureSPFA() {
+	if cap(g.dist) < g.n {
+		g.dist = make([]float64, g.n)
+		g.inQueue = make([]bool, g.n)
+		g.prevEdge = make([]int, g.n)
+		if cap(g.queue) < g.n {
+			g.queue = make([]int, 0, g.n)
+		}
+	}
+	g.dist = g.dist[:g.n]
+	g.inQueue = g.inQueue[:g.n]
+	g.prevEdge = g.prevEdge[:g.n]
+	for i := range g.inQueue {
+		g.inQueue[i] = false
+	}
 }
 
 // Len returns the number of vertices.
@@ -63,16 +119,17 @@ func (g *Network) AddEdgeCost(from, to int, capacity, cost float64) int {
 func (g *Network) Flow(edgeIdx int) float64 { return g.edges[edgeIdx^1].cap }
 
 // MaxFlow computes the maximum s→t flow with Dinic's algorithm and leaves
-// the flow assignment readable through Flow.
+// the flow assignment readable through Flow. Scratch arrays live on the
+// network, so repeated solves on a warm (Reuse-recycled) network do not
+// allocate.
 func (g *Network) MaxFlow(s, t int) float64 {
 	if s == t {
 		return 0
 	}
+	g.ensureDinic()
 	var total float64
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int, 0, g.n)
-	for g.bfs(s, t, level, &queue) {
+	level, iter := g.level, g.iter
+	for g.bfs(s, t, level, &g.queue) {
 		for i := range iter {
 			iter[i] = 0
 		}
@@ -130,22 +187,22 @@ func (g *Network) dfs(v, t int, f float64, level, iter []int) float64 {
 
 // MinCostMaxFlow computes a maximum s→t flow of minimum total cost using
 // successive shortest augmenting paths (SPFA for negative reduced costs).
-// It returns the flow value and its cost.
+// It returns the flow value and its cost. Scratch arrays live on the
+// network, so repeated solves on a warm network do not allocate.
 func (g *Network) MinCostMaxFlow(s, t int) (flow, cost float64) {
-	dist := make([]float64, g.n)
-	inQueue := make([]bool, g.n)
-	prevEdge := make([]int, g.n)
+	g.ensureSPFA()
+	dist, inQueue, prevEdge := g.dist, g.inQueue, g.prevEdge
 	for {
 		for i := range dist {
 			dist[i] = math.Inf(1)
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		queue := []int{s}
+		queue := g.queue[:0]
+		queue = append(queue, s)
 		inQueue[s] = true
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			inQueue[v] = false
 			for _, ei := range g.adj[v] {
 				e := g.edges[ei]
@@ -159,6 +216,7 @@ func (g *Network) MinCostMaxFlow(s, t int) (flow, cost float64) {
 				}
 			}
 		}
+		g.queue = queue[:0] // keep any capacity growth for later rounds
 		if math.IsInf(dist[t], 1) {
 			return flow, cost
 		}

@@ -1,6 +1,6 @@
 package geom
 
-import "sort"
+import "slices"
 
 // ConvexHullIndices returns the indices of the points that lie on the convex
 // hull of pts. The hull is a pure optimization for dominance checks (only
@@ -61,12 +61,21 @@ func hull2D(pts []Point) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := pts[order[i]], pts[order[j]]
-		if a[0] != b[0] {
-			return a[0] < b[0]
+	slices.SortFunc(order, func(i, j int) int {
+		a, b := pts[i], pts[j]
+		if a[0] < b[0] {
+			return -1
 		}
-		return a[1] < b[1]
+		if a[0] > b[0] {
+			return 1
+		}
+		if a[1] < b[1] {
+			return -1
+		}
+		if a[1] > b[1] {
+			return 1
+		}
+		return 0
 	})
 	// Drop exact duplicates so degenerate inputs don't inflate the hull.
 	uniq := order[:1]

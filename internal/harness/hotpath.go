@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/diskindex"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+)
+
+// HotpathCell is one (dataset, operator) measurement of the dominance hot
+// path: per-query time, per-query heap allocations (runtime.MemStats
+// deltas over the whole run), and throughput.
+type HotpathCell struct {
+	Dataset     string  `json:"dataset"`
+	Operator    string  `json:"operator"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	QPS         float64 `json:"qps"`
+	Candidates  float64 `json:"candidates_per_query"`
+}
+
+// HotpathBackendReport groups one backend's serial and parallel sweeps.
+type HotpathBackendReport struct {
+	Backend  string        `json:"backend"` // "mem" or "disk"
+	Serial   []HotpathCell `json:"serial"`
+	Parallel []HotpathCell `json:"parallel"`
+	Workers  int           `json:"parallel_workers"`
+}
+
+// HotpathReport is the machine-readable outcome of the hot-path benchmark
+// (nncbench -hotpath → BENCH_hotpath.json): Figure 12-style workloads
+// timed with allocation accounting, on both backends, serial and parallel.
+type HotpathReport struct {
+	Scale      string                 `json:"scale"`
+	Seed       int64                  `json:"seed"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Queries    int                    `json:"queries_per_cell"`
+	Backends   []HotpathBackendReport `json:"backends"`
+}
+
+// hotpathMinDuration is the time target per cell: the workload repeats
+// until the cell has run at least this long (and at least twice, so every
+// number reported is from warm caches and pooled scratch).
+const hotpathMinDuration = 200 * time.Millisecond
+
+// measureCell runs the workload repeatedly under allocation accounting.
+// run executes one pass over the workload and returns (queries, candidates).
+func measureCell(dataset string, op core.Operator, run func() (int, float64)) HotpathCell {
+	run() // warm pass: build object caches, grow slabs to high water
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ops := 0
+	var cands float64
+	for pass := 0; pass < 2 || time.Since(start) < hotpathMinDuration; pass++ {
+		n, c := run()
+		ops += n
+		cands += c
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(ops)
+	return HotpathCell{
+		Dataset:     dataset,
+		Operator:    op.String(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		QPS:         n / elapsed.Seconds(),
+		Candidates:  cands / n,
+	}
+}
+
+// serialCell measures one backend+dataset+operator cell with the queries
+// run back to back on the calling goroutine.
+func serialCell(s Searcher, dataset string, queries []*uncertain.Object, op core.Operator) HotpathCell {
+	return measureCell(dataset, op, func() (int, float64) {
+		var cands float64
+		for _, q := range queries {
+			res, err := s.SearchKCtx(context.Background(), q, op, 1, core.SearchOptions{Filters: core.AllFilters})
+			if err != nil {
+				continue
+			}
+			cands += float64(len(res.Candidates))
+		}
+		return len(queries), cands
+	})
+}
+
+// parallelCell is serialCell with the workload fanned out over workers
+// goroutines; AllocsPerOp then also covers any allocation the fan-out
+// itself performs.
+func parallelCell(s Searcher, dataset string, queries []*uncertain.Object, op core.Operator, workers int) HotpathCell {
+	return measureCell(dataset, op, func() (int, float64) {
+		m := RunWorkloadParallelOn(s, queries, op, core.AllFilters, workers)
+		return len(queries), m.Candidates * float64(len(queries))
+	})
+}
+
+// hotpathDatasets is the Figure 12 subset the hot-path benchmark runs:
+// uniform-ish, clustered and the candidate-heavy NBA stand-in.
+func hotpathDatasets(sp spec, seed int64) []namedData {
+	all := evalDatasets(sp, seed)
+	keep := map[string]bool{"A-N": true, "NBA": true, "USA": true}
+	var out []namedData
+	for _, d := range all {
+		if keep[d.label] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HotpathBench measures the dominance hot path on Figure 12-style
+// workloads: every operator, serial and at `workers`-way parallelism, on
+// the in-memory and the disk backend (throwaway page file, pool sized to
+// avoid eviction thrash).
+func HotpathBench(sc Scale, seed int64, workers int) (*HotpathReport, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sp := specFor(sc)
+	data := hotpathDatasets(sp, seed)
+
+	dir, err := os.MkdirTemp("", "spatialdom-hot-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	scaleName := map[Scale]string{Tiny: "tiny", Small: "small", Medium: "medium", Paper: "paper"}[sc]
+	rep := &HotpathReport{
+		Scale:      scaleName,
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Queries:    sp.Queries,
+	}
+
+	for _, backend := range []string{"mem", "disk"} {
+		br := HotpathBackendReport{Backend: backend, Workers: workers}
+		for _, d := range data {
+			var s Searcher = d.idx
+			if backend == "disk" {
+				pf, err := pager.Create(filepath.Join(dir, d.label+".pg"), pager.PageSize)
+				if err != nil {
+					return nil, err
+				}
+				defer pf.Close()
+				disk, err := diskindex.Build(pager.NewPool(pf, 1024), d.idx.Objects())
+				if err != nil {
+					return nil, err
+				}
+				s = disk
+			}
+			for _, op := range allOps {
+				br.Serial = append(br.Serial, serialCell(s, d.label, d.queries, op))
+			}
+			// Parallel sweep on the flow-heaviest operator only: the point
+			// is contention behavior of the pooled scratch, which does not
+			// depend on the operator mix.
+			br.Parallel = append(br.Parallel, parallelCell(s, d.label, d.queries, core.PSD, workers))
+		}
+		rep.Backends = append(rep.Backends, br)
+	}
+	return rep, nil
+}
+
+// WriteText renders the report as aligned tables, one per backend.
+func (r *HotpathReport) WriteText(w io.Writer) error {
+	for i, b := range r.Backends {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		t := Table{
+			Title:   fmt.Sprintf("hot path, %s backend, serial (%d queries/cell)", b.Backend, r.Queries),
+			Columns: []string{"dataset", "operator", "ns/op", "allocs/op", "B/op", "QPS", "cand/query"},
+		}
+		for _, c := range b.Serial {
+			t.AddRow(c.Dataset, c.Operator,
+				fmt.Sprintf("%.0f", c.NsPerOp),
+				fmt.Sprintf("%.1f", c.AllocsPerOp),
+				fmt.Sprintf("%.0f", c.BytesPerOp),
+				fmt.Sprintf("%.1f", c.QPS),
+				fmt.Sprintf("%.2f", c.Candidates))
+		}
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		tp := Table{
+			Title:   fmt.Sprintf("hot path, %s backend, %d-way parallel PSD", b.Backend, b.Workers),
+			Columns: []string{"dataset", "ns/op", "allocs/op", "QPS"},
+		}
+		for _, c := range b.Parallel {
+			tp.AddRow(c.Dataset,
+				fmt.Sprintf("%.0f", c.NsPerOp),
+				fmt.Sprintf("%.1f", c.AllocsPerOp),
+				fmt.Sprintf("%.1f", c.QPS))
+		}
+		if err := tp.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path with a trailing newline.
+func (r *HotpathReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

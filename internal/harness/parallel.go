@@ -93,18 +93,27 @@ type WorkerPoint struct {
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`
 	Speedup   float64 `json:"speedup"`
+	// AllocsPerOp is the heap allocations per query over the whole sweep
+	// point (runtime.MemStats delta), including the fan-out's own
+	// bookkeeping — the steady-state memory-discipline number.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // WorkerSweep runs the same workload at each worker count and reports
-// QPS/p50/p95 per point. The first point's QPS is the speedup baseline,
-// so pass workers in increasing order starting at 1 for the conventional
-// reading.
+// QPS/p50/p95/allocs per point. The first point's QPS is the speedup
+// baseline, so pass workers in increasing order starting at 1 for the
+// conventional reading.
 func WorkerSweep(s Searcher, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig, workers []int) []WorkerPoint {
 	points := make([]WorkerPoint, 0, len(workers))
 	var base float64
 	for _, w := range workers {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		m := RunWorkloadParallelOn(s, queries, op, cfg, w)
-		p := WorkerPoint{Workers: w, QPS: m.QPS, P50Millis: m.P50Millis, P95Millis: m.P95Millis}
+		runtime.ReadMemStats(&after)
+		p := WorkerPoint{Workers: w, QPS: m.QPS, P50Millis: m.P50Millis, P95Millis: m.P95Millis,
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(len(queries))}
 		if base == 0 {
 			base = m.QPS
 		}

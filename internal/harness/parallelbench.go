@@ -109,14 +109,15 @@ func (r *ParallelReport) WriteText(w io.Writer) error {
 		t := Table{
 			Title: fmt.Sprintf("parallel %s workload, %s backend (%d queries, GOMAXPROCS=%d)",
 				r.Operator, b.Backend, r.Queries, r.GOMAXPROCS),
-			Columns: []string{"workers", "QPS", "p50 (ms)", "p95 (ms)", "speedup"},
+			Columns: []string{"workers", "QPS", "p50 (ms)", "p95 (ms)", "speedup", "allocs/op"},
 		}
 		for _, p := range b.Points {
 			t.AddRow(fmt.Sprint(p.Workers),
 				fmt.Sprintf("%.1f", p.QPS),
 				fmt.Sprintf("%.3f", p.P50Millis),
 				fmt.Sprintf("%.3f", p.P95Millis),
-				fmt.Sprintf("%.2fx", p.Speedup))
+				fmt.Sprintf("%.2fx", p.Speedup),
+				fmt.Sprintf("%.1f", p.AllocsPerOp))
 		}
 		if err := t.WriteText(w); err != nil {
 			return err

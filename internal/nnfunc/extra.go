@@ -3,7 +3,6 @@ package nnfunc
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"spatialdom/internal/distr"
 	"spatialdom/internal/geom"
@@ -61,8 +60,7 @@ func minSelection(u, q *uncertain.Object) distr.Distribution {
 			Prob: q.Prob(j) / 2,
 		})
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Dist < pairs[b].Dist })
-	return distr.MustFromPairs(pairs)
+	return distr.MustFromPairs(pairs) // FromPairs sorts the atoms itself
 }
 
 // PartialHausdorff is the N3 function quan_φ over the Hausdorff selection:

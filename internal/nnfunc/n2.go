@@ -1,7 +1,9 @@
 package nnfunc
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"spatialdom/internal/geom"
@@ -38,7 +40,7 @@ func buildCDF(o *uncertain.Object, q geom.Point) perInstanceCDF {
 	for i := 0; i < o.Len(); i++ {
 		tmp[i] = dp{geom.Dist(o.Instance(i), q), o.Prob(i)}
 	}
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i].d < tmp[j].d })
+	slices.SortFunc(tmp, func(a, b dp) int { return cmp.Compare(a.d, b.d) })
 	c := perInstanceCDF{dists: make([]float64, len(tmp)), cum: make([]float64, len(tmp))}
 	acc := 0.0
 	for i, t := range tmp {

@@ -1,7 +1,7 @@
 package nnfunc
 
 import (
-	"sort"
+	"slices"
 
 	"spatialdom/internal/geom"
 	"spatialdom/internal/uncertain"
@@ -91,6 +91,15 @@ func RankByNNProbability(objs []*uncertain.Object, q *uncertain.Object) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return dist[idx[a]][0] > dist[idx[b]][0] })
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case dist[a][0] > dist[b][0]:
+			return -1
+		case dist[a][0] < dist[b][0]:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return idx
 }

@@ -48,7 +48,7 @@ type PageFile struct {
 	f        *os.File
 	pageSize int
 
-	mu     sync.Mutex  // guards Allocate / Sync / Close (header + growth)
+	mu     sync.Mutex    // guards Allocate / Sync / Close (header + growth)
 	pages  atomic.Uint32 // number of allocated pages, including page 0
 	closed atomic.Bool
 

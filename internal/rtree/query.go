@@ -178,13 +178,40 @@ func (t *Tree) Furthest(q geom.Point) (Entry, float64, bool) {
 
 // NodesAtLevel returns the nodes at the given level, where level 0 is the
 // root. Levels deeper than the tree height return the deepest (leaf) level.
+// The per-level node lists are memoized on the tree (and invalidated by
+// Insert/Delete), so repeated calls — the level-by-level dominance filters
+// ask for the same levels on every search — return shared slices without
+// allocating. The returned slice must not be modified.
 func (t *Tree) NodesAtLevel(level int) []*Node {
 	if t.size == 0 {
 		return nil
 	}
-	cur := []*Node{t.root}
-	for l := 0; l < level; l++ {
-		var next []*Node
+	lc := t.levelCache.Load()
+	if lc == nil {
+		pyramid := t.buildLevels()
+		// Concurrent readers may race to build; the CAS keeps one winner
+		// and every built pyramid is identical.
+		if !t.levelCache.CompareAndSwap(nil, &pyramid) {
+			lc = t.levelCache.Load()
+		} else {
+			lc = &pyramid
+		}
+	}
+	levels := *lc
+	if level >= len(levels) {
+		level = len(levels) - 1 // expansion is stable past the leaf level
+	}
+	return levels[level]
+}
+
+// buildLevels materializes every level 0..height-1 in one pass; below the
+// deepest level the expansion is a fixed point (all nodes are leaves).
+func (t *Tree) buildLevels() [][]*Node {
+	levels := make([][]*Node, 1, t.height)
+	levels[0] = []*Node{t.root}
+	for l := 1; l < t.height; l++ {
+		cur := levels[l-1]
+		next := make([]*Node, 0, len(cur))
 		for _, n := range cur {
 			if n.leaf {
 				next = append(next, n) // leaves persist below their depth
@@ -192,9 +219,9 @@ func (t *Tree) NodesAtLevel(level int) []*Node {
 				next = append(next, n.children...)
 			}
 		}
-		cur = next
+		levels = append(levels, next)
 	}
-	return cur
+	return levels
 }
 
 func sqrtNonNeg(x float64) float64 {

@@ -14,8 +14,10 @@
 package rtree
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"spatialdom/internal/geom"
 )
@@ -104,6 +106,11 @@ type Tree struct {
 	min, max int
 	size     int
 	height   int // number of levels; 1 for a single leaf root
+
+	// levelCache memoizes NodesAtLevel's per-level node lists; it is
+	// populated lazily (safely under concurrent readers) and dropped on
+	// any mutation.
+	levelCache atomic.Pointer[[][]*Node]
 }
 
 // DefaultFanout returns the fanout implied by an R-tree page of pageBytes
@@ -237,7 +244,7 @@ func strPackNodes(nodes []*Node, dim, capacity int) []*Node {
 // strTile recursively sorts idx so that consecutive runs of `capacity`
 // indices form spatially coherent tiles (classic STR).
 func strTile(idx []int, centers []geom.Point, d, dim, capacity int) {
-	sort.Slice(idx, func(i, j int) bool { return centers[idx[i]][d] < centers[idx[j]][d] })
+	slices.SortFunc(idx, func(i, j int) int { return cmp.Compare(centers[i][d], centers[j][d]) })
 	if d == dim-1 {
 		return
 	}
@@ -288,6 +295,7 @@ func pow(b, e int) int {
 // Insert adds an entry to the tree (Guttman's algorithm with quadratic
 // split).
 func (t *Tree) Insert(e Entry) {
+	t.levelCache.Store(nil)
 	t.size++
 	split := t.insert(t.root, e)
 	if split != nil {
@@ -470,6 +478,7 @@ func (t *Tree) splitInternal(n *Node) *Node {
 // Delete removes the entry with the given ID whose rectangle equals r.
 // It reports whether an entry was removed.
 func (t *Tree) Delete(r geom.Rect, id int) bool {
+	t.levelCache.Store(nil)
 	leaf, pos, path := t.findLeaf(t.root, r, id, nil)
 	if leaf == nil {
 		return false

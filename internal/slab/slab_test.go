@@ -1,0 +1,92 @@
+package slab
+
+import (
+	"testing"
+)
+
+func TestAllocSizesAndIndependence(t *testing.T) {
+	var a Arena[int]
+	x := a.Alloc(3)
+	y := a.Alloc(5)
+	if len(x) != 3 || cap(x) != 3 {
+		t.Fatalf("x len/cap = %d/%d, want 3/3", len(x), cap(x))
+	}
+	if len(y) != 5 || cap(y) != 5 {
+		t.Fatalf("y len/cap = %d/%d, want 5/5", len(y), cap(y))
+	}
+	for i := range x {
+		x[i] = 100 + i
+	}
+	for i := range y {
+		y[i] = 200 + i
+	}
+	for i := range x {
+		if x[i] != 100+i {
+			t.Fatalf("x[%d] clobbered: %d", i, x[i])
+		}
+	}
+	if a.Alloc(0) != nil {
+		t.Fatal("Alloc(0) should be nil")
+	}
+}
+
+func TestLargeRequestGetsOwnSlab(t *testing.T) {
+	var a Arena[byte]
+	big := a.Alloc(3 * minSlab)
+	if len(big) != 3*minSlab {
+		t.Fatalf("len = %d", len(big))
+	}
+	if a.Footprint() < 3*minSlab {
+		t.Fatalf("footprint %d < request", a.Footprint())
+	}
+}
+
+func TestResetReusesSlabs(t *testing.T) {
+	var a Arena[float64]
+	for i := 0; i < 10; i++ {
+		a.Alloc(300)
+	}
+	foot := a.Footprint()
+	for round := 0; round < 5; round++ {
+		a.Reset()
+		for i := 0; i < 10; i++ {
+			a.Alloc(300)
+		}
+	}
+	if a.Footprint() != foot {
+		t.Fatalf("footprint grew across resets: %d -> %d", foot, a.Footprint())
+	}
+}
+
+func TestWarmRoundsDoNotAllocate(t *testing.T) {
+	var a Arena[float64]
+	round := func() {
+		a.Reset()
+		for i := 0; i < 7; i++ {
+			a.Alloc(513)
+		}
+	}
+	round() // warm the slabs
+	if n := testing.AllocsPerRun(50, round); n != 0 {
+		t.Fatalf("warm rounds allocate %v times", n)
+	}
+}
+
+func TestResetZeroClearsHandedOutElements(t *testing.T) {
+	var a Arena[*int]
+	v := 7
+	p := a.Alloc(4)
+	for i := range p {
+		p[i] = &v
+	}
+	// Force a second slab so the multi-slab path is covered.
+	q := a.AllocZeroed(minSlab)
+	q[0] = &v
+	a.ResetZero()
+	r := a.Alloc(4)
+	for i, e := range r {
+		if e != nil {
+			t.Fatalf("element %d not cleared", i)
+		}
+	}
+}

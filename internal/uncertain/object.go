@@ -51,6 +51,9 @@ type Object struct {
 
 	hullOnce sync.Once
 	hull     []int
+
+	sphereOnce sync.Once
+	sphere     geom.Sphere
 }
 
 // New builds an object from its instances and optional weights.
@@ -184,6 +187,15 @@ func (o *Object) LocalTree() *rtree.Tree {
 func (o *Object) HullIndices() []int {
 	o.hullOnce.Do(func() { o.hull = geom.ConvexHullIndices(o.pts) })
 	return o.hull
+}
+
+// Sphere returns the Euclidean bounding hypersphere of the instances
+// (Ritter's algorithm), computed on first use. Callers under other metrics
+// must re-measure the radius from the returned center; the center slice
+// must not be modified.
+func (o *Object) Sphere() geom.Sphere {
+	o.sphereOnce.Do(func() { o.sphere = geom.BoundingSphere(o.pts) })
+	return o.sphere
 }
 
 // HullPoints returns the hull instances as points.
