@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-baseline bench-compare hotpath cover figures examples clean check
+.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check
 
 # The hot-path benchmark set and flags; bench-baseline and bench-compare
 # must agree so the committed BENCH_baseline.txt stays comparable. The
@@ -19,17 +19,30 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs nnclint, the repo's own static-analysis suite (hotpath-alloc,
+# scratch-escape, lock-balance, ctx-flow, no-reflect-sort, bench-hygiene).
+# Zero findings is the bar; suppress only with an explained //nnc:allow.
+lint:
+	$(GO) run ./cmd/nnclint -root .
+
+# fmt-check fails if any file needs gofmt (testdata corpora included).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test: vet
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: vet + build + race tests + a one-shot Figure 12
-# benchmark smoke so the engine's hot path stays exercised.
-check:
+# check is the CI gate: formatting + vet + build + nnclint + race tests +
+# a one-shot Figure 12 benchmark smoke so the engine's hot path stays
+# exercised.
+check: fmt-check
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) run ./cmd/nnclint -root .
 	$(GO) test -race ./...
 	$(GO) test -run='^$$' -bench=Fig12 -benchtime=1x .
 

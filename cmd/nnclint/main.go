@@ -1,0 +1,72 @@
+// Command nnclint runs the project's static-analysis suite (see
+// internal/lint) over the module tree and prints findings as
+// "file:line:col: [check] message". Exit status: 0 clean, 1 findings,
+// 2 load/type-check failure.
+//
+// Usage:
+//
+//	nnclint [-root dir] [-checks name,name,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialdom/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+
+	prog, err := lint.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nnclint:", err)
+		os.Exit(2)
+	}
+
+	var diags []lint.Diagnostic
+	if *checks == "" {
+		diags = lint.Run(prog)
+	} else {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		r := lint.NewReporter(prog)
+		known := map[string]bool{}
+		for _, c := range lint.Checks() {
+			known[c.Name] = true
+			if want[c.Name] {
+				r.MarkRan(c.Name)
+				c.Run(prog, r)
+			}
+		}
+		for name := range want {
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "nnclint: unknown check %q (use -list)\n", name)
+				os.Exit(2)
+			}
+		}
+		diags = r.Finish()
+	}
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nnclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

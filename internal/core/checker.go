@@ -67,6 +67,8 @@ func (c *Checker) Query() *uncertain.Object { return c.query }
 func (c *Checker) Operator() Operator { return c.op }
 
 // Dominates reports whether SD(u, v, Q) holds under the checker's operator.
+//
+//nnc:hotpath
 func (c *Checker) Dominates(u, v *uncertain.Object) bool {
 	c.Stats.DominanceChecks++
 	switch c.op {
@@ -127,9 +129,11 @@ func (c *Checker) cacheOf(o *uncertain.Object) *objCache {
 		return oc
 	}
 	if sc.sparse == nil {
+		//nnc:allow hotpath-alloc: sparse fallback for negative/out-of-span IDs, built at most once per search; dense-ID searches never reach it
 		sc.sparse = make(map[int]*objCache, 64)
 	}
 	oc := sc.newObjCache(o)
+	//nnc:allow hotpath-alloc: sparse-map insert happens once per out-of-span object per search; the dense table serves the steady state
 	sc.sparse[o.ID()] = oc
 	return oc
 }

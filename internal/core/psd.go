@@ -205,6 +205,8 @@ func (c *Checker) psdExact(u, v *uncertain.Object) bool {
 
 // distSpaceTree returns (building and caching) an R-tree over the object's
 // instances mapped into the k-dimensional hull-distance space.
+//
+//nnc:coldpath builds once per (object, search) and is cached on the objCache; warm lookups return the cached tree
 func (c *Checker) distSpaceTree(o *uncertain.Object, hd [][]float64) *rtree.Tree {
 	oc := c.cacheOf(o)
 	if oc.distTree == nil {

@@ -108,6 +108,7 @@ func (sc *CheckScratch) newObjCache(o *uncertain.Object) *objCache {
 func (sc *CheckScratch) Checker(query *uncertain.Object, op Operator, cfg FilterConfig, m geom.Metric) *Checker {
 	sc.reset()
 	c := &sc.checker
+	//nnc:allow scratch-escape: c is sc.checker, a field of the scratch itself; the back-pointer dies with the scratch
 	c.scratch = sc
 	c.query = query
 	c.op = op
@@ -140,6 +141,8 @@ func (sc *CheckScratch) Checker(query *uncertain.Object, op Operator, cfg Filter
 }
 
 // growInts returns s resized to n, reusing its capacity.
+//
+//nnc:coldpath amortized buffer growth to the search's high-water size; warm calls reslice
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)
@@ -148,6 +151,8 @@ func growInts(s []int, n int) []int {
 }
 
 // growPoints returns s resized to n, reusing its capacity.
+//
+//nnc:coldpath amortized buffer growth to the search's high-water size; warm calls reslice
 func growPoints(s []geom.Point, n int) []geom.Point {
 	if cap(s) < n {
 		return make([]geom.Point, n)
@@ -156,6 +161,8 @@ func growPoints(s []geom.Point, n int) []geom.Point {
 }
 
 // growFloats returns s resized to n, reusing its capacity.
+//
+//nnc:coldpath amortized buffer growth to the search's high-water size; warm calls reslice
 func growFloats(s geom.Point, n int) geom.Point {
 	if cap(s) < n {
 		return make(geom.Point, n)

@@ -81,6 +81,8 @@ var ErrBadSuper = errors.New("diskindex: bad super page")
 // returns the index. The first page Build allocates is the super page;
 // pass its id (SuperPage) to Open to reattach. Build itself is
 // single-goroutine; only the returned Index is concurrency-safe.
+//
+//nnc:allow ctx-flow: Build is an offline bulk-load, not a query; nothing upstream has a ctx to thread
 func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 	if len(objs) == 0 {
 		return nil, errors.New("diskindex: no objects")
@@ -135,6 +137,8 @@ func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 }
 
 // Open reattaches to an index previously Built in the pool's file.
+//
+//nnc:allow ctx-flow: Open reads two metadata pages at startup; it is not on the query path
 func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 	buf, err := pool.Get(super)
 	if err != nil {
@@ -231,6 +235,8 @@ func (ix *Index) Expand(n core.NodeRef, visit func(core.BackendEntry)) error {
 // Resolve materializes a record pointer into an object, through the
 // decoded-object LRU. Loading the object is the paper's "load the local
 // R-tree": it happens only when the MBR could not be pruned.
+//
+//nnc:allow ctx-flow: Resolve implements core.Backend, which is ctx-free by design; the engine checks ctx.Err() around every Resolve call
 func (ix *Index) Resolve(r core.ObjRef) (*uncertain.Object, error) {
 	if r.Obj != nil {
 		return r.Obj, nil

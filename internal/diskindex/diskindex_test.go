@@ -172,6 +172,71 @@ func TestDiskSearchKMatchesMemory(t *testing.T) {
 	}
 }
 
+// A file whose super page reports span 0 — what a build predating span
+// persistence would read — must still open, advertise no dense ID span,
+// and fall back to the map-backed object-cache table with results
+// identical to the in-memory index under every operator.
+func TestOpenSpanZeroLegacyFallback(t *testing.T) {
+	disk, mem, ds, path := buildBoth(t, 120, 5, 55, 64)
+	super := disk.SuperPage()
+	if disk.DenseIDSpan() <= 0 {
+		t.Fatalf("build persisted span %d, want positive", disk.DenseIDSpan())
+	}
+
+	// Zero the persisted span field (super page bytes 12..20) in place.
+	pf, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pf.PageSize())
+	if err := pf.ReadPage(super, buf); err != nil {
+		t.Fatal(err)
+	}
+	clear(buf[12:20])
+	if err := pf.WritePage(super, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf, err = pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	legacy, err := Open(pager.NewPool(pf, 64), super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := legacy.DenseIDSpan(); got != 0 {
+		t.Fatalf("legacy DenseIDSpan() = %d, want 0", got)
+	}
+	for _, q := range ds.Queries(3, 4, 200, 81) {
+		for _, op := range core.Operators {
+			want := mem.Search(q, op).IDs()
+			res, err := legacy.Search(q, op, core.AllFilters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.IDs()
+			sort.Ints(want)
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("%v: span-0 disk %v != memory %v", op, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: span-0 disk %v != memory %v", op, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestBuildEmpty(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "e.pg")
 	pf, err := pager.Create(path, 256)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"spatialdom/internal/geom"
 	"spatialdom/internal/slab"
@@ -49,6 +50,7 @@ type PairArena = slab.Arena[Pair]
 // when the arena is nil.
 func allocPairs(a *PairArena, n int) []Pair {
 	if a == nil {
+		//nnc:allow hotpath-alloc: nil-arena compatibility path for cold callers (tests, one-shot Between); hot callers thread a PairArena
 		return make([]Pair, n)
 	}
 	return a.Alloc(n)
@@ -104,6 +106,8 @@ func Between(u, q *uncertain.Object) Distribution {
 }
 
 // BetweenArena is Between with the atom buffer carved out of the arena.
+//
+//nnc:hotpath
 func BetweenArena(a *PairArena, u, q *uncertain.Object) Distribution {
 	pairs := allocPairs(a, u.Len()*q.Len())
 	w := 0
@@ -221,7 +225,7 @@ func (d Distribution) Quantile(phi float64) float64 {
 		panic("distr: Quantile of empty distribution")
 	}
 	if phi <= 0 || phi > 1 {
-		panic(fmt.Sprintf("distr: Quantile phi=%g outside (0,1]", phi))
+		panic("distr: Quantile phi=" + strconv.FormatFloat(phi, 'g', -1, 64) + " outside (0,1]")
 	}
 	var cum float64
 	for _, p := range d.pairs {

@@ -57,6 +57,7 @@ func (g *Network) Reuse(n int) {
 	g.n = n
 	g.edges = g.edges[:0]
 	if cap(g.adj) < n {
+		//nnc:allow hotpath-alloc: adjacency rows grow once to the workload's high-water vertex count; warm Reuse only reslices
 		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
 	}
 	g.adj = g.adj[:n]
@@ -66,6 +67,8 @@ func (g *Network) Reuse(n int) {
 }
 
 // ensureDinic sizes the Dinic scratch to the vertex count.
+//
+//nnc:coldpath lazy growth to the network's high-water vertex count; warm solves only reslice
 func (g *Network) ensureDinic() {
 	if cap(g.level) < g.n {
 		g.level = make([]int, g.n)
@@ -77,6 +80,8 @@ func (g *Network) ensureDinic() {
 }
 
 // ensureSPFA sizes the min-cost scratch to the vertex count.
+//
+//nnc:coldpath lazy growth to the network's high-water vertex count; warm solves only reslice and clear
 func (g *Network) ensureSPFA() {
 	if cap(g.dist) < g.n {
 		g.dist = make([]float64, g.n)
@@ -122,6 +127,8 @@ func (g *Network) Flow(edgeIdx int) float64 { return g.edges[edgeIdx^1].cap }
 // the flow assignment readable through Flow. Scratch arrays live on the
 // network, so repeated solves on a warm (Reuse-recycled) network do not
 // allocate.
+//
+//nnc:hotpath
 func (g *Network) MaxFlow(s, t int) float64 {
 	if s == t {
 		return 0
@@ -189,6 +196,8 @@ func (g *Network) dfs(v, t int, f float64, level, iter []int) float64 {
 // successive shortest augmenting paths (SPFA for negative reduced costs).
 // It returns the flow value and its cost. Scratch arrays live on the
 // network, so repeated solves on a warm network do not allocate.
+//
+//nnc:hotpath
 func (g *Network) MinCostMaxFlow(s, t int) (flow, cost float64) {
 	g.ensureSPFA()
 	dist, inQueue, prevEdge := g.dist, g.inQueue, g.prevEdge

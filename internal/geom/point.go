@@ -54,6 +54,8 @@ func (p Point) String() string {
 }
 
 // SqDist returns the squared Euclidean distance between p and q.
+//
+//nnc:hotpath
 func SqDist(p, q Point) float64 {
 	var s float64
 	for i := range p {

@@ -1,8 +1,8 @@
 package geom
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 )
 
 // Rect is an axis-aligned d-dimensional rectangle (an MBR). Lo and Hi hold
@@ -19,7 +19,9 @@ func NewRect(lo, hi Point) Rect {
 	}
 	for i := range lo {
 		if lo[i] > hi[i] {
-			panic(fmt.Sprintf("geom: NewRect inverted in dim %d: [%g, %g]", i, lo[i], hi[i]))
+			panic("geom: NewRect inverted in dim " + strconv.Itoa(i) + ": [" +
+				strconv.FormatFloat(lo[i], 'g', -1, 64) + ", " +
+				strconv.FormatFloat(hi[i], 'g', -1, 64) + "]")
 		}
 	}
 	return Rect{Lo: lo, Hi: hi}

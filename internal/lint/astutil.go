@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// childNodes returns the direct children of n, for walkers that need to
+// control their own descent (e.g. to thread panic-context state).
+func childNodes(n ast.Node) []ast.Node {
+	var children []ast.Node
+	depth := 0
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			depth--
+			return true
+		}
+		depth++
+		if depth == 2 {
+			children = append(children, m)
+			depth--
+			return false
+		}
+		return true
+	})
+	return children
+}
+
+// exprString renders an expression for structural comparison (the append
+// reuse idiom matches LHS against the appended slice by printed form).
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// checkBenchHygiene requires every Benchmark function to call
+// b.ReportAllocs: the zero-allocation guarantees in this repo are only as
+// good as the benchmarks that would show a regression, and a benchmark
+// that hides allocs/op hides exactly the number we watch. Test files are
+// parsed but not type-checked (they may live in the package under test),
+// so the check is syntactic: a function named Benchmark* taking a single
+// *testing.B must reach a <recv>.ReportAllocs() call — directly, in a
+// b.Run sub-benchmark closure, or through a same-package helper (many
+// benchmarks here delegate the timed loop to runSearches-style helpers
+// that report allocs on the sub-benchmark's behalf).
+func checkBenchHygiene(prog *Program, r *Reporter) {
+	for _, pkg := range prog.TestASTs {
+		// Same-package helpers the benchmarks may delegate to, by name.
+		helpers := map[string]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
+					helpers[fd.Name.Name] = fd
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Recv != nil {
+					continue
+				}
+				if !isBenchmarkDecl(fd) {
+					continue
+				}
+				if !reachesReportAllocs(fd, helpers, map[*ast.FuncDecl]bool{}) {
+					r.Report(fd.Pos(), "bench-hygiene",
+						fmt.Sprintf("%s never calls b.ReportAllocs(); allocation regressions would be invisible in this benchmark", fd.Name.Name))
+				}
+			}
+		}
+	}
+}
+
+// reachesReportAllocs walks fd's body and, through plain same-package
+// function calls, the helpers it delegates to.
+func reachesReportAllocs(fd *ast.FuncDecl, helpers map[string]*ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
+	if seen[fd] {
+		return false
+	}
+	seen[fd] = true
+	if callsReportAllocs(fd.Body) {
+		return true
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if callee, ok := helpers[id.Name]; ok && reachesReportAllocs(callee, helpers, seen) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBenchmarkDecl matches func BenchmarkXxx(b *testing.B) syntactically.
+func isBenchmarkDecl(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if len(name) < len("Benchmark") || name[:len("Benchmark")] != "Benchmark" {
+		return false
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 {
+		return false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "B" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "testing"
+}
+
+func callsReportAllocs(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "ReportAllocs" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FuncInfo describes one function or method declaration in the module.
+type FuncInfo struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func // nil only if the declaration failed to resolve
+
+	Hotpath  bool   // declared //nnc:hotpath
+	Coldpath bool   // declared //nnc:coldpath <reason>
+	ColdWhy  string // the coldpath reason (empty = malformed)
+}
+
+// Name returns a readable receiver-qualified name for diagnostics.
+func (fi *FuncInfo) Name() string {
+	if fi.Decl.Recv != nil && len(fi.Decl.Recv.List) == 1 {
+		t := fi.Decl.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			t = idx.X
+		}
+		if idx, ok := t.(*ast.IndexListExpr); ok {
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fi.Decl.Name.Name
+		}
+	}
+	return fi.Decl.Name.Name
+}
+
+// FuncIndex maps declared function objects to their declarations, with the
+// //nnc:hotpath and //nnc:coldpath directives already parsed.
+type FuncIndex struct {
+	ByObj map[*types.Func]*FuncInfo
+	All   []*FuncInfo
+}
+
+// directiveOn scans the doc comment (and any comment group ending on the
+// line above the declaration) for a //nnc: directive with the given prefix,
+// returning the remainder text and whether it was present.
+func directiveOn(decl *ast.FuncDecl, directive string) (rest string, ok bool) {
+	if decl.Doc == nil {
+		return "", false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive {
+			return "", true
+		}
+		if r, found := strings.CutPrefix(text, directive+" "); found {
+			return strings.TrimSpace(r), true
+		}
+	}
+	return "", false
+}
+
+// NewFuncIndex indexes every function declaration in the program's
+// type-checked packages.
+func NewFuncIndex(prog *Program) *FuncIndex {
+	idx := &FuncIndex{ByObj: map[*types.Func]*FuncInfo{}}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Pkg: pkg, Decl: fd}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					fi.Obj = obj
+					idx.ByObj[obj] = fi
+				}
+				_, fi.Hotpath = directiveOn(fd, hotpathDirective)
+				fi.ColdWhy, fi.Coldpath = directiveOn(fd, coldpathDirective)
+				idx.All = append(idx.All, fi)
+			}
+		}
+	}
+	return idx
+}
+
+// CalleeOf statically resolves the callee of a call expression to its
+// declared *types.Func, if the target is a concrete function or method in
+// the module (not an interface method, function value, or builtin). Generic
+// instantiations resolve to their origin declaration.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			// Interface dispatch cannot be resolved statically; callers
+			// that care (hotpath-alloc) treat it as a walk boundary.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			return fn.Origin()
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.IndexExpr: // generic instantiation F[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn.Origin()
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn.Origin()
+			}
+		}
+	}
+	return nil
+}
+
+// calleePathQual returns the import path and name of a called function for
+// denylist matching (e.g. "fmt", "Sprintf"), or "" if unresolvable. Works
+// for any call target with a types.Func object, including stdlib.
+func calleePathQual(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ = sel.Obj().(*types.Func)
+		} else {
+			fn, _ = info.Uses[fun.Sel].(*types.Func)
+		}
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ = info.Uses[id].(*types.Func)
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ = info.Uses[id].(*types.Func)
+		}
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkCtxFlow enforces cancellation plumbing in the query-serving
+// packages (core, diskindex, server):
+//
+//  1. an exported function that takes a context.Context must actually use
+//     it (a dead ctx parameter advertises cancellation it doesn't honor);
+//  2. an exported function that transitively reaches blocking storage I/O
+//     must take a context.Context, so callers can abandon a slow disk
+//     search — methods receiving an *http.Request (whose ctx rides the
+//     request) and String/Error methods are exempt;
+//  3. inside a function that has a ctx parameter, calling another function
+//     with a fresh context.Background()/context.TODO() severs the chain
+//     and is flagged (assigning a default when the caller passed nil is
+//     fine — that's the documented compat path).
+func checkCtxFlow(prog *Program, r *Reporter) {
+	idx := NewFuncIndex(prog)
+
+	// ioFuncs: functions that perform storage I/O directly, then the
+	// transitive closure of module callers.
+	reachesIO := map[*types.Func]bool{}
+	callers := map[*types.Func][]*types.Func{} // callee -> callers
+	for _, fi := range idx.All {
+		if fi.Obj == nil || fi.Decl.Body == nil {
+			continue
+		}
+		if directIO(fi) {
+			reachesIO[fi.Obj] = true
+		}
+		info := fi.Pkg.Info
+		obj := fi.Obj
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := CalleeOf(info, call); callee != nil {
+				callers[callee] = append(callers[callee], obj)
+			}
+			return true
+		})
+	}
+	queue := make([]*types.Func, 0, len(reachesIO))
+	for fn := range reachesIO {
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range callers[fn] {
+			if !reachesIO[caller] {
+				reachesIO[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+
+	for _, fi := range idx.All {
+		if fi.Obj == nil || !ctxScopedPkg(fi.Pkg.ImportPath) {
+			continue
+		}
+		ctxParam := ctxParamOf(fi)
+
+		if ctxParam != nil && fi.Decl.Body != nil {
+			if !identUsed(fi.Pkg.Info, fi.Decl.Body, ctxParam) {
+				r.Report(fi.Decl.Pos(), "ctx-flow",
+					fmt.Sprintf("%s takes a context.Context but never uses it; forward it to callees or drop the parameter", fi.Name()))
+			}
+			reportFreshCtxCalls(fi, r)
+		}
+
+		if ctxParam == nil && isAPIExported(fi) && reachesIO[fi.Obj] && !ctxExempt(fi) {
+			r.Report(fi.Decl.Pos(), "ctx-flow",
+				fmt.Sprintf("exported %s reaches storage I/O but takes no context.Context; slow disk searches cannot be cancelled", fi.Name()))
+		}
+	}
+}
+
+func ctxScopedPkg(path string) bool {
+	seg := path[strings.LastIndex(path, "/")+1:]
+	return seg == "core" || seg == "diskindex" || seg == "server" || strings.Contains(path, "ctxflow")
+}
+
+// directIO reports whether the function body itself calls a storage
+// primitive (pager page/file transfer or store record access).
+func directIO(fi *FuncInfo) bool {
+	if fi.Decl.Body == nil {
+		return false
+	}
+	info := fi.Pkg.Info
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !ioMethods[sel.Sel.Name] {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok {
+			return true
+		}
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if strings.Contains(path, "/pager") || strings.Contains(path, "/diskindex") || strings.Contains(path, "ctxflow") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// ctxParamOf returns the *types.Var of the function's context.Context
+// parameter, if any.
+func ctxParamOf(fi *FuncInfo) *types.Var {
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) && p.Name() != "_" && p.Name() != "" {
+			return p
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isAPIExported reports whether the function is reachable from outside its
+// package: an exported function, or an exported method on an exported
+// receiver type (a method on an unexported type is internal API even when
+// its own name is capitalized to satisfy an interface).
+func isAPIExported(fi *FuncInfo) bool {
+	if !fi.Decl.Name.IsExported() {
+		return false
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return true
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Exported()
+	}
+	return true
+}
+
+// ctxExempt: handlers get ctx from the request; String/Error are display
+// methods that must match stdlib interfaces.
+func ctxExempt(fi *FuncInfo) bool {
+	name := fi.Decl.Name.Name
+	if name == "String" || name == "Error" || name == "GoString" {
+		return true
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		pt := sig.Params().At(i).Type()
+		ptr, ok := pt.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request" {
+			return true
+		}
+	}
+	return false
+}
+
+func identUsed(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// reportFreshCtxCalls flags context.Background()/TODO() passed as a call
+// argument inside a function that already has a ctx to forward. The
+// assignment form (ctx = context.Background() when the caller passed nil)
+// stays legal.
+func reportFreshCtxCalls(fi *FuncInfo, r *Reporter) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			path, name := calleePathQual(info, inner)
+			if path == "context" && (name == "Background" || name == "TODO") {
+				r.Report(arg.Pos(), "ctx-flow",
+					fmt.Sprintf("context.%s severs the cancellation chain; forward this function's ctx instead", name))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,206 @@
+// Package lint is nnclint: a project-specific static-analysis suite built
+// entirely on the standard library (go/parser, go/ast, go/types, go/token —
+// no golang.org/x/tools), enforcing the invariants the hot dominance path
+// depends on:
+//
+//   - hotpath-alloc: functions annotated //nnc:hotpath — and everything they
+//     statically call inside the module — must not contain allocating
+//     constructs (make, new, escaping composite literals, map writes,
+//     non-reuse append, string concatenation, escaping closures, interface
+//     boxing, calls into fmt/reflect/regexp/sort.Slice);
+//   - scratch-escape: values carved out of internal/slab arenas or a
+//     core.CheckScratch must not outlive their search (no package-level
+//     stores, channel sends, or go-statement captures);
+//   - lock-balance: every Lock/RLock in the pager and diskindex packages is
+//     released on all return paths, and no page-file I/O runs while a shard
+//     lock is held;
+//   - ctx-flow: exported engine/backend methods that reach storage I/O take
+//     a context.Context and actually forward it;
+//   - no-reflect-sort: the hot packages never regress to reflection-based
+//     sort.Slice or fmt formatting;
+//   - bench-hygiene: every Benchmark* function reports allocations, so
+//     alloc regressions stay visible in every benchmark run.
+//
+// Findings print as "file:line:col: [check] message" and are suppressible
+// only by an explained annotation:
+//
+//	//nnc:allow <check>: <reason>   on the flagged line or the line above
+//	//nnc:coldpath <reason>         on a function declaration: the function
+//	                                amortizes its own allocations (lazy
+//	                                one-time builds, slab growth); the
+//	                                hot-path walk does not descend into it
+//	//nnc:hotpath                   on a function declaration: the function
+//	                                is a steady-state hot-path root
+//
+// A reason is mandatory; an allow that suppresses nothing is itself a
+// finding, so stale suppressions cannot linger.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+// String formats the diagnostic in the clickable file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
+}
+
+// allowKey identifies the source line an //nnc:allow directive governs.
+type allowKey struct {
+	file string
+	line int
+}
+
+type allowDirective struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+// Reporter collects diagnostics and applies allow-directive suppression.
+type Reporter struct {
+	fset   *token.FileSet
+	diags  []Diagnostic
+	allows map[allowKey][]*allowDirective
+	ran    map[string]bool // checks that executed; scopes unused-allow findings
+}
+
+// NewReporter builds a reporter over the program's allow directives.
+func NewReporter(prog *Program) *Reporter {
+	r := &Reporter{fset: prog.Fset, allows: map[allowKey][]*allowDirective{}, ran: map[string]bool{}}
+	for _, pkg := range prog.Pkgs {
+		r.collectAllows(pkg)
+	}
+	for _, pkg := range prog.TestASTs {
+		r.collectAllows(pkg)
+	}
+	return r
+}
+
+const (
+	allowPrefix = "//nnc:allow "
+	// hotpathDirective and coldpathDirective are matched in callgraph.go;
+	// named here so the directive grammar lives in one place.
+	hotpathDirective  = "//nnc:hotpath"
+	coldpathDirective = "//nnc:coldpath"
+)
+
+func (r *Reporter) collectAllows(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := r.fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				check, reason, ok := strings.Cut(rest, ":")
+				d := &allowDirective{pos: pos, check: strings.TrimSpace(check)}
+				if ok {
+					d.reason = strings.TrimSpace(reason)
+				}
+				if d.check == "" || d.reason == "" {
+					r.diags = append(r.diags, Diagnostic{
+						Pos:   pos,
+						Check: "allow",
+						Msg:   "malformed //nnc:allow: want \"//nnc:allow <check>: <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				key := allowKey{file: pos.Filename, line: pos.Line}
+				r.allows[key] = append(r.allows[key], d)
+			}
+		}
+	}
+}
+
+// Report files a finding at pos unless an //nnc:allow for the same check
+// sits on that line or the line immediately above.
+func (r *Reporter) Report(pos token.Pos, check, msg string) {
+	p := r.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range r.allows[allowKey{file: p.Filename, line: line}] {
+			if d.check == check {
+				d.used = true
+				return
+			}
+		}
+	}
+	r.diags = append(r.diags, Diagnostic{Pos: p, Check: check, Msg: msg})
+}
+
+// Finish appends findings for allow directives that suppressed nothing
+// (scoped to the checks that actually ran, so partial runs don't flag
+// other checks' suppressions) and returns the sorted diagnostics.
+func (r *Reporter) Finish() []Diagnostic {
+	for _, ds := range r.allows {
+		for _, d := range ds {
+			if !d.used && r.ran[d.check] {
+				r.diags = append(r.diags, Diagnostic{
+					Pos:   d.pos,
+					Check: "allow",
+					Msg:   fmt.Sprintf("unused //nnc:allow %s: nothing on this or the next line triggers that check; delete the stale suppression", d.check),
+				})
+			}
+		}
+	}
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return r.diags
+}
+
+// Check is one pluggable analysis.
+type Check struct {
+	Name string
+	Run  func(prog *Program, r *Reporter)
+}
+
+// Checks returns the full suite in a stable order.
+func Checks() []Check {
+	return []Check{
+		{Name: "hotpath-alloc", Run: checkHotpathAlloc},
+		{Name: "scratch-escape", Run: checkScratchEscape},
+		{Name: "lock-balance", Run: checkLockBalance},
+		{Name: "ctx-flow", Run: checkCtxFlow},
+		{Name: "no-reflect-sort", Run: checkNoReflectSort},
+		{Name: "bench-hygiene", Run: checkBenchHygiene},
+	}
+}
+
+// Run executes every check over the program and returns the sorted,
+// suppression-filtered findings.
+func Run(prog *Program) []Diagnostic {
+	r := NewReporter(prog)
+	for _, c := range Checks() {
+		r.MarkRan(c.Name)
+		c.Run(prog, r)
+	}
+	return r.Finish()
+}
+
+// MarkRan records that a check executed, enabling unused-allow detection
+// for its suppressions.
+func (r *Reporter) MarkRan(check string) { r.ran[check] = true }

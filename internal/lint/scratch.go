@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkScratchEscape enforces the lifetime rule behind PR 3's arena design:
+// a scratch container (an internal/slab arena, a core.CheckScratch, or any
+// *Scratch/*Arena type) is owned by exactly one search and must die with
+// it. Storing one in a package-level variable, sending it on a channel,
+// capturing it in a go statement, or stashing it in a field of a
+// non-scratch struct all let it outlive the search that owns its memory —
+// the next search would then scribble over live data.
+func checkScratchEscape(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			scanScratchFile(prog, pkg, f, r)
+		}
+	}
+}
+
+// isScratchType reports whether t (possibly behind pointers/slices) is a
+// scratch container: declared in internal/slab, or a named type whose name
+// contains "Scratch" or ends in "Arena".
+func isScratchType(module string, t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	if !strings.HasPrefix(path, module+"/") && path != module {
+		return false
+	}
+	if strings.HasSuffix(path, "/slab") {
+		return true
+	}
+	name := named.Obj().Name()
+	return strings.Contains(name, "Scratch") || strings.Contains(name, "scratch") ||
+		strings.HasSuffix(name, "Arena")
+}
+
+func scanScratchFile(prog *Program, pkg *Package, f *ast.File, r *Reporter) {
+	info := pkg.Info
+
+	scratchExpr := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		return t != nil && isScratchType(prog.Module, t)
+	}
+
+	// Package-level declarations of scratch values: a global arena is
+	// shared by every search at once, which is exactly the bug class this
+	// check exists to prevent. (A sync.Pool of scratch is fine — the pool
+	// itself is not a scratch type, and Put/Get hand off ownership.)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := info.Defs[name]
+				if obj == nil || name.Name == "_" {
+					continue
+				}
+				if v, ok := obj.(*types.Var); ok && isScratchType(prog.Module, v.Type()) {
+					r.Report(name.Pos(), "scratch-escape",
+						fmt.Sprintf("package-level %s holds scratch type %s; scratch must be per-search (use a sync.Pool)", name.Name, v.Type()))
+				}
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if scratchExpr(n.Value) {
+				r.Report(n.Pos(), "scratch-escape",
+					"scratch value sent on a channel escapes its owning search")
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if scratchExpr(arg) {
+					r.Report(arg.Pos(), "scratch-escape",
+						"scratch value passed to a go statement outlives its owning search")
+				}
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				reportScratchCaptures(prog, pkg, lit, r)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(n.Rhs) == len(n.Lhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil || !scratchExpr(rhs) {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if v, ok := info.Uses[target].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						r.Report(n.Pos(), "scratch-escape",
+							fmt.Sprintf("scratch value stored in package-level %s escapes its owning search", target.Name))
+					}
+				case *ast.SelectorExpr:
+					// x.f = scratch is only sound when x is itself a
+					// scratch container (scratch composing scratch);
+					// stashing scratch in an ordinary long-lived struct
+					// leaks it across searches.
+					if !scratchExpr(target.X) {
+						r.Report(n.Pos(), "scratch-escape",
+							fmt.Sprintf("scratch value stored in field %s of non-scratch %s may outlive its owning search",
+								target.Sel.Name, info.TypeOf(target.X)))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportScratchCaptures flags free variables of scratch type referenced by
+// a go-statement closure.
+func reportScratchCaptures(prog *Program, pkg *Package, lit *ast.FuncLit, r *Reporter) {
+	info := pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the closure
+		}
+		if isScratchType(prog.Module, v.Type()) {
+			r.Report(id.Pos(), "scratch-escape",
+				fmt.Sprintf("go-statement closure captures scratch %s, which outlives its owning search", id.Name))
+		}
+		return true
+	})
+}

@@ -1,0 +1,59 @@
+// Package benchcase is the seeded-violation corpus for the bench-hygiene
+// check: test files are parsed without type-checking, so everything here
+// is matched syntactically.
+package benchcase
+
+import "testing"
+
+func BenchmarkDirect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func BenchmarkSub(b *testing.B) {
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = i
+		}
+	})
+}
+
+func BenchmarkHelper(b *testing.B) {
+	run(b)
+}
+
+func run(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func BenchmarkChained(b *testing.B) {
+	outer(b)
+}
+
+func outer(b *testing.B) {
+	run(b)
+}
+
+func BenchmarkSilent(b *testing.B) { //wantlint bench-hygiene: never calls b.ReportAllocs
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func BenchmarkSilentHelper(b *testing.B) { //wantlint bench-hygiene: never calls b.ReportAllocs
+	silent(b)
+}
+
+func silent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func TestPlaceholder(t *testing.T) {} // non-benchmark: ignored by the check

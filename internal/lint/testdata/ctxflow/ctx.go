@@ -1,0 +1,61 @@
+// Package ctxcase is the seeded-violation corpus for the ctx-flow check.
+// disk.ReadPage stands in for the pager's blocking storage primitive (the
+// check keys on the method name plus the defining package's path, which
+// contains "ctxflow").
+package ctxcase
+
+import (
+	"context"
+	"net/http"
+)
+
+type disk struct{}
+
+func (disk) ReadPage(id int, p []byte) error { return nil }
+
+type Store struct {
+	d disk
+}
+
+// read performs the raw page transfer; unexported, so it may stay ctx-free.
+func (s *Store) read(id int, p []byte) error { return s.d.ReadPage(id, p) }
+
+func (s *Store) Lookup(id int, p []byte) error { //wantlint ctx-flow: takes no context.Context
+	return s.read(id, p)
+}
+
+func (s *Store) LookupCtx(ctx context.Context, id int, p []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.read(id, p)
+}
+
+func (s *Store) DeadCtx(ctx context.Context, id int, p []byte) error { //wantlint ctx-flow: never uses it
+	return s.read(id, p)
+}
+
+func (s *Store) Severed(ctx context.Context, id int, p []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.LookupCtx(context.Background(), id, p) //wantlint ctx-flow: severs the cancellation chain
+}
+
+func (s *Store) Compat(ctx context.Context, id int, p []byte) error {
+	if ctx == nil {
+		ctx = context.Background() // documented nil-ctx compat default: clean
+	}
+	return s.LookupCtx(ctx, id, p)
+}
+
+// ServeHTTP rides the request's context: exempt.
+func (s *Store) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	_ = s.read(0, nil)
+}
+
+type session struct{ s *Store }
+
+// Resolve is exported-named but hangs off an unexported receiver type, so
+// it is package-internal API: clean.
+func (c *session) Resolve(id int, p []byte) error { return c.s.read(id, p) }

@@ -1,0 +1,109 @@
+// Package hotpathcase is the seeded-violation corpus for the
+// hotpath-alloc check. Lines carry //wantlint annotations naming the
+// finding the golden test expects there; lines without one must stay
+// clean.
+package hotpathcase
+
+import (
+	"fmt"
+	"sort"
+)
+
+type thing struct {
+	xs []int
+}
+
+//nnc:hotpath
+func Root(t *thing, n int) int {
+	s := make([]int, n) //wantlint hotpath-alloc: make allocates
+	_ = s
+	p := new(thing) //wantlint hotpath-alloc: new allocates
+	_ = p
+	t.xs = append(t.xs, n)   // reuse idiom: clean
+	grown := append(t.xs, n) //wantlint hotpath-alloc: append outside the x = append(x, ...) reuse idiom
+	_ = grown
+	helper(t)
+	coldBuild(t, n)
+	return len(t.xs)
+}
+
+// helper is reached from the //nnc:hotpath root, so its body is scanned
+// too.
+func helper(t *thing) *thing {
+	return &thing{xs: t.xs} //wantlint hotpath-alloc: address-taken composite literal
+}
+
+//nnc:coldpath builds the table once per corpus; the walk must not descend
+func coldBuild(t *thing, n int) {
+	t.xs = make([]int, n) // unscanned: coldpath boundary
+}
+
+//nnc:hotpath
+func Maps(m map[int]int, k int) int {
+	fresh := map[int]int{} //wantlint hotpath-alloc: map literal allocates
+	_ = fresh
+	m[k] = 1 //wantlint hotpath-alloc: map write allocates on growth
+	return m[k]
+}
+
+//nnc:hotpath
+func Concat(a, b string) string {
+	if a == "" {
+		panic("hotpathcase: empty a" + b) // panic path: exempt
+	}
+	return a + b //wantlint hotpath-alloc: string concatenation allocates
+}
+
+//nnc:hotpath
+func Escaping(xs []int) func() int {
+	f := func() int { return len(xs) } //wantlint hotpath-alloc: capturing closure outlives its statement
+	return f
+}
+
+//nnc:hotpath
+func OnlyCalled(xs []int) int {
+	f := func() int { return len(xs) } // stack closure: only ever called
+	return f() + f()
+}
+
+func sink(v interface{}) bool { return v != nil }
+
+//nnc:hotpath
+func Boxing(x int, t thing) bool {
+	a := sink(x)  //wantlint hotpath-alloc: boxes into interface
+	b := sink(t)  //wantlint hotpath-alloc: boxes into interface
+	c := sink(&t) // pointers ride in the interface word: clean
+	return a && b && c
+}
+
+// Denylist passes vs (already interface-typed, so no boxing on the call)
+// to keep the sort.Slice line down to exactly one finding.
+//
+//nnc:hotpath
+func Denylist(vs interface{}, xs []int) string {
+	sort.Slice(vs, func(i, j int) bool { return xs[i] < xs[j] }) //wantlint hotpath-alloc: sort.Slice uses reflection
+	return fmt.Sprintf("done")                                   //wantlint hotpath-alloc: call to fmt.Sprintf
+}
+
+//nnc:hotpath
+func Allowed(n int) []int {
+	//nnc:allow hotpath-alloc: seeded suppression exercising the allow grammar end to end
+	return make([]int, n) // suppressed: clean
+}
+
+//nnc:hotpath
+func Stale() int {
+	//nnc:allow hotpath-alloc: nothing on the next line allocates, so this must be reported stale //wantlint allow: unused
+	return 0
+}
+
+// wantlint-file allow: malformed
+//
+//nnc:allow hotpath-alloc:
+func afterMalformed() {}
+
+// missingReason lacks the mandatory coldpath reason.
+// wantlint-file hotpath-alloc: requires a reason
+//
+//nnc:coldpath
+func missingReason() {}

@@ -1,0 +1,72 @@
+// Package lockcase is the seeded-violation corpus for the lock-balance
+// check. The file type's ReadPage/WritePage methods stand in for the
+// pager's storage primitives (the check keys on the method name plus the
+// defining package's path, which contains "lockbalance").
+package lockcase
+
+import "sync"
+
+type file struct{}
+
+func (file) ReadPage(id int, p []byte) error  { return nil }
+func (file) WritePage(id int, p []byte) error { return nil }
+
+type store struct {
+	mu sync.RWMutex
+	f  file
+}
+
+func (s *store) Balanced() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 0
+}
+
+func (s *store) EarlyReturnClean(ok bool) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) LeakyReturn(ok bool) {
+	s.mu.Lock()
+	if !ok {
+		return //wantlint lock-balance: still locked
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) IOUnderLock(p []byte) error {
+	s.mu.Lock()
+	err := s.f.ReadPage(1, p) //wantlint lock-balance: while s.mu is held
+	s.mu.Unlock()
+	return err
+}
+
+func (s *store) IOAfterUnlock(p []byte) error {
+	s.mu.Lock()
+	id := 1
+	s.mu.Unlock()
+	return s.f.ReadPage(id, p) // lock released before the transfer: clean
+}
+
+func (s *store) DeferredClosure() {
+	s.mu.RLock()
+	defer func() { s.mu.RUnlock() }()
+}
+
+func (s *store) BranchLocal(ok bool) {
+	if ok {
+		s.mu.RLock()
+		s.mu.RUnlock()
+	}
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *store) FallsOffEnd() {
+	s.mu.Lock()
+} //wantlint lock-balance: function end reached

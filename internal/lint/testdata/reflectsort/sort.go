@@ -1,0 +1,39 @@
+// Package sortcase is the seeded-violation corpus for the no-reflect-sort
+// check (the directory path contains "reflectsort", which marks the
+// package hot).
+package sortcase
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+func Kernel(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) //wantlint no-reflect-sort: sorts through reflection
+}
+
+func Stable(xs []float64) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) //wantlint no-reflect-sort: sorts through reflection
+}
+
+func Typed(xs []float64) {
+	sort.Float64s(xs) // typed sort: clean
+}
+
+func Message(n int) string {
+	return fmt.Sprintf("n=%d", n) //wantlint no-reflect-sort: fmt.Sprintf in hot package
+}
+
+func Failure(n int) error {
+	return fmt.Errorf("sortcase: bad n=%d", n) // error construction: clean
+}
+
+func Deep(a, b []int) bool {
+	return reflect.DeepEqual(a, b) //wantlint no-reflect-sort: reflect.DeepEqual in hot package
+}
+
+type V struct{ n int }
+
+// String is a display method; fmt stays legal here.
+func (v V) String() string { return fmt.Sprintf("V(%d)", v.n) }

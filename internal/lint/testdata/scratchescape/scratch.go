@@ -1,0 +1,39 @@
+// Package scratchcase is the seeded-violation corpus for the
+// scratch-escape check. searchScratch stands in for core.CheckScratch:
+// the "Scratch" in its name is what marks it as a per-search arena.
+package scratchcase
+
+import "sync"
+
+type searchScratch struct {
+	buf []int
+	sub *searchScratch
+}
+
+var leaked searchScratch //wantlint scratch-escape: package-level leaked holds scratch type
+
+var keeper *searchScratch //wantlint scratch-escape: package-level keeper holds scratch type
+
+// pool is the sanctioned ownership hand-off: the pool itself is not a
+// scratch type, and Put/Get transfer the arena between searches. Clean.
+var pool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+func use(s *searchScratch) { s.buf = s.buf[:0] }
+
+type owner struct {
+	sc *searchScratch
+}
+
+func Escapes(ch chan *searchScratch, o *owner) {
+	s := pool.Get().(*searchScratch) // local binding: clean
+	ch <- s                          //wantlint scratch-escape: sent on a channel
+	go use(s)                        //wantlint scratch-escape: passed to a go statement
+	o.sc = s                         //wantlint scratch-escape: stored in field sc of non-scratch
+	keeper = s                       //wantlint scratch-escape: stored in package-level keeper
+	go func() {
+		use(s) //wantlint scratch-escape: captures scratch s
+	}()
+	t := &searchScratch{}
+	s.sub = t // scratch composing scratch: clean
+	pool.Put(s)
+}

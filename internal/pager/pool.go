@@ -51,6 +51,14 @@ type frame struct {
 	dirty bool
 	pins  int
 	elem  *list.Element
+
+	// loading is non-nil while the frame's page is in flight from disk:
+	// the goroutine that installed the frame reads the page outside the
+	// shard lock and closes the channel when buf is ready (loadErr set
+	// first, so the close publishes it). Concurrent getters of the same
+	// page wait on the channel instead of issuing a duplicate read.
+	loading chan struct{}
+	loadErr error
 }
 
 // NewPool wraps file with a buffer pool of capacity pages, sharded for
@@ -100,31 +108,68 @@ func (p *Pool) Get(id PageID) ([]byte, error) {
 }
 
 // get is Get plus the hit/miss outcome of this particular call, for
-// goroutine-local accounting by leases.
+// goroutine-local accounting by leases. The shard lock is never held
+// across the physical read: a miss installs a loading frame, releases the
+// lock for the transfer, and republishes the result, so concurrent
+// searches on other pages of the shard proceed during the disk wait while
+// concurrent getters of the same page coalesce onto one read.
 func (p *Pool) get(id PageID) (buf []byte, hit bool, err error) {
 	sh := p.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if fr, ok := sh.frames[id]; ok {
 		p.hits.Add(1)
 		fr.pins++
 		sh.lru.MoveToFront(fr.elem)
+		ch := fr.loading
+		sh.mu.Unlock()
+		if ch == nil {
+			return fr.buf, true, nil
+		}
+		// Page in flight: wait for the loader. The close happens after
+		// loadErr is set, and our pin keeps the frame from being reused,
+		// so the lock-free reads below are ordered by the close.
+		<-ch
+		if lerr := fr.loadErr; lerr != nil {
+			sh.mu.Lock()
+			fr.pins--
+			sh.mu.Unlock()
+			return nil, false, lerr
+		}
 		return fr.buf, true, nil
 	}
 	p.misses.Add(1)
 	fr, err := sh.victim(p.file)
 	if err != nil {
-		return nil, false, err
-	}
-	if err := p.file.ReadPage(id, fr.buf); err != nil {
-		// Return the frame to the shard unused.
-		fr.id = InvalidPage
+		sh.mu.Unlock()
 		return nil, false, err
 	}
 	fr.id = id
 	fr.dirty = false
 	fr.pins = 1
+	fr.loading = make(chan struct{})
+	fr.loadErr = nil
 	sh.frames[id] = fr
+	ch := fr.loading
+	sh.mu.Unlock()
+
+	rerr := p.file.ReadPage(id, fr.buf)
+
+	sh.mu.Lock()
+	fr.loadErr = rerr
+	fr.loading = nil
+	close(ch)
+	if rerr != nil {
+		// Withdraw the failed frame so later gets retry the read; waiters
+		// still hold pins and release them on their own error path, which
+		// keeps the frame from being victimized until they have seen the
+		// error.
+		delete(sh.frames, id)
+		fr.id = InvalidPage
+		fr.pins--
+		sh.mu.Unlock()
+		return nil, false, rerr
+	}
+	sh.mu.Unlock()
 	return fr.buf, false, nil
 }
 
@@ -217,6 +262,7 @@ func (p *Pool) Flush() error {
 		sh.mu.Lock()
 		for _, fr := range sh.frames {
 			if fr.dirty {
+				//nnc:allow lock-balance: Flush is a stop-the-world checkpoint off the query path; the write must stay under the shard lock to serialize against MarkDirty
 				if err := p.file.WritePage(fr.id, fr.buf); err != nil {
 					sh.mu.Unlock()
 					return err

@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
 
 	"spatialdom/internal/geom"
@@ -47,41 +46,99 @@ type pqItem struct {
 	isEnt bool
 }
 
-type pq []pqItem
+// pq is a typed binary min-heap of pqItem. container/heap would box every
+// pushed item into an interface{} (one allocation per visited node); the
+// typed sift routines keep the warm traversal allocation-free, with the
+// backing array recycled through the tree's pqPool.
+type pq struct {
+	items []pqItem
+}
 
-func (h pq) Len() int            { return len(h) }
-func (h pq) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
-func (h *pq) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *pq) push(it pqItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].key <= h.items[i].key {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *pq) pop() pqItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = pqItem{} // drop node/entry refs so the pool doesn't pin them
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].key < h.items[smallest].key {
+			smallest = l
+		}
+		if r < last && h.items[r].key < h.items[smallest].key {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// getPQ hands out a recycled traversal heap seeded with one item.
+//
+//nnc:coldpath the pool's New allocates the heap once per P; steady-state gets are allocation-free
+func (t *Tree) getPQ(seed pqItem) *pq {
+	h, ok := t.pqPool.Get().(*pq)
+	if !ok {
+		h = &pq{items: make([]pqItem, 0, 64)}
+	}
+	h.items = h.items[:0]
+	h.push(seed)
+	return h
+}
+
+// putPQ returns a heap to the pool; any leftover items are cleared so the
+// pool never pins tree nodes or entries beyond the traversal.
+func (t *Tree) putPQ(h *pq) {
+	for i := range h.items {
+		h.items[i] = pqItem{}
+	}
+	h.items = h.items[:0]
+	t.pqPool.Put(h)
 }
 
 // Nearest returns the entry minimizing the minimum distance from q to the
 // entry rectangle, via best-first search. ok is false when the tree is
 // empty.
+//
+//nnc:hotpath
 func (t *Tree) Nearest(q geom.Point) (e Entry, dist float64, ok bool) {
 	if t.size == 0 {
 		return Entry{}, 0, false
 	}
-	h := pq{{key: t.root.rect.MinSqDistPoint(q), node: t.root}}
-	for len(h) > 0 {
-		it := heap.Pop(&h).(pqItem)
+	h := t.getPQ(pqItem{key: t.root.rect.MinSqDistPoint(q), node: t.root})
+	defer t.putPQ(h)
+	for len(h.items) > 0 {
+		it := h.pop()
 		if it.isEnt {
 			return it.entry, sqrtNonNeg(it.key), true
 		}
 		n := it.node
 		if n.leaf {
 			for _, e := range n.entries {
-				heap.Push(&h, pqItem{key: e.Rect.MinSqDistPoint(q), entry: e, isEnt: true})
+				h.push(pqItem{key: e.Rect.MinSqDistPoint(q), entry: e, isEnt: true})
 			}
 		} else {
 			for _, c := range n.children {
-				heap.Push(&h, pqItem{key: c.rect.MinSqDistPoint(q), node: c})
+				h.push(pqItem{key: c.rect.MinSqDistPoint(q), node: c})
 			}
 		}
 	}
@@ -95,9 +152,10 @@ func (t *Tree) KNN(q geom.Point, k int) []Entry {
 		return nil
 	}
 	res := make([]Entry, 0, k)
-	h := pq{{key: t.root.rect.MinSqDistPoint(q), node: t.root}}
-	for len(h) > 0 && len(res) < k {
-		it := heap.Pop(&h).(pqItem)
+	h := t.getPQ(pqItem{key: t.root.rect.MinSqDistPoint(q), node: t.root})
+	defer t.putPQ(h)
+	for len(h.items) > 0 && len(res) < k {
+		it := h.pop()
 		if it.isEnt {
 			res = append(res, it.entry)
 			continue
@@ -105,11 +163,11 @@ func (t *Tree) KNN(q geom.Point, k int) []Entry {
 		n := it.node
 		if n.leaf {
 			for _, e := range n.entries {
-				heap.Push(&h, pqItem{key: e.Rect.MinSqDistPoint(q), entry: e, isEnt: true})
+				h.push(pqItem{key: e.Rect.MinSqDistPoint(q), entry: e, isEnt: true})
 			}
 		} else {
 			for _, c := range n.children {
-				heap.Push(&h, pqItem{key: c.rect.MinSqDistPoint(q), node: c})
+				h.push(pqItem{key: c.rect.MinSqDistPoint(q), node: c})
 			}
 		}
 	}
@@ -127,24 +185,27 @@ func (t *Tree) MinDist(q geom.Point) (float64, bool) {
 // MaxDist returns the maximum over entries of the maximum distance from q
 // to the entry rectangle (δmax(q, ·) when entries are points), via
 // best-first search on negated MaxDist bounds.
+//
+//nnc:hotpath
 func (t *Tree) MaxDist(q geom.Point) (float64, bool) {
 	if t.size == 0 {
 		return 0, false
 	}
-	h := pq{{key: -t.root.rect.MaxSqDistPoint(q), node: t.root}}
-	for len(h) > 0 {
-		it := heap.Pop(&h).(pqItem)
+	h := t.getPQ(pqItem{key: -t.root.rect.MaxSqDistPoint(q), node: t.root})
+	defer t.putPQ(h)
+	for len(h.items) > 0 {
+		it := h.pop()
 		if it.isEnt {
 			return sqrtNonNeg(-it.key), true
 		}
 		n := it.node
 		if n.leaf {
 			for _, e := range n.entries {
-				heap.Push(&h, pqItem{key: -e.Rect.MaxSqDistPoint(q), entry: e, isEnt: true})
+				h.push(pqItem{key: -e.Rect.MaxSqDistPoint(q), entry: e, isEnt: true})
 			}
 		} else {
 			for _, c := range n.children {
-				heap.Push(&h, pqItem{key: -c.rect.MaxSqDistPoint(q), node: c})
+				h.push(pqItem{key: -c.rect.MaxSqDistPoint(q), node: c})
 			}
 		}
 	}
@@ -156,20 +217,21 @@ func (t *Tree) Furthest(q geom.Point) (Entry, float64, bool) {
 	if t.size == 0 {
 		return Entry{}, 0, false
 	}
-	h := pq{{key: -t.root.rect.MaxSqDistPoint(q), node: t.root}}
-	for len(h) > 0 {
-		it := heap.Pop(&h).(pqItem)
+	h := t.getPQ(pqItem{key: -t.root.rect.MaxSqDistPoint(q), node: t.root})
+	defer t.putPQ(h)
+	for len(h.items) > 0 {
+		it := h.pop()
 		if it.isEnt {
 			return it.entry, sqrtNonNeg(-it.key), true
 		}
 		n := it.node
 		if n.leaf {
 			for _, e := range n.entries {
-				heap.Push(&h, pqItem{key: -e.Rect.MaxSqDistPoint(q), entry: e, isEnt: true})
+				h.push(pqItem{key: -e.Rect.MaxSqDistPoint(q), entry: e, isEnt: true})
 			}
 		} else {
 			for _, c := range n.children {
-				heap.Push(&h, pqItem{key: -c.rect.MaxSqDistPoint(q), node: c})
+				h.push(pqItem{key: -c.rect.MaxSqDistPoint(q), node: c})
 			}
 		}
 	}
@@ -206,6 +268,8 @@ func (t *Tree) NodesAtLevel(level int) []*Node {
 
 // buildLevels materializes every level 0..height-1 in one pass; below the
 // deepest level the expansion is a fixed point (all nodes are leaves).
+//
+//nnc:coldpath one-time pyramid build, memoized in levelCache until the next tree mutation
 func (t *Tree) buildLevels() [][]*Node {
 	levels := make([][]*Node, 1, t.height)
 	levels[0] = []*Node{t.root}

@@ -15,8 +15,9 @@ package rtree
 
 import (
 	"cmp"
-	"fmt"
 	"slices"
+	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"spatialdom/internal/geom"
@@ -111,6 +112,10 @@ type Tree struct {
 	// populated lazily (safely under concurrent readers) and dropped on
 	// any mutation.
 	levelCache atomic.Pointer[[][]*Node]
+
+	// pqPool recycles the best-first traversal heaps so warm
+	// Nearest/KNN/MaxDist calls run without allocating (see query.go).
+	pqPool sync.Pool
 }
 
 // DefaultFanout returns the fanout implied by an R-tree page of pageBytes
@@ -133,7 +138,8 @@ func New(minEntries, maxEntries int) *Tree {
 		panic("rtree: maxEntries must be >= 4")
 	}
 	if minEntries < 2 || minEntries > maxEntries/2 {
-		panic(fmt.Sprintf("rtree: invalid occupancy bounds min=%d max=%d", minEntries, maxEntries))
+		panic("rtree: invalid occupancy bounds min=" + strconv.Itoa(minEntries) +
+			" max=" + strconv.Itoa(maxEntries))
 	}
 	return &Tree{
 		root:   &Node{leaf: true},

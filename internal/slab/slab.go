@@ -49,6 +49,8 @@ func (a *Arena[T]) AllocZeroed(n int) []T {
 
 // grow advances to the next slab that can hold n elements, appending a new
 // power-of-two slab when none of the retained ones fits.
+//
+//nnc:coldpath amortized slab growth: doubling slabs are retained across Reset, so warm searches never reach this make
 func (a *Arena[T]) grow(n int) {
 	for a.active+1 < len(a.slabs) {
 		a.active++

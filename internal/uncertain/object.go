@@ -170,6 +170,8 @@ func (o *Object) MBR() geom.Rect { return o.mbr }
 
 // LocalTree returns the per-object instance R-tree (fanout 4), building it
 // on first use. Entry IDs are instance indices.
+//
+//nnc:coldpath sync.Once lazy build; every later call returns the cached tree
 func (o *Object) LocalTree() *rtree.Tree {
 	o.treeOnce.Do(func() {
 		entries := make([]rtree.Entry, len(o.pts))
@@ -184,6 +186,8 @@ func (o *Object) LocalTree() *rtree.Tree {
 // HullIndices returns the indices of the instances on the convex hull (see
 // geom.ConvexHullIndices for the per-dimensionality guarantees), computing
 // them on first use.
+//
+//nnc:coldpath sync.Once lazy build; every later call returns the cached indices
 func (o *Object) HullIndices() []int {
 	o.hullOnce.Do(func() { o.hull = geom.ConvexHullIndices(o.pts) })
 	return o.hull
@@ -193,6 +197,8 @@ func (o *Object) HullIndices() []int {
 // (Ritter's algorithm), computed on first use. Callers under other metrics
 // must re-measure the radius from the returned center; the center slice
 // must not be modified.
+//
+//nnc:coldpath sync.Once lazy build; every later call returns the cached sphere
 func (o *Object) Sphere() geom.Sphere {
 	o.sphereOnce.Do(func() { o.sphere = geom.BoundingSphere(o.pts) })
 	return o.sphere
