@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check
+.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults
 
 # The hot-path benchmark set and flags; bench-baseline and bench-compare
 # must agree so the committed BENCH_baseline.txt stays comparable. The
@@ -38,13 +38,14 @@ race:
 
 # check is the CI gate: formatting + vet + build + nnclint + race tests +
 # a one-shot Figure 12 benchmark smoke so the engine's hot path stays
-# exercised.
+# exercised, plus a short fuzz pass over the on-disk decoders.
 check: fmt-check
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) run ./cmd/nnclint -root .
 	$(GO) test -race ./...
 	$(GO) test -run='^$$' -bench=Fig12 -benchtime=1x .
+	$(MAKE) fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -90,3 +91,20 @@ verify:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/dataio
 	$(GO) test -fuzz=FuzzOpen -fuzztime=30s ./internal/pager
+	$(GO) test -fuzz=FuzzRecordDecode -fuzztime=30s ./internal/diskstore
+	$(GO) test -fuzz=FuzzNodeDecode -fuzztime=30s ./internal/diskrtree
+	$(GO) test -fuzz=FuzzSuperDecode -fuzztime=30s ./internal/diskindex
+
+# fuzz-smoke is the short decoder pass wired into `make check`: every
+# on-disk decoder (object record, rtree node, super page) survives 10s of
+# coverage-guided input without panicking or accepting garbage.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/diskstore
+	$(GO) test -run='^$$' -fuzz=FuzzNodeDecode -fuzztime=10s ./internal/diskrtree
+	$(GO) test -run='^$$' -fuzz=FuzzSuperDecode -fuzztime=10s ./internal/diskindex
+
+# faults runs the end-to-end fault-injection suite under the race
+# detector: engine degradation, quarantine, retry, fsck, legacy compat.
+faults:
+	$(GO) test -race -run 'Fault|Faults|Degrad|Partial|Torn|Transient|Quarantine|Legacy|Fsck|Rewrite|Waiter|Panic|Ready|Healthz|Stream|BitFlip|ShortRead|Classify|PageError|Backoff|Sleep' \
+		./internal/faults ./internal/faultfile ./internal/pager ./internal/diskindex ./internal/core ./internal/server

@@ -8,6 +8,11 @@
 //	nncdisk -n=5000 -m=10 -op=sssd -frames=128
 //	nncdisk -input=objects.csv -file=objects.pg -op=psd
 //	nncdisk -file=objects.pg -reuse -op=ssd     # reopen an existing file
+//
+// Maintenance subcommands:
+//
+//	nncdisk fsck objects.pg            # verify every page checksum; exit 1 on corruption
+//	nncdisk rewrite objects.pg         # rebuild in place (upgrades legacy files)
 package main
 
 import (
@@ -31,6 +36,16 @@ var opNames = map[string]core.Operator{
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "fsck":
+			fsckMain(os.Args[2:])
+			return
+		case "rewrite":
+			rewriteMain(os.Args[2:])
+			return
+		}
+	}
 	var (
 		n       = flag.Int("n", 2000, "number of objects to generate")
 		m       = flag.Int("m", 10, "average instances per object")
@@ -138,6 +153,65 @@ func main() {
 		}
 	}
 	tw.Flush()
+}
+
+// fsckMain implements `nncdisk fsck <file>`: scan the whole page file,
+// verify every checksum, and report per page type. Exits 1 when any page
+// fails verification, 0 on a clean (or legacy, checksum-free) file.
+func fsckMain(args []string) {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "list every corrupt page")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: nncdisk fsck [-v] <file>"))
+	}
+	rep, err := pager.Fsck(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: format v%d, %d pages x %d bytes (%d payload)\n",
+		rep.Path, rep.Version, rep.Pages, rep.PageSize, rep.Payload)
+	if rep.Legacy {
+		fmt.Println("legacy file: no checksums to verify (run `nncdisk rewrite` to upgrade)")
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "page type\tpages\tcorrupt")
+	corruptByType := map[pager.PageType]int{}
+	for _, c := range rep.Corrupt {
+		corruptByType[c.Type]++
+	}
+	for _, t := range rep.Types() {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", t, rep.ByType[t], corruptByType[t])
+	}
+	tw.Flush()
+	if *verbose {
+		for _, c := range rep.Corrupt {
+			fmt.Printf("page %d (%s): %v\n", c.ID, c.Type, c.Err)
+		}
+	}
+	if !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "%d corrupt page(s)\n", len(rep.Corrupt))
+		os.Exit(1)
+	}
+	fmt.Println("clean")
+}
+
+// rewriteMain implements `nncdisk rewrite <file>`: logically rebuild the
+// index into a temp file and atomically rename it over the original —
+// upgrading legacy (pre-checksum) files to the current format.
+func rewriteMain(args []string) {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	frames := fs.Int("frames", 128, "buffer pool frames for the rebuild")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: nncdisk rewrite [-frames=N] <file>"))
+	}
+	path := fs.Arg(0)
+	if err := diskindex.RewriteFile(path, *frames); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rewrote %s\n", path)
 }
 
 func fatal(err error) {

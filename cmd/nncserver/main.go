@@ -23,11 +23,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"spatialdom/internal/datagen"
@@ -58,6 +62,7 @@ func main() {
 		disk    = flag.String("disk", "", "serve from a disk index page file built by nncdisk")
 		frames  = flag.Int("frames", 256, "buffer pool frames for -disk")
 		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060)")
+		drain   = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -119,8 +124,36 @@ func main() {
 		Handler:           logging(srv),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("serving NN-candidate queries on %s", *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
+	// drains in-flight requests for up to -drain before the process exits,
+	// so searches running against the disk backend finish (or cancel)
+	// cleanly instead of dying mid-read.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving NN-candidate queries on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("shutting down, draining for up to %v", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("bye")
+	}
 }
 
 // logging is a minimal request logger.

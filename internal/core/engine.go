@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialdom/internal/faults"
 	"spatialdom/internal/geom"
 	"spatialdom/internal/uncertain"
 )
@@ -228,10 +229,15 @@ func (sc *searchScratch) release() {
 // The context is checked once per heap pop and once per candidate
 // emission; on cancellation the partial Result (with timing, dominance
 // and I/O statistics up to that point) is returned together with
-// ctx.Err(). A backend storage error aborts the search and is returned
-// with a nil Result. SearchOptions.Limit truncates the search after that
-// many candidates; because emission is progressive, the truncated prefix
-// equals the same prefix of the full search.
+// ctx.Err(). A hard backend storage error aborts the search and is
+// returned with a nil Result — but an unavailable read (a quarantined
+// page, matching faults.ErrUnavailable) degrades instead of aborting: the
+// unreadable subtree or object is skipped, the traversal continues, and
+// the completed Result is returned together with a *PartialResultError
+// recording what was skipped, so a degraded answer is always flagged and
+// never silently short. SearchOptions.Limit truncates the search after
+// that many candidates; because emission is progressive, the truncated
+// prefix equals the same prefix of the full search.
 func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Operator, k int, opts SearchOptions) (*Result, error) {
 	if k < 1 {
 		panic("core: SearchBackend requires k >= 1")
@@ -275,6 +281,15 @@ func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 	h.push(searchItem{kind: kindNode, node: root})
 
 	var expandErr error
+	// partial accumulates unavailable reads (quarantined pages); non-nil
+	// means the search completed in degraded mode.
+	var partial *PartialResultError
+	degrade := func(err error, node bool) {
+		if partial == nil {
+			partial = &PartialResultError{}
+		}
+		partial.note(err, node)
+	}
 	// visit keys each child entry by its MBR's min distance; one closure
 	// for the whole search.
 	visit := func(e BackendEntry) {
@@ -300,11 +315,19 @@ func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 				return
 			}
 			if err := b.Expand(it.node, visit); err != nil {
+				if faults.IsUnavailable(err) {
+					degrade(err, true)
+					return
+				}
 				expandErr = err
 			}
 		case kindObjLB:
 			o, err := b.Resolve(it.obj)
 			if err != nil {
+				if faults.IsUnavailable(err) {
+					degrade(err, false)
+					return
+				}
 				expandErr = err
 				return
 			}
@@ -400,12 +423,23 @@ func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 			}
 			if opts.Limit > 0 && len(res.Candidates) >= opts.Limit {
 				finish()
-				return res, nil
+				return res, partialOrNil(partial, res)
 			}
 		}
 	}
 	finish()
-	return res, nil
+	return res, partialOrNil(partial, res)
+}
+
+// partialOrNil finalizes a degraded search's error: nil for a clean run,
+// the populated *PartialResultError otherwise.
+func partialOrNil(partial *PartialResultError, res *Result) error {
+	if partial == nil {
+		return nil
+	}
+	partial.Result = res
+	res.Incomplete = true
+	return partial
 }
 
 // bandDominatesRect reports whether at least k current candidates strictly
@@ -449,7 +483,9 @@ func StreamBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 			}
 		}
 		res, err := SearchBackend(ctx, b, q, op, 1, inner)
-		if err == nil && res != nil {
+		if _, isPartial := AsPartial(err); (err == nil || isPartial) && res != nil {
+			// A degraded search still completed its traversal; the caller
+			// distinguishes it by checking the error separately if needed.
 			done <- res
 		}
 	}()

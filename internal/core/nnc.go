@@ -25,9 +25,12 @@ type Index struct {
 	denseSpan int
 }
 
-// GlobalPageBytes is the page size the global R-tree fanout is derived
-// from, matching the paper's 4096-byte pages.
-const GlobalPageBytes = 4096
+// GlobalPageBytes is the usable page payload the global R-tree fanout is
+// derived from: the paper's 4096-byte physical page minus the pager's
+// 8-byte per-page integrity trailer. Deriving fanout from the payload
+// keeps the in-memory tree node-for-node identical to the disk-resident
+// one — the backend-conformance invariant the diskindex suite asserts.
+const GlobalPageBytes = 4096 - 8
 
 // Errors returned by NewIndex.
 var (
@@ -118,6 +121,13 @@ type Result struct {
 	// IO reports the storage-access delta of this search. It is the zero
 	// value for memory-resident backends.
 	IO IOStats
+	// Incomplete marks a degraded search: the traversal finished but some
+	// subtrees or objects were unreadable (quarantined pages), so
+	// candidates from those regions may be missing. The accompanying
+	// *PartialResultError carries the detailed counts and causes; the flag
+	// is mirrored here so results that travel without their error (batch
+	// slots, stream summaries) still declare themselves partial.
+	Incomplete bool
 }
 
 // Objects returns the candidate objects in emission order.

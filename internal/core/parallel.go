@@ -26,11 +26,14 @@ type KSearcher interface {
 // goroutines, and returns the results in input order. workers <= 0 uses
 // GOMAXPROCS; the fan-out never exceeds len(queries).
 //
-// The first search error cancels the remaining work and is returned with
-// the partial results (nil at unfinished positions). Cancelling ctx stops
-// the batch the same way. opts is shared by every search; an OnCandidate
-// callback will therefore be invoked from multiple goroutines and must be
-// safe for that.
+// The first hard search error cancels the remaining work and is returned
+// with the partial results (nil at unfinished positions). Cancelling ctx
+// stops the batch the same way. A degraded search (PartialResultError)
+// does NOT cancel the batch: its traversal completed, its result is stored
+// with Result.Incomplete set, and the remaining queries proceed — one
+// quarantined page must not fail a whole batch. opts is shared by every
+// search; an OnCandidate callback will therefore be invoked from multiple
+// goroutines and must be safe for that.
 func SearchParallel(ctx context.Context, s KSearcher, queries []*uncertain.Object, op Operator, k int, opts SearchOptions, workers int) ([]*Result, error) {
 	results := make([]*Result, len(queries))
 	if len(queries) == 0 {
@@ -65,11 +68,15 @@ func SearchParallel(ctx context.Context, s KSearcher, queries []*uncertain.Objec
 				}
 				res, err := s.SearchKCtx(ctx, queries[i], op, k, opts)
 				if err != nil {
-					errOnce.Do(func() {
-						firstErr = err
-						cancel()
-					})
-					return
+					if _, isPartial := AsPartial(err); !isPartial {
+						errOnce.Do(func() {
+							firstErr = err
+							cancel()
+						})
+						return
+					}
+					// Degraded but complete: keep the flagged result and
+					// keep the batch going.
 				}
 				results[i] = res
 			}

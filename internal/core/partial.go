@@ -1,0 +1,75 @@
+package core
+
+// Graceful degradation: when a disk-resident backend has quarantined pages,
+// a traversal that reaches one cannot read that subtree or object, but the
+// rest of the search is still valid. Instead of aborting, the engine skips
+// the unreadable reference, finishes the traversal, and returns the result
+// together with a PartialResultError describing exactly what was skipped —
+// so callers get the distinction between "complete answer", "flagged
+// partial answer" and "hard failure" as types, never a silently shrunken
+// candidate set.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// maxPartialErrs caps the representative storage errors retained on a
+// PartialResultError; the counts are always exact.
+const maxPartialErrs = 8
+
+// PartialResultError reports a search whose traversal completed but had to
+// skip storage it could not read (quarantined pages). Result is always
+// non-nil and holds every candidate provable from the readable portion of
+// the index; the counts say how much of the tree was skipped. It matches
+// errors.As for *PartialResultError, and errors.Is(err,
+// faults.ErrUnavailable) through the retained causes.
+type PartialResultError struct {
+	// Result is the search outcome over the readable subset of the index.
+	Result *Result
+	// UnreadableNodes and UnreadableObjects count skipped subtree
+	// expansions and skipped object resolutions.
+	UnreadableNodes   int
+	UnreadableObjects int
+	// Errs holds up to maxPartialErrs representative causes.
+	Errs []error
+}
+
+// Error implements error.
+func (e *PartialResultError) Error() string {
+	return fmt.Sprintf("core: partial result: %d subtrees and %d objects unreadable",
+		e.UnreadableNodes, e.UnreadableObjects)
+}
+
+// Unwrap exposes the retained causes, so errors.Is sees through a partial
+// result to the underlying fault class (faults.ErrUnavailable et al.).
+func (e *PartialResultError) Unwrap() []error { return e.Errs }
+
+// note records one skipped read.
+func (e *PartialResultError) note(err error, node bool) {
+	if node {
+		e.UnreadableNodes++
+	} else {
+		e.UnreadableObjects++
+	}
+	if len(e.Errs) < maxPartialErrs {
+		e.Errs = append(e.Errs, err)
+	}
+}
+
+// AsPartial unwraps err to its PartialResultError, if it carries one. The
+// idiom for callers that serve degraded results:
+//
+//	res, err := backend.SearchKCtx(ctx, ...)
+//	if pe, ok := core.AsPartial(err); ok {
+//	    serveFlagged(pe.Result, pe) // degraded, not failed
+//	} else if err != nil {
+//	    fail(err)
+//	}
+func AsPartial(err error) (*PartialResultError, bool) {
+	var pe *PartialResultError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}

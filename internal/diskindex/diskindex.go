@@ -27,11 +27,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"sync/atomic"
 
 	"spatialdom/internal/core"
 	"spatialdom/internal/diskrtree"
 	"spatialdom/internal/diskstore"
+	"spatialdom/internal/faults"
 	"spatialdom/internal/pager"
 	"spatialdom/internal/uncertain"
 )
@@ -77,6 +79,35 @@ var _ core.Backend = (*Index)(nil)
 // ErrBadSuper is returned by Open when the super page is not an index.
 var ErrBadSuper = errors.New("diskindex: bad super page")
 
+// SuperPageID is the fixed page a Build's super block lands on: the first
+// page allocated after the file header.
+const SuperPageID = pager.PageID(1)
+
+// ParseSuper validates and decodes a super-page image into the two
+// metadata page ids and the dense object-ID span. Malformed input yields
+// an error wrapping ErrBadSuper — never a panic. It is the single source
+// of super-page decode truth (Open routes through it) and the surface
+// FuzzSuperDecode exercises.
+func ParseSuper(buf []byte) (storeMeta, treeMeta pager.PageID, span int, err error) {
+	if len(buf) < 20 {
+		return 0, 0, 0, fmt.Errorf("%w: %d-byte page too short", ErrBadSuper, len(buf))
+	}
+	if string(buf[:4]) != superMagic {
+		return 0, 0, 0, ErrBadSuper
+	}
+	storeMeta = pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
+	treeMeta = pager.PageID(binary.LittleEndian.Uint32(buf[8:]))
+	rawSpan := binary.LittleEndian.Uint64(buf[12:])
+	if storeMeta == 0 || treeMeta == 0 || storeMeta == treeMeta {
+		return 0, 0, 0, fmt.Errorf("%w: metadata pages store=%d tree=%d", ErrBadSuper, storeMeta, treeMeta)
+	}
+	const maxSpan = 1 << 40 // plausibility bound well beyond any real dataset
+	if rawSpan > maxSpan {
+		return 0, 0, 0, fmt.Errorf("%w: implausible id span %d", ErrBadSuper, rawSpan)
+	}
+	return storeMeta, treeMeta, int(rawSpan), nil
+}
+
 // Build writes the objects and their R-tree into the pool's file and
 // returns the index. The first page Build allocates is the super page;
 // pass its id (SuperPage) to Open to reattach. Build itself is
@@ -87,7 +118,7 @@ func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 	if len(objs) == 0 {
 		return nil, errors.New("diskindex: no objects")
 	}
-	super, _, err := pool.Allocate()
+	super, _, err := pool.Allocate(pager.PageSuper)
 	if err != nil {
 		return nil, err
 	}
@@ -144,14 +175,11 @@ func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if string(buf[:4]) != superMagic {
-		pool.Unpin(super)
-		return nil, ErrBadSuper
-	}
-	storeMeta := pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
-	treeMeta := pager.PageID(binary.LittleEndian.Uint32(buf[8:]))
-	span := int(binary.LittleEndian.Uint64(buf[12:]))
+	storeMeta, treeMeta, span, perr := ParseSuper(buf)
 	pool.Unpin(super)
+	if perr != nil {
+		return nil, perr
+	}
 	store, err := diskstore.Open(pool, storeMeta)
 	if err != nil {
 		return nil, err
@@ -351,7 +379,7 @@ func (ix *Index) SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Op
 	if k < 1 {
 		return nil, fmt.Errorf("diskindex: k=%d must be >= 1", k)
 	}
-	s := &session{ix: ix, lease: ix.pool.NewLease(), cache: ix.objCache.Load()}
+	s := &session{ix: ix, lease: ix.pool.NewLeaseCtx(ctx), cache: ix.objCache.Load()}
 	return core.SearchBackend(ctx, s, q, op, k, opts)
 }
 
@@ -379,4 +407,79 @@ func (ix *Index) SearchKParallel(ctx context.Context, queries []*uncertain.Objec
 func (ix *Index) String() string {
 	return fmt.Sprintf("DiskIndex(%d objects, dim %d, tree height %d, %d pages)",
 		ix.Len(), ix.Dim(), ix.tree.Height(), ix.pool.File().Len())
+}
+
+// --- health & maintenance ----------------------------------------------------
+
+// Quarantined reports how many pages the pager has quarantined as
+// unreadable. Non-zero means searches may return flagged partial results
+// for queries whose traversal touches those pages.
+func (ix *Index) Quarantined() int64 { return ix.pool.File().QuarantineCount() }
+
+// FaultStats returns the cumulative fault counters of the underlying page
+// file (checksum failures, torn pages, retries, recoveries).
+func (ix *Index) FaultStats() faults.Stats { return ix.pool.FaultStats() }
+
+// Healthy is a cheap readiness probe: it re-reads and re-validates the
+// super page through the buffer pool. A nil return means the index can
+// serve queries (possibly degraded — check Quarantined for that signal).
+func (ix *Index) Healthy(ctx context.Context) error {
+	buf, err := ix.pool.GetCtx(ctx, ix.super)
+	if err != nil {
+		return err
+	}
+	_, _, _, perr := ParseSuper(buf)
+	ix.pool.Unpin(ix.super)
+	return perr
+}
+
+// RewriteFile rebuilds the index file at path into the current on-disk
+// format via a temp file in the same directory and an atomic rename. The
+// rebuild is logical — every record is decoded from the old file (legacy v0
+// or current) and re-appended through a fresh Build — so it both upgrades
+// pre-checksum files and compacts around any format change, rather than
+// assuming payload geometry is preserved. frames sizes the buffer pools
+// used on both sides (<= 0 picks a default).
+//
+//nnc:allow ctx-flow: RewriteFile is an offline maintenance pass (nncdisk rewrite), not a query; nothing upstream has a ctx to thread
+func RewriteFile(path string, frames int) error {
+	if frames <= 0 {
+		frames = 256
+	}
+	pf, err := pager.Open(path)
+	if err != nil {
+		return err
+	}
+	physPageSize := pf.PhysicalPageSize()
+	ix, err := Open(pager.NewPool(pf, frames), SuperPageID)
+	if err != nil {
+		pf.Close()
+		return err
+	}
+	objs := make([]*uncertain.Object, 0, ix.Len())
+	serr := ix.store.Scan(func(_ diskstore.Ptr, o *uncertain.Object) error {
+		objs = append(objs, o)
+		return nil
+	})
+	if cerr := pf.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("diskindex: rewrite %s: %w", path, serr)
+	}
+
+	tmp := path + ".rewrite"
+	nf, err := pager.Create(tmp, physPageSize)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	if _, err := Build(pager.NewPool(nf, frames), objs); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -132,7 +132,7 @@ func TestOpenBadSuper(t *testing.T) {
 	}
 	defer pf.Close()
 	pool := pager.NewPool(pf, 8)
-	id, buf, err := pool.Allocate()
+	id, buf, err := pool.Allocate(pager.PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,11 +189,11 @@ func TestOpenSpanZeroLegacyFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf := make([]byte, pf.PageSize())
-	if err := pf.ReadPage(super, buf); err != nil {
+	if _, err := pf.ReadPage(super, buf); err != nil {
 		t.Fatal(err)
 	}
 	clear(buf[12:20])
-	if err := pf.WritePage(super, buf); err != nil {
+	if err := pf.WritePage(super, buf, pager.PageSuper); err != nil {
 		t.Fatal(err)
 	}
 	if err := pf.Sync(); err != nil {

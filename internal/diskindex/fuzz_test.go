@@ -1,0 +1,44 @@
+package diskindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// encodeSuperBytes builds a valid super-page image for seeding the fuzzer:
+// magic | storeMeta u32 | treeMeta u32 | span u64.
+func encodeSuperBytes(storeMeta, treeMeta uint32, span uint64) []byte {
+	buf := make([]byte, 20)
+	copy(buf, superMagic)
+	binary.LittleEndian.PutUint32(buf[4:], storeMeta)
+	binary.LittleEndian.PutUint32(buf[8:], treeMeta)
+	binary.LittleEndian.PutUint64(buf[12:], span)
+	return buf
+}
+
+// FuzzSuperDecode drives the super-page decoder with arbitrary bytes: it
+// must never panic, and every accepted image must yield two distinct
+// nonzero metadata pages and a plausible span.
+func FuzzSuperDecode(f *testing.F) {
+	f.Add(encodeSuperBytes(2, 17, 1000))
+	f.Add(encodeSuperBytes(3, 4, 0))
+	f.Add([]byte(superMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		storeMeta, treeMeta, span, err := ParseSuper(buf)
+		if err != nil {
+			if !errors.Is(err, ErrBadSuper) {
+				t.Fatalf("decode error does not wrap ErrBadSuper: %v", err)
+			}
+			return
+		}
+		if storeMeta == 0 || treeMeta == 0 || storeMeta == treeMeta {
+			t.Fatalf("accepted super with meta pages %d/%d", storeMeta, treeMeta)
+		}
+		if span < 0 || span > 1<<40 {
+			t.Fatalf("accepted implausible span %d", span)
+		}
+	})
+}

@@ -59,7 +59,14 @@ type Tree struct {
 var (
 	ErrNoEntries = errors.New("diskrtree: no entries")
 	ErrBadMeta   = errors.New("diskrtree: bad meta page")
+	// ErrCorruptNode flags a node page whose bytes fail structural
+	// validation — a checksum-clean page can still be logically damaged,
+	// so every decode is bounds-checked.
+	ErrCorruptNode = errors.New("diskrtree: corrupt node page")
 )
+
+// maxDim bounds plausible dimensionality in persisted metadata.
+const maxDim = 1 << 10
 
 // Capacity returns the per-node entry capacity for a page size and
 // dimensionality.
@@ -87,7 +94,7 @@ func Build(pool *pager.Pool, entries []Entry) (*Tree, error) {
 	}
 	// Meta page first so reopening can find it at a fixed position: the
 	// first page the tree allocates.
-	metaID, metaBuf, err := pool.Allocate()
+	metaID, metaBuf, err := pool.Allocate(pager.PageTreeMeta)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +152,10 @@ func Open(pool *pager.Pool, meta pager.PageID) (*Tree, error) {
 		height: int(binary.LittleEndian.Uint16(buf[6:])),
 		size:   int(binary.LittleEndian.Uint64(buf[8:])),
 		root:   pager.PageID(binary.LittleEndian.Uint32(buf[16:])),
+	}
+	if t.dim < 1 || t.dim > maxDim || t.height < 1 || t.size < 1 || t.root == 0 {
+		return nil, fmt.Errorf("%w: dim=%d height=%d size=%d root=%d",
+			ErrBadMeta, t.dim, t.height, t.size, t.root)
 	}
 	t.cap = Capacity(pool.File().PageSize(), t.dim)
 	return t, nil
@@ -295,7 +306,7 @@ func ipow(b, e int) int {
 // --- node (de)serialization ------------------------------------------------
 
 func (t *Tree) writeNode(leaf bool, rects []geom.Rect, kids []pager.PageID, ids []int64) (pager.PageID, error) {
-	page, buf, err := t.pool.Allocate()
+	page, buf, err := t.pool.Allocate(pager.PageTreeNode)
 	if err != nil {
 		return pager.InvalidPage, err
 	}
@@ -347,9 +358,39 @@ func (t *Tree) ReadNodeVia(r pager.Reader, page pager.PageID) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer r.Unpin(page)
+	n, derr := DecodeNode(buf, t.dim)
+	r.Unpin(page)
+	if derr != nil {
+		return nil, fmt.Errorf("diskrtree: page %d: %w", page, derr)
+	}
+	return n, nil
+}
+
+// DecodeNode decodes a node page image with dimensionality dim. The entry
+// count is validated against the page size before any entry is touched, so
+// malformed input yields an error wrapping ErrCorruptNode — never a panic.
+// It is the tree's single source of decode truth (ReadNodeVia routes
+// through it) and the surface FuzzNodeDecode exercises.
+func DecodeNode(buf []byte, dim int) (*Node, error) {
+	if dim < 1 || dim > maxDim {
+		return nil, fmt.Errorf("%w: implausible dim %d", ErrCorruptNode, dim)
+	}
+	if len(buf) < 3 {
+		return nil, fmt.Errorf("%w: %d-byte page too short", ErrCorruptNode, len(buf))
+	}
+	if buf[0] > 1 {
+		return nil, fmt.Errorf("%w: bad leaf flag %d", ErrCorruptNode, buf[0])
+	}
 	leaf := buf[0] == 1
 	count := int(binary.LittleEndian.Uint16(buf[1:]))
+	if count < 1 {
+		return nil, fmt.Errorf("%w: empty node", ErrCorruptNode)
+	}
+	entry := 16*dim + 8
+	if 3+count*entry > len(buf) {
+		return nil, fmt.Errorf("%w: %d entries of %d bytes overflow %d-byte page",
+			ErrCorruptNode, count, entry, len(buf))
+	}
 	n := &Node{Leaf: leaf, Rects: make([]geom.Rect, count)}
 	if leaf {
 		n.IDs = make([]int64, count)
@@ -358,13 +399,13 @@ func (t *Tree) ReadNodeVia(r pager.Reader, page pager.PageID) (*Node, error) {
 	}
 	off := 3
 	for i := 0; i < count; i++ {
-		lo := make(geom.Point, t.dim)
-		hi := make(geom.Point, t.dim)
-		for j := 0; j < t.dim; j++ {
+		lo := make(geom.Point, dim)
+		hi := make(geom.Point, dim)
+		for j := 0; j < dim; j++ {
 			lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 		}
-		for j := 0; j < t.dim; j++ {
+		for j := 0; j < dim; j++ {
 			hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 		}

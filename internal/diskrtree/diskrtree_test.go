@@ -151,7 +151,7 @@ func TestReopen(t *testing.T) {
 
 func TestOpenBadMeta(t *testing.T) {
 	pool := newPool(t, 512, 8)
-	id, buf, err := pool.Allocate()
+	id, buf, err := pool.Allocate(pager.PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,9 +41,21 @@ type Store struct {
 // ErrBadMeta is returned by Open on a non-store meta page.
 var ErrBadMeta = errors.New("diskstore: bad meta page")
 
+// ErrCorrupt flags a record whose bytes fail structural validation —
+// checksum-clean pages can still carry a logically damaged stream, so every
+// decode is bounds-checked and errors.Is(err, ErrCorrupt) identifies it.
+var ErrCorrupt = errors.New("diskstore: corrupt record")
+
+// Structural plausibility bounds for decoded records. Anything beyond these
+// is treated as corruption rather than allocated.
+const (
+	maxInstances = 1 << 24
+	maxDim       = 1 << 10
+)
+
 // Create allocates a store (and its meta page) in the pool's file.
 func Create(pool *pager.Pool) (*Store, error) {
-	meta, _, err := pool.Allocate()
+	meta, _, err := pool.Allocate(pager.PageStoreMeta)
 	if err != nil {
 		return nil, err
 	}
@@ -62,14 +74,19 @@ func Open(pool *pager.Pool, meta pager.PageID) (*Store, error) {
 	if string(buf[:4]) != metaMagic {
 		return nil, ErrBadMeta
 	}
-	return &Store{
+	s := &Store{
 		pool:  pool,
 		meta:  meta,
 		first: pager.PageID(binary.LittleEndian.Uint32(buf[4:])),
 		pages: int(binary.LittleEndian.Uint32(buf[8:])),
 		tail:  binary.LittleEndian.Uint64(buf[12:]),
 		count: int(binary.LittleEndian.Uint32(buf[20:])),
-	}, nil
+	}
+	ps := uint64(pool.File().PageSize())
+	if s.tail > uint64(s.pages)*ps || (s.pages > 0 && s.first == 0) || s.count < 0 {
+		return nil, fmt.Errorf("%w: tail %d beyond %d data pages", ErrBadMeta, s.tail, s.pages)
+	}
+	return s, nil
 }
 
 func (s *Store) writeMeta() error {
@@ -117,52 +134,115 @@ func (s *Store) Read(ptr Ptr) (*uncertain.Object, error) {
 // layout fields are immutable after build, so any number of ReadVia calls
 // may run concurrently.
 func (s *Store) ReadVia(r pager.Reader, ptr Ptr) (*uncertain.Object, error) {
-	hdr := make([]byte, 16)
-	if err := s.readAtVia(r, uint64(ptr), hdr); err != nil {
+	var hdr [16]byte
+	if err := s.readAtVia(r, uint64(ptr), hdr[:]); err != nil {
 		return nil, err
 	}
 	m := int(binary.LittleEndian.Uint32(hdr[8:]))
 	d := int(binary.LittleEndian.Uint32(hdr[12:]))
-	if m <= 0 || d <= 0 || m > 1<<24 || d > 1<<10 {
-		return nil, fmt.Errorf("diskstore: corrupt record at %d (m=%d d=%d)", ptr, m, d)
+	if m <= 0 || d <= 0 || m > maxInstances || d > maxDim {
+		return nil, fmt.Errorf("%w at %d (m=%d d=%d)", ErrCorrupt, ptr, m, d)
 	}
-	body := make([]byte, 8*m+8*m*d+2)
-	if err := s.readAtVia(r, uint64(ptr)+16, body); err != nil {
+	need := 16 + 8*m + 8*m*d + 2
+	if uint64(ptr)+uint64(need) > s.tail {
+		return nil, fmt.Errorf("%w at %d: %d-byte body overruns stream tail %d", ErrCorrupt, ptr, need, s.tail)
+	}
+	rec := make([]byte, need)
+	copy(rec, hdr[:])
+	if err := s.readAtVia(r, uint64(ptr)+16, rec[16:]); err != nil {
 		return nil, err
 	}
-	id := int(int64(binary.LittleEndian.Uint64(hdr[:8])))
+	if labelLen := int(binary.LittleEndian.Uint16(rec[need-2:])); labelLen > 0 {
+		if uint64(ptr)+uint64(need)+uint64(labelLen) > s.tail {
+			return nil, fmt.Errorf("%w at %d: label overruns stream tail %d", ErrCorrupt, ptr, s.tail)
+		}
+		rec = append(rec, make([]byte, labelLen)...)
+		if err := s.readAtVia(r, uint64(ptr)+uint64(need), rec[need:]); err != nil {
+			return nil, err
+		}
+	}
+	o, _, err := DecodeRecord(rec)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: record at %d: %w", ptr, err)
+	}
+	return o, nil
+}
+
+// DecodeRecord decodes one serialized record from the front of data,
+// returning the object and the number of bytes consumed. Every length field
+// is validated against len(data) before any allocation, so arbitrary
+// malformed input yields an error wrapping ErrCorrupt — never a panic and
+// never an attacker-sized allocation. It is the store's single source of
+// decode truth (ReadVia routes through it) and the surface FuzzRecordDecode
+// exercises.
+func DecodeRecord(data []byte) (*uncertain.Object, int, error) {
+	if len(data) < 16 {
+		return nil, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	id := int(int64(binary.LittleEndian.Uint64(data[:8])))
+	m := int(binary.LittleEndian.Uint32(data[8:]))
+	d := int(binary.LittleEndian.Uint32(data[12:]))
+	if m <= 0 || d <= 0 || m > maxInstances || d > maxDim {
+		return nil, 0, fmt.Errorf("%w: implausible shape m=%d d=%d", ErrCorrupt, m, d)
+	}
+	need := 16 + 8*m + 8*m*d + 2
+	if need > len(data) || need < 0 {
+		return nil, 0, fmt.Errorf("%w: %d bytes needed, %d present", ErrCorrupt, need, len(data))
+	}
+	off := 16
 	probs := make([]float64, m)
-	off := 0
 	for i := range probs {
-		probs[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		probs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
 	}
 	pts := make([]geom.Point, m)
 	for i := range pts {
 		p := make(geom.Point, d)
 		for j := 0; j < d; j++ {
-			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 			off += 8
 		}
 		pts[i] = p
 	}
-	labelLen := int(binary.LittleEndian.Uint16(body[off:]))
-	var label string
-	if labelLen > 0 {
-		lb := make([]byte, labelLen)
-		if err := s.readAtVia(r, uint64(ptr)+16+uint64(off)+2, lb); err != nil {
-			return nil, err
-		}
-		label = string(lb)
+	labelLen := int(binary.LittleEndian.Uint16(data[off:]))
+	off += 2
+	if off+labelLen > len(data) {
+		return nil, 0, fmt.Errorf("%w: %d-byte label overruns record", ErrCorrupt, labelLen)
 	}
+	label := string(data[off : off+labelLen])
+	off += labelLen
 	o, err := uncertain.New(id, pts, probs)
 	if err != nil {
-		return nil, fmt.Errorf("diskstore: decoding record at %d: %w", ptr, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if label != "" {
 		o.SetLabel(label)
 	}
-	return o, nil
+	return o, off, nil
+}
+
+// EncodedLen returns the exact on-stream size of o's record.
+func EncodedLen(o *uncertain.Object) int {
+	return 16 + 8*o.Len() + 8*o.Len()*o.Dim() + 2 + len(o.Label())
+}
+
+// Scan invokes fn for every record in append order with its pointer. It is
+// the logical-content walk behind file rewriting: a rebuild reads records
+// through Scan and re-appends them to a fresh store, independent of the
+// physical page geometry they were originally laid out in.
+func (s *Store) Scan(fn func(Ptr, *uncertain.Object) error) error {
+	off := uint64(0)
+	for i := 0; i < s.count; i++ {
+		o, err := s.Read(Ptr(off))
+		if err != nil {
+			return fmt.Errorf("diskstore: scan record %d: %w", i, err)
+		}
+		if err := fn(Ptr(off), o); err != nil {
+			return err
+		}
+		off += uint64(EncodedLen(o))
+	}
+	return nil
 }
 
 func encode(o *uncertain.Object) []byte {
@@ -196,7 +276,7 @@ func (s *Store) page(off uint64, extend bool) (pager.PageID, int, error) {
 	ps := uint64(s.pool.File().PageSize())
 	idx := int(off / ps)
 	for extend && idx >= s.pages {
-		id, _, err := s.pool.Allocate()
+		id, _, err := s.pool.Allocate(pager.PageStoreData)
 		if err != nil {
 			return pager.InvalidPage, 0, err
 		}

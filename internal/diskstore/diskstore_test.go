@@ -141,7 +141,7 @@ func TestPersistAcrossReopen(t *testing.T) {
 
 func TestOpenBadMeta(t *testing.T) {
 	pool, _ := newPool(t, 256)
-	id, buf, err := pool.Allocate()
+	id, buf, err := pool.Allocate(pager.PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}

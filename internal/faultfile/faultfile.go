@@ -1,0 +1,187 @@
+// Package faultfile wraps an io.ReaderAt with a deterministic fault
+// schedule, so the whole disk read path — pager verification, retry,
+// quarantine, and the engine's graceful degradation — can be driven under
+// every failure class the fault model covers without touching a real
+// faulty device.
+//
+// Determinism is a design requirement: a schedule is an explicit list of
+// per-page faults whose byte positions derive from a caller-provided seed
+// (no global rand), so a failing run reproduces exactly from its
+// configuration. Faults are keyed by physical page index (offset /
+// pageSize); reads that span pages see the fault of every page they touch.
+package faultfile
+
+import (
+	"io"
+	"sync"
+	"syscall"
+)
+
+// Kind is a fault class the wrapper can inject.
+type Kind int
+
+const (
+	// BitFlip flips one payload bit of the page, deterministically chosen
+	// from the schedule seed — stable corruption: every read of the page
+	// returns the same damaged bytes.
+	BitFlip Kind = iota
+	// TornPage returns a page whose prefix is the real data and whose
+	// suffix is stale zeros, with the torn boundary shifting on every
+	// attempt — an in-flight write racing the reader. After Times attempts
+	// the write "settles" and reads return clean data.
+	TornPage
+	// ShortRead truncates the read halfway and returns
+	// io.ErrUnexpectedEOF for Times attempts, then succeeds.
+	ShortRead
+	// TransientErr fails the read with syscall.EIO for Times attempts,
+	// then succeeds.
+	TransientErr
+)
+
+// String names the fault class.
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case TornPage:
+		return "torn-page"
+	case ShortRead:
+		return "short-read"
+	case TransientErr:
+		return "transient-eio"
+	}
+	return "unknown"
+}
+
+// Fault schedules one fault on one physical page.
+type Fault struct {
+	Kind Kind
+	// Page is the physical page index: offset / pageSize.
+	Page int64
+	// Times bounds how many reads the fault affects; <= 0 means every
+	// read (a persistent fault). BitFlip is inherently persistent and
+	// ignores Times.
+	Times int
+	// Seed drives the deterministic bit/boundary choice for this fault.
+	Seed uint64
+}
+
+// ReaderAt injects the scheduled faults into reads of an underlying
+// io.ReaderAt. It is safe for concurrent use.
+type ReaderAt struct {
+	inner    io.ReaderAt
+	pageSize int64
+
+	mu     sync.Mutex
+	faults map[int64][]*scheduled
+	counts map[Kind]int64
+}
+
+type scheduled struct {
+	Fault
+	remaining int // remaining injections; <0 = unbounded
+	attempts  int // reads seen so far (drives the torn boundary)
+}
+
+// New wraps inner with the given schedule. pageSize must match the page
+// file's physical page size so offsets map to the scheduled page indexes.
+func New(inner io.ReaderAt, pageSize int, schedule []Fault) *ReaderAt {
+	r := &ReaderAt{
+		inner:    inner,
+		pageSize: int64(pageSize),
+		faults:   make(map[int64][]*scheduled, len(schedule)),
+		counts:   make(map[Kind]int64),
+	}
+	for _, f := range schedule {
+		s := &scheduled{Fault: f, remaining: f.Times}
+		if f.Times <= 0 {
+			s.remaining = -1
+		}
+		r.faults[f.Page] = append(r.faults[f.Page], s)
+	}
+	return r
+}
+
+// Injected reports how many faults of the given kind have been injected.
+func (r *ReaderAt) Injected(k Kind) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[k]
+}
+
+// ReadAt reads from the underlying storage and applies any scheduled fault
+// of the pages the read covers. At most one fault fires per call (the
+// first armed one, in schedule order), keeping failure sequences easy to
+// reason about in tests.
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := r.inner.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	first := off / r.pageSize
+	last := (off + int64(len(p)) - 1) / r.pageSize
+	for page := first; page <= last; page++ {
+		for _, s := range r.faults[page] {
+			if s.remaining == 0 && s.Kind != BitFlip {
+				continue
+			}
+			return r.inject(s, p, off, page)
+		}
+	}
+	return n, nil
+}
+
+// inject applies one scheduled fault to the read. Called with mu held.
+func (r *ReaderAt) inject(s *scheduled, p []byte, off, page int64) (int, error) {
+	s.attempts++
+	if s.remaining > 0 && s.Kind != BitFlip {
+		s.remaining--
+	}
+	r.counts[s.Kind]++
+	// The fault's byte range within this read.
+	pageStart := page * r.pageSize
+	lo := pageStart - off
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pageStart + r.pageSize - off
+	if hi > int64(len(p)) {
+		hi = int64(len(p))
+	}
+	span := p[lo:hi]
+	switch s.Kind {
+	case BitFlip:
+		if len(span) > 0 {
+			bit := mix(s.Seed, uint64(page)) % uint64(len(span)*8)
+			span[bit/8] ^= 1 << (bit % 8)
+		}
+		return len(p), nil
+	case TornPage:
+		// The settled prefix grows with every attempt: a re-read observes
+		// different bytes than the first read, which is exactly how the
+		// pager tells a torn write from stable corruption.
+		if len(span) > 0 {
+			boundary := int(mix(s.Seed, uint64(s.attempts)) % uint64(len(span)))
+			for i := boundary; i < len(span); i++ {
+				span[i] = 0
+			}
+		}
+		return len(p), nil
+	case ShortRead:
+		n := int(lo) + len(span)/2
+		return n, io.ErrUnexpectedEOF
+	case TransientErr:
+		return 0, syscall.EIO
+	}
+	return len(p), nil
+}
+
+// mix hashes (seed, x) with the SplitMix64 finalizer.
+func mix(seed, x uint64) uint64 {
+	z := seed ^ x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

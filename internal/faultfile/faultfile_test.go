@@ -1,0 +1,130 @@
+package faultfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+)
+
+const ps = 128
+
+// clean builds an n-page backing store with distinct page contents.
+func clean(n int) []byte {
+	b := make([]byte, n*ps)
+	for i := range b {
+		b[i] = byte(i/ps + 1)
+	}
+	return b
+}
+
+func readPage(t *testing.T, r io.ReaderAt, page int64) ([]byte, int, error) {
+	t.Helper()
+	buf := make([]byte, ps)
+	n, err := r.ReadAt(buf, page*ps)
+	return buf, n, err
+}
+
+func TestBitFlipIsStable(t *testing.T) {
+	data := clean(4)
+	r := New(bytes.NewReader(data), ps, []Fault{{Kind: BitFlip, Page: 2, Seed: 9}})
+
+	first, _, err := readPage(t, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first, data[2*ps:3*ps]) {
+		t.Fatal("bit flip did not corrupt the page")
+	}
+	// Stable corruption: every read returns the same damaged bytes.
+	for i := 0; i < 3; i++ {
+		again, _, err := readPage(t, r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatal("bit flip not stable across reads")
+		}
+	}
+	// Exactly one bit differs.
+	diff := 0
+	for i := range first {
+		x := first[i] ^ data[2*ps+i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("expected exactly 1 flipped bit, got %d", diff)
+	}
+	// Unscheduled pages are untouched.
+	if got, _, _ := readPage(t, r, 1); !bytes.Equal(got, data[ps:2*ps]) {
+		t.Fatal("unscheduled page was modified")
+	}
+	if r.Injected(BitFlip) < 4 {
+		t.Fatalf("injection count = %d, want >= 4", r.Injected(BitFlip))
+	}
+}
+
+func TestTornPageShiftsThenSettles(t *testing.T) {
+	data := clean(3)
+	r := New(bytes.NewReader(data), ps, []Fault{{Kind: TornPage, Page: 1, Times: 2, Seed: 5}})
+
+	a, _, _ := readPage(t, r, 1)
+	b, _, _ := readPage(t, r, 1)
+	if bytes.Equal(a, data[ps:2*ps]) || bytes.Equal(b, data[ps:2*ps]) {
+		t.Fatal("torn reads returned clean data")
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("torn boundary did not shift between attempts")
+	}
+	// After Times attempts the write settles.
+	c, _, err := readPage(t, r, 1)
+	if err != nil || !bytes.Equal(c, data[ps:2*ps]) {
+		t.Fatalf("settled read wrong: err=%v clean=%v", err, bytes.Equal(c, data[ps:2*ps]))
+	}
+}
+
+func TestShortReadThenSucceeds(t *testing.T) {
+	data := clean(2)
+	r := New(bytes.NewReader(data), ps, []Fault{{Kind: ShortRead, Page: 1, Times: 1}})
+
+	_, n, err := readPage(t, r, 1)
+	if !errors.Is(err, io.ErrUnexpectedEOF) || n >= ps {
+		t.Fatalf("first read: n=%d err=%v, want short + ErrUnexpectedEOF", n, err)
+	}
+	got, n, err := readPage(t, r, 1)
+	if err != nil || n != ps || !bytes.Equal(got, data[ps:]) {
+		t.Fatalf("second read should be clean: n=%d err=%v", n, err)
+	}
+}
+
+func TestTransientErrCountsDown(t *testing.T) {
+	data := clean(2)
+	r := New(bytes.NewReader(data), ps, []Fault{{Kind: TransientErr, Page: 0, Times: 2}})
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := readPage(t, r, 0); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("attempt %d: err=%v, want EIO", i, err)
+		}
+	}
+	if _, _, err := readPage(t, r, 0); err != nil {
+		t.Fatalf("after Times attempts read should heal, got %v", err)
+	}
+	if r.Injected(TransientErr) != 2 {
+		t.Fatalf("injected = %d, want 2", r.Injected(TransientErr))
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	data := clean(4)
+	sched := []Fault{{Kind: BitFlip, Page: 3, Seed: 77}}
+	r1 := New(bytes.NewReader(data), ps, sched)
+	r2 := New(bytes.NewReader(append([]byte(nil), data...)), ps, sched)
+	a, _, _ := readPage(t, r1, 3)
+	b, _, _ := readPage(t, r2, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same schedule+seed produced different corruption")
+	}
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassPermanent},
+		{io.EOF, ClassShortRead},
+		{io.ErrUnexpectedEOF, ClassShortRead},
+		{ErrShortRead, ClassShortRead},
+		{syscall.EIO, ClassTransient},
+		{syscall.EINTR, ClassTransient},
+		{syscall.EAGAIN, ClassTransient},
+		{syscall.EBUSY, ClassTransient},
+		{syscall.ETIMEDOUT, ClassTransient},
+		{ErrTransientIO, ClassTransient},
+		{fmt.Errorf("wrapped: %w", syscall.EIO), ClassTransient},
+		{syscall.EBADF, ClassPermanent},
+		{errors.New("something else"), ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestPageErrorMatching(t *testing.T) {
+	pe := &PageError{Op: "read", Page: 7, Err: ErrChecksum, Quarantined: true}
+	if !errors.Is(pe, ErrChecksum) {
+		t.Error("quarantined PageError should match its class sentinel")
+	}
+	if !errors.Is(pe, ErrUnavailable) {
+		t.Error("quarantined PageError should match ErrUnavailable")
+	}
+	if !IsUnavailable(pe) {
+		t.Error("IsUnavailable should see through PageError")
+	}
+
+	transient := &PageError{Op: "read", Page: 7, Err: ErrTransientIO}
+	if errors.Is(transient, ErrUnavailable) {
+		t.Error("non-quarantined PageError must NOT match ErrUnavailable")
+	}
+	if !errors.Is(transient, ErrTransientIO) {
+		t.Error("PageError should unwrap to its class")
+	}
+
+	var got *PageError
+	if !errors.As(fmt.Errorf("outer: %w", pe), &got) || got.Page != 7 {
+		t.Error("errors.As should recover the PageError through wrapping")
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	r := Retry{Max: 5, Base: 100 * time.Microsecond, Cap: time.Millisecond}
+	for attempt := 0; attempt < 6; attempt++ {
+		a := r.Backoff(attempt, 42)
+		b := r.Backoff(attempt, 42)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, a, b)
+		}
+		d := r.Base << attempt
+		if d > r.Cap {
+			d = r.Cap
+		}
+		if a < d/2 || a > d {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, a, d/2, d)
+		}
+	}
+	// Different salts jitter differently (at least once over a few salts).
+	same := true
+	for salt := uint64(0); salt < 8; salt++ {
+		if r.Backoff(3, salt) != r.Backoff(3, salt+1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("jitter appears salt-independent")
+	}
+	if (Retry{}).Backoff(0, 1) != 0 {
+		t.Error("zero policy should not sleep")
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep errored: %v", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Sleep(ctx2, time.Hour) }()
+	cancel2()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancel")
+	}
+}

@@ -19,7 +19,11 @@ import (
 //  3. inside a function that has a ctx parameter, calling another function
 //     with a fresh context.Background()/context.TODO() severs the chain
 //     and is flagged (assigning a default when the caller passed nil is
-//     fine — that's the documented compat path).
+//     fine — that's the documented compat path);
+//  4. in the storage packages (the ctx-scoped set plus pager and faults,
+//     where the backoff loops live), time.Sleep inside a loop is flagged:
+//     a retry loop must sleep through a timer + ctx select (faults.Sleep)
+//     so cancellation interrupts the backoff, not just the next attempt.
 func checkCtxFlow(prog *Program, r *Reporter) {
 	idx := NewFuncIndex(prog)
 
@@ -63,7 +67,13 @@ func checkCtxFlow(prog *Program, r *Reporter) {
 	}
 
 	for _, fi := range idx.All {
-		if fi.Obj == nil || !ctxScopedPkg(fi.Pkg.ImportPath) {
+		if fi.Obj == nil {
+			continue
+		}
+		if fi.Decl.Body != nil && sleepScopedPkg(fi.Pkg.ImportPath) {
+			reportSleepInLoops(fi, r)
+		}
+		if !ctxScopedPkg(fi.Pkg.ImportPath) {
 			continue
 		}
 		ctxParam := ctxParamOf(fi)
@@ -86,6 +96,14 @@ func checkCtxFlow(prog *Program, r *Reporter) {
 func ctxScopedPkg(path string) bool {
 	seg := path[strings.LastIndex(path, "/")+1:]
 	return seg == "core" || seg == "diskindex" || seg == "server" || strings.Contains(path, "ctxflow")
+}
+
+// sleepScopedPkg widens the ctx-scoped set with the storage substrate,
+// whose retry/backoff loops are exactly where an uncancellable sleep would
+// pin a query past its deadline.
+func sleepScopedPkg(path string) bool {
+	seg := path[strings.LastIndex(path, "/")+1:]
+	return ctxScopedPkg(path) || seg == "pager" || seg == "faults"
 }
 
 // directIO reports whether the function body itself calls a storage
@@ -210,6 +228,53 @@ func identUsed(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
 		return true
 	})
 	return used
+}
+
+// reportSleepInLoops flags time.Sleep calls lexically inside any for/range
+// loop: a loop that sleeps is a retry or polling loop, and a bare sleep
+// cannot be interrupted by cancellation — the ctx-aware timer+select idiom
+// (faults.Sleep) is the only legal wait there.
+func reportSleepInLoops(fi *FuncInfo, r *Reporter) {
+	info := fi.Pkg.Info
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.ForStmt:
+				if s.Init != nil {
+					walk(s.Init, inLoop)
+				}
+				if s.Cond != nil {
+					walk(s.Cond, inLoop)
+				}
+				if s.Post != nil {
+					walk(s.Post, inLoop)
+				}
+				walk(s.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(s.Body, true)
+				return false
+			case *ast.FuncLit:
+				// A closure resets loop context: sleeping in a goroutine
+				// launched from a loop is a different (legal) shape.
+				walk(s.Body, false)
+				return false
+			case *ast.CallExpr:
+				if !inLoop {
+					return true
+				}
+				path, name := calleePathQual(info, s)
+				if path == "time" && name == "Sleep" {
+					r.Report(s.Pos(), "ctx-flow",
+						"time.Sleep in a retry loop cannot be cancelled; use a timer + ctx select (faults.Sleep)")
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fi.Decl.Body, false)
 }
 
 // reportFreshCtxCalls flags context.Background()/TODO() passed as a call

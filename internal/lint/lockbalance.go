@@ -50,12 +50,13 @@ func lockScopedPkg(path string) bool {
 // a lock: holding a shard lock across one serializes every concurrent
 // search behind a disk read.
 var ioMethods = map[string]bool{
-	"ReadPage":  true,
-	"WritePage": true,
-	"Sync":      true,
-	"Allocate":  true,
-	"ReadVia":   true,
-	"Append":    true,
+	"ReadPage":    true,
+	"ReadPageCtx": true,
+	"WritePage":   true,
+	"Sync":        true,
+	"Allocate":    true,
+	"ReadVia":     true,
+	"Append":      true,
 }
 
 type heldLock struct {

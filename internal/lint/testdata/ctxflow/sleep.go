@@ -1,0 +1,71 @@
+package ctxcase
+
+// Corpus for rule 4: retry loops must sleep through a timer + ctx select,
+// never a bare time.Sleep, so cancellation interrupts the backoff itself.
+
+import (
+	"context"
+	"time"
+)
+
+// retryWithBareSleep is the seeded violation: the classic exponential
+// backoff written with time.Sleep, which pins the goroutine for the full
+// delay even after the caller gives up.
+func retryWithBareSleep(ctx context.Context, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond << i) //wantlint ctx-flow: time.Sleep in a retry loop
+	}
+	return nil
+}
+
+// pollUntilClosed sleeps inside a range loop — same defect, different loop
+// form.
+func pollUntilClosed(ch <-chan struct{}) {
+	for range ch {
+		time.Sleep(time.Millisecond) //wantlint ctx-flow: time.Sleep in a retry loop
+	}
+}
+
+// settleOnce: a single sleep outside any loop is not a retry loop and
+// stays legal (e.g. a one-shot torn-write settle delay in a test fixture).
+func settleOnce() {
+	time.Sleep(time.Millisecond)
+}
+
+// launchDelayedProbe: the sleep runs in a goroutine launched from the
+// loop, not in the loop body's own control flow — a different (legal)
+// shape, since the loop itself never blocks.
+func launchDelayedProbe(n int, probe func()) {
+	for i := 0; i < n; i++ {
+		go func() {
+			time.Sleep(time.Millisecond)
+			probe()
+		}()
+	}
+}
+
+// sleepCtx is the idiom the rule demands: a timer whose wait loses a
+// select race against cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryWithCtxSleep is the clean counterpart of retryWithBareSleep.
+func retryWithCtxSleep(ctx context.Context, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		if err := sleepCtx(ctx, time.Millisecond); err != nil {
+			return err
+		}
+	}
+	return nil
+}

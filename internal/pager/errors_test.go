@@ -31,18 +31,18 @@ func TestOpenTruncatedHeader(t *testing.T) {
 
 func TestWritePageErrors(t *testing.T) {
 	pf := newFile(t, 128)
-	if err := pf.WritePage(InvalidPage, make([]byte, 128)); !errors.Is(err, ErrPageRange) {
+	if err := pf.WritePage(InvalidPage, make([]byte, pf.PageSize()), PageUnknown); !errors.Is(err, ErrPageRange) {
 		t.Fatalf("invalid page: %v", err)
 	}
-	if err := pf.WritePage(42, make([]byte, 128)); !errors.Is(err, ErrPageRange) {
+	if err := pf.WritePage(42, make([]byte, pf.PageSize()), PageUnknown); !errors.Is(err, ErrPageRange) {
 		t.Fatalf("oob page: %v", err)
 	}
-	id, _ := pf.Allocate()
-	if err := pf.WritePage(id, make([]byte, 3)); err == nil {
+	id, _ := pf.Allocate(PageUnknown)
+	if err := pf.WritePage(id, make([]byte, 3), PageUnknown); err == nil {
 		t.Fatal("short buffer accepted")
 	}
 	pf.Close()
-	if err := pf.WritePage(id, make([]byte, 128)); !errors.Is(err, ErrClosed) {
+	if err := pf.WritePage(id, make([]byte, 120), PageUnknown); !errors.Is(err, ErrClosed) {
 		t.Fatalf("write after close: %v", err)
 	}
 	if err := pf.Sync(); !errors.Is(err, ErrClosed) {
@@ -56,13 +56,13 @@ func TestPoolCapacityClamp(t *testing.T) {
 	if pool.File() != pf {
 		t.Fatal("File accessor wrong")
 	}
-	id, _, err := pool.Allocate()
+	id, _, err := pool.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pool.Unpin(id)
 	// Capacity-1 pool still serves sequential access.
-	id2, _, err := pool.Allocate()
+	id2, _, err := pool.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestPoolGetMissingPage(t *testing.T) {
 		t.Fatal("get of unallocated page accepted")
 	}
 	// The pool must still be usable after the failed Get.
-	id, _, err := pool.Allocate()
+	id, _, err := pool.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@ func FuzzOpen(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	pf.Allocate()
+	pf.Allocate(PageUnknown)
 	pf.Close()
 	raw, err := os.ReadFile(filepath.Join(dir, "seed.pg"))
 	if err != nil {
@@ -51,7 +51,7 @@ func FuzzOpen(f *testing.F) {
 		}
 		buf := make([]byte, pf.PageSize())
 		for id := PageID(1); int(id) <= pf.Len() && id < 4; id++ {
-			_ = pf.ReadPage(id, buf)
+			_, _ = pf.ReadPage(id, buf)
 		}
 	})
 }

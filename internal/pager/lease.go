@@ -1,5 +1,7 @@
 package pager
 
+import "context"
+
 // Reader is the page-read surface a disk structure traverses: pin a page,
 // read it, release it. *Pool implements it directly (shared, atomic
 // counters); *Lease implements it with per-search attribution. Structures
@@ -26,6 +28,9 @@ var (
 // behind per-query Result.IO on the concurrent disk backend.
 type Lease struct {
 	pool *Pool
+	// ctx scopes every page wait of this lease's search: retry backoff
+	// sleeps and loading-frame waits abort the moment it is canceled.
+	ctx context.Context
 
 	// Hits and Misses count this lease's logical page requests served
 	// from / missing the shared cache; Reads counts the physical page
@@ -35,12 +40,22 @@ type Lease struct {
 }
 
 // NewLease returns a fresh per-search lease over the pool.
-func (p *Pool) NewLease() *Lease { return &Lease{pool: p} }
+func (p *Pool) NewLease() *Lease { return p.NewLeaseCtx(context.Background()) }
+
+// NewLeaseCtx returns a per-search lease whose page waits (transient-retry
+// backoff, in-flight load coalescing) honor ctx — the request context of
+// the search the lease belongs to.
+func (p *Pool) NewLeaseCtx(ctx context.Context) *Lease {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Lease{pool: p, ctx: ctx}
+}
 
 // Get pins page id through the shared pool and attributes the hit or miss
 // to this lease.
 func (l *Lease) Get(id PageID) ([]byte, error) {
-	buf, hit, err := l.pool.get(id)
+	buf, hit, err := l.pool.get(l.ctx, id)
 	if err != nil {
 		return nil, err
 	}

@@ -12,17 +12,47 @@
 // its frame table so N goroutines can Get/Unpin pages with no global lock
 // (see pool.go). Per-search I/O attribution goes through a Lease (see
 // lease.go), whose counters are goroutine-local.
+//
+// # Page integrity (format v1)
+//
+// Every page written by the current format carries an 8-byte trailer:
+//
+//	crc32c u32 | format version u8 | page type u8 | reserved u16
+//
+// The CRC32C (Castagnoli) covers the payload plus the version and type
+// bytes, and is verified on every physical page load — the buffer-pool
+// miss path, so warm searches pay nothing. A failed verification is never
+// retried blindly: exactly one re-read distinguishes an in-flight (torn)
+// write from stable corruption, after which the page is quarantined and
+// reads of it report faults.ErrUnavailable so queries can degrade instead
+// of returning silently wrong candidate sets. Transient I/O errors (EIO
+// and friends) are retried with capped exponential backoff and
+// deterministic jitter, honoring the caller's context during every sleep.
+//
+// Files written before the trailer existed (format v0) are detected by the
+// header's version byte and stay fully readable: checksum verification is
+// skipped and counted as a warning (FaultStats().LegacyReads). The
+// `nncdisk rewrite` tool upgrades such files in place.
 package pager
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
+
+	"spatialdom/internal/faults"
 )
 
-// PageSize is the default page size, matching the paper's configuration.
+// PageSize is the default physical page size, matching the paper's
+// configuration. The usable payload of a v1 page is PageSize minus the
+// 8-byte integrity trailer (see PageFile.PageSize).
 const PageSize = 4096
 
 // PageID addresses a page within a file.
@@ -32,6 +62,52 @@ type PageID uint32
 // user data never receives it.
 const InvalidPage PageID = 0
 
+// FormatVersion is the on-disk format written by Create: 1 adds the
+// per-page integrity trailer. Version 0 files (no trailer) remain
+// readable.
+const FormatVersion = 1
+
+// trailerSize is the per-page integrity trailer of format v1.
+const trailerSize = 8
+
+// PageType tags what a page holds, stored in the trailer so fsck can
+// report corruption per structure and an upgrade can audit a file without
+// decoding it.
+type PageType uint8
+
+// Page types. PageUnknown doubles as the tag of legacy (v0) pages, whose
+// format had no type byte.
+const (
+	PageUnknown PageType = iota
+	PageHeader
+	PageSuper
+	PageStoreMeta
+	PageStoreData
+	PageTreeMeta
+	PageTreeNode
+)
+
+// String names the page type for reports.
+func (t PageType) String() string {
+	switch t {
+	case PageUnknown:
+		return "unknown"
+	case PageHeader:
+		return "header"
+	case PageSuper:
+		return "super"
+	case PageStoreMeta:
+		return "store-meta"
+	case PageStoreData:
+		return "store-data"
+	case PageTreeMeta:
+		return "tree-meta"
+	case PageTreeNode:
+		return "tree-node"
+	}
+	return "invalid"
+}
+
 var (
 	// ErrPageRange is returned when reading a page beyond the file end.
 	ErrPageRange = errors.New("pager: page id out of range")
@@ -39,14 +115,50 @@ var (
 	ErrClosed = errors.New("pager: file closed")
 )
 
+// castagnoli is the CRC32C table shared by every checksum computation.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Option configures Create/Open.
+type Option func(*fileConfig)
+
+type fileConfig struct {
+	retry   faults.Retry
+	wrap    func(io.ReaderAt) io.ReaderAt
+	version int
+}
+
+// WithRetry overrides the transient-I/O retry policy (faults.DefaultRetry
+// otherwise). A zero policy disables retries.
+func WithRetry(r faults.Retry) Option {
+	return func(c *fileConfig) { c.retry = r }
+}
+
+// WithReaderWrapper routes every physical read through wrap(file) — the
+// hook the fault-injection harness uses to schedule bit flips, torn
+// writes, short reads and transient errors on a real page file.
+func WithReaderWrapper(wrap func(io.ReaderAt) io.ReaderAt) Option {
+	return func(c *fileConfig) { c.wrap = wrap }
+}
+
+// WithLegacyFormat makes Create write a format v0 file (no integrity
+// trailers). It exists so compatibility tests can produce pre-checksum
+// files; new data should never use it.
+func WithLegacyFormat() Option {
+	return func(c *fileConfig) { c.version = 0 }
+}
+
 // PageFile is a page-granular file. Page 0 holds the file header (magic +
-// page size + page count); user pages start at 1. Reads and writes use
-// positional I/O (pread/pwrite), so concurrent page transfers never race
-// on a shared file offset; Allocate, Sync and Close serialize on an
-// internal mutex.
+// page size + page count + format version); user pages start at 1. Reads
+// and writes use positional I/O (pread/pwrite), so concurrent page
+// transfers never race on a shared file offset; Allocate, Sync and Close
+// serialize on an internal mutex.
 type PageFile struct {
 	f        *os.File
-	pageSize int
+	r        io.ReaderAt // physical read path; wrapped under fault injection
+	pageSize int         // physical page size
+	payload  int         // usable bytes per page (pageSize - trailer on v1)
+	version  int
+	retry    faults.Retry
 
 	mu     sync.Mutex    // guards Allocate / Sync / Close (header + growth)
 	pages  atomic.Uint32 // number of allocated pages, including page 0
@@ -55,20 +167,69 @@ type PageFile struct {
 	// reads and writes count physical page transfers; read them through
 	// Stats on the pool or IOCounts here.
 	reads, writes atomic.Int64
+
+	// scratch pools physical-size buffers for the read/write assembly
+	// paths, so page transfers stay allocation-free in steady state.
+	scratch sync.Pool
+
+	// qmu guards quarantined: pages withdrawn from service after an
+	// integrity failure, each mapped to its class error.
+	qmu         sync.Mutex
+	quarantined map[PageID]error
+
+	// Fault counters (see faults.Stats).
+	legacyReads      atomic.Int64
+	checksumFailures atomic.Int64
+	tornPages        atomic.Int64
+	shortReads       atomic.Int64
+	transientRetries atomic.Int64
+	recoveredReads   atomic.Int64
+	quarantinedN     atomic.Int64
 }
 
 const magic = "SDPG"
 
+func applyOptions(opts []Option) fileConfig {
+	cfg := fileConfig{retry: faults.DefaultRetry, version: FormatVersion}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func newPageFile(f *os.File, pageSize, version int, cfg fileConfig) *PageFile {
+	pf := &PageFile{
+		f:        f,
+		r:        io.ReaderAt(f),
+		pageSize: pageSize,
+		payload:  pageSize,
+		version:  version,
+		retry:    cfg.retry,
+	}
+	if version >= 1 {
+		pf.payload = pageSize - trailerSize
+	}
+	if cfg.wrap != nil {
+		pf.r = cfg.wrap(f)
+	}
+	pf.scratch.New = func() any {
+		b := make([]byte, pf.pageSize)
+		return &b
+	}
+	return pf
+}
+
 // Create creates (or truncates) a page file at path.
-func Create(path string, pageSize int) (*PageFile, error) {
+func Create(path string, pageSize int, opts ...Option) (*PageFile, error) {
 	if pageSize < 64 {
 		return nil, fmt.Errorf("pager: page size %d too small", pageSize)
 	}
+	cfg := applyOptions(opts)
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	pf := &PageFile{f: f, pageSize: pageSize}
+	pf := newPageFile(f, pageSize, cfg.version, cfg)
 	pf.pages.Store(1)
 	if err := pf.writeHeader(); err != nil {
 		f.Close()
@@ -77,14 +238,19 @@ func Create(path string, pageSize int) (*PageFile, error) {
 	return pf, nil
 }
 
-// Open opens an existing page file.
-func Open(path string) (*PageFile, error) {
+// Open opens an existing page file, auto-detecting its format version.
+func Open(path string, opts ...Option) (*PageFile, error) {
+	cfg := applyOptions(opts)
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, err
 	}
+	var r io.ReaderAt = f
+	if cfg.wrap != nil {
+		r = cfg.wrap(f)
+	}
 	hdr := make([]byte, 16)
-	if _, err := f.ReadAt(hdr, 0); err != nil {
+	if _, err := r.ReadAt(hdr, 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("pager: reading header: %w", err)
 	}
@@ -94,6 +260,7 @@ func Open(path string) (*PageFile, error) {
 	}
 	ps := int(le32(hdr[4:8]))
 	pages := PageID(le32(hdr[8:12]))
+	version := int(hdr[12])
 	// Validate the declared geometry against sane bounds and the physical
 	// file size, so a corrupt header can never trigger absurd allocations
 	// or out-of-range I/O.
@@ -106,6 +273,10 @@ func Open(path string) (*PageFile, error) {
 		f.Close()
 		return nil, errors.New("pager: implausible page count in header")
 	}
+	if version > FormatVersion {
+		f.Close()
+		return nil, fmt.Errorf("pager: format version %d is newer than supported %d", version, FormatVersion)
+	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -116,22 +287,82 @@ func Open(path string) (*PageFile, error) {
 		return nil, fmt.Errorf("pager: header declares %d pages of %d bytes but file has only %d bytes",
 			pages, ps, st.Size())
 	}
-	pf := &PageFile{f: f, pageSize: ps}
+	pf := newPageFile(f, ps, version, cfg)
 	pf.pages.Store(uint32(pages))
+	if version >= 1 {
+		// The header page carries a trailer like every other page; verify
+		// it before trusting the geometry it declares.
+		full := make([]byte, ps)
+		if _, err := r.ReadAt(full, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: reading header page: %w", err)
+		}
+		if _, err := pf.verifyPage(InvalidPage, full); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: header page failed verification: %w", err)
+		}
+	}
 	return pf, nil
 }
 
+// writeHeader assembles and writes page 0. The caller holds pf.mu (or is
+// single-goroutine setup).
 func (pf *PageFile) writeHeader() error {
 	hdr := make([]byte, pf.pageSize)
 	copy(hdr, magic)
 	putLE32(hdr[4:8], uint32(pf.pageSize))
 	putLE32(hdr[8:12], pf.pages.Load())
+	hdr[12] = byte(pf.version)
+	if pf.version >= 1 {
+		pf.seal(hdr, PageHeader)
+	}
 	_, err := pf.f.WriteAt(hdr, 0)
 	return err
 }
 
-// PageSize returns the page size in bytes.
-func (pf *PageFile) PageSize() int { return pf.pageSize }
+// seal fills the integrity trailer of a physical page image in place.
+func (pf *PageFile) seal(phys []byte, t PageType) {
+	tr := phys[pf.payload:]
+	tr[4] = byte(pf.version)
+	tr[5] = byte(t)
+	tr[6], tr[7] = 0, 0
+	putLE32(tr[0:4], pageCRC(phys[:pf.payload], tr[4], tr[5]))
+}
+
+// pageCRC is the CRC32C over payload ++ version ++ type.
+func pageCRC(payload []byte, version, ptype byte) uint32 {
+	crc := crc32.Update(0, castagnoli, payload)
+	return crc32.Update(crc, castagnoli, []byte{version, ptype})
+}
+
+// verifyPage checks a physical page image against its trailer, returning
+// the page's type. Legacy files verify trivially (and count a warning at
+// the read site).
+func (pf *PageFile) verifyPage(id PageID, phys []byte) (PageType, error) {
+	if pf.version == 0 {
+		return PageUnknown, nil
+	}
+	tr := phys[pf.payload:]
+	want := le32(tr[0:4])
+	got := pageCRC(phys[:pf.payload], tr[4], tr[5])
+	if got != want {
+		return PageUnknown, fmt.Errorf("%w: page %d crc %08x != stored %08x", faults.ErrChecksum, id, got, want)
+	}
+	return PageType(tr[5]), nil
+}
+
+// PageSize returns the usable payload bytes per page — what every buffer
+// passed to ReadPage/WritePage must hold, and the unit all page-layout
+// arithmetic (R-tree node capacity, store record packing) is derived from.
+// For v1 files this is the physical page size minus the integrity
+// trailer.
+func (pf *PageFile) PageSize() int { return pf.payload }
+
+// PhysicalPageSize returns the on-disk page size including the trailer.
+func (pf *PageFile) PhysicalPageSize() int { return pf.pageSize }
+
+// FormatVersion returns the file's on-disk format version.
+func (pf *PageFile) FormatVersion() int { return pf.version }
 
 // Len returns the number of user pages allocated.
 func (pf *PageFile) Len() int { return int(pf.pages.Load()) - 1 }
@@ -141,15 +372,84 @@ func (pf *PageFile) IOCounts() (reads, writes int64) {
 	return pf.reads.Load(), pf.writes.Load()
 }
 
-// Allocate appends a zeroed page and returns its id.
-func (pf *PageFile) Allocate() (PageID, error) {
+// FaultStats returns the file's cumulative fault counters.
+func (pf *PageFile) FaultStats() faults.Stats {
+	return faults.Stats{
+		LegacyReads:      pf.legacyReads.Load(),
+		ChecksumFailures: pf.checksumFailures.Load(),
+		TornPages:        pf.tornPages.Load(),
+		ShortReads:       pf.shortReads.Load(),
+		TransientRetries: pf.transientRetries.Load(),
+		RecoveredReads:   pf.recoveredReads.Load(),
+		QuarantinedPages: pf.quarantinedN.Load(),
+	}
+}
+
+// Quarantined returns the ids of pages withdrawn from service, sorted.
+func (pf *PageFile) Quarantined() []PageID {
+	pf.qmu.Lock()
+	ids := make([]PageID, 0, len(pf.quarantined))
+	for id := range pf.quarantined {
+		ids = append(ids, id)
+	}
+	pf.qmu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// QuarantineCount returns the number of quarantined pages.
+func (pf *PageFile) QuarantineCount() int64 { return pf.quarantinedN.Load() }
+
+// quarantinePage withdraws the page and returns the unavailable error
+// future reads of it will also see.
+func (pf *PageFile) quarantinePage(id PageID, op string, class error) error {
+	pf.qmu.Lock()
+	if pf.quarantined == nil {
+		pf.quarantined = make(map[PageID]error)
+	}
+	if _, dup := pf.quarantined[id]; !dup {
+		pf.quarantined[id] = class
+		pf.quarantinedN.Add(1)
+	}
+	pf.qmu.Unlock()
+	return &faults.PageError{Op: op, Page: uint32(id), Err: class, Quarantined: true}
+}
+
+// quarantineErr returns the unavailable error for an already-quarantined
+// page, or nil.
+func (pf *PageFile) quarantineErr(id PageID) error {
+	pf.qmu.Lock()
+	class, ok := pf.quarantined[id]
+	pf.qmu.Unlock()
+	if !ok {
+		return nil
+	}
+	return &faults.PageError{Op: "read", Page: uint32(id), Err: class, Quarantined: true}
+}
+
+// getScratch borrows a physical-size buffer.
+func (pf *PageFile) getScratch() *[]byte { return pf.scratch.Get().(*[]byte) }
+
+func (pf *PageFile) putScratch(b *[]byte) { pf.scratch.Put(b) }
+
+// Allocate appends a zeroed page tagged with the given type and returns
+// its id.
+func (pf *PageFile) Allocate(t PageType) (PageID, error) {
 	if pf.closed.Load() {
 		return InvalidPage, ErrClosed
 	}
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	id := PageID(pf.pages.Load())
-	zero := make([]byte, pf.pageSize)
+	zp := pf.getScratch()
+	defer pf.putScratch(zp)
+	zero := *zp
+	for i := range zero {
+		zero[i] = 0
+	}
+	if pf.version >= 1 {
+		pf.seal(zero, t)
+	}
 	if _, err := pf.f.WriteAt(zero, int64(id)*int64(pf.pageSize)); err != nil {
 		return InvalidPage, err
 	}
@@ -158,37 +458,143 @@ func (pf *PageFile) Allocate() (PageID, error) {
 	return id, nil
 }
 
-// ReadPage reads page id into buf (len must equal PageSize). Safe to call
-// from any number of goroutines.
-func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
-	if pf.closed.Load() {
-		return ErrClosed
-	}
-	if pages := PageID(pf.pages.Load()); id == InvalidPage || id >= pages {
-		return fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, pages)
-	}
-	if len(buf) != pf.pageSize {
-		return fmt.Errorf("pager: buffer size %d != page size %d", len(buf), pf.pageSize)
-	}
-	if _, err := pf.f.ReadAt(buf, int64(id)*int64(pf.pageSize)); err != nil {
-		return err
-	}
-	pf.reads.Add(1)
-	return nil
+// ReadPage reads page id's payload into buf (len must equal PageSize),
+// verifying integrity and retrying transient failures. Safe to call from
+// any number of goroutines. It is ReadPageCtx without a cancellation
+// context; prefer ReadPageCtx on query paths.
+func (pf *PageFile) ReadPage(id PageID, buf []byte) (PageType, error) {
+	return pf.ReadPageCtx(context.Background(), id, buf)
 }
 
-// WritePage writes buf to page id.
-func (pf *PageFile) WritePage(id PageID, buf []byte) error {
+// ReadPageCtx reads page id's payload into buf with the full
+// fault-tolerance protocol:
+//
+//   - transient I/O errors retry with capped exponential backoff and
+//     deterministic jitter, sleeping ctx-aware;
+//   - integrity failures (checksum mismatch, short read) are re-read
+//     exactly once — a re-read that verifies means an in-flight write
+//     settled (counted as recovered), a re-read with different bytes means
+//     a torn write, identical bytes mean stable corruption;
+//   - persistent integrity failures quarantine the page: this call and
+//     every later read of the page return an error matching
+//     faults.ErrUnavailable, the signal for graceful degradation.
+func (pf *PageFile) ReadPageCtx(ctx context.Context, id PageID, buf []byte) (PageType, error) {
+	if pf.closed.Load() {
+		return PageUnknown, ErrClosed
+	}
+	if pages := PageID(pf.pages.Load()); id == InvalidPage || id >= pages {
+		return PageUnknown, fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, pages)
+	}
+	if len(buf) != pf.payload {
+		return PageUnknown, fmt.Errorf("pager: buffer size %d != page payload %d", len(buf), pf.payload)
+	}
+	if err := pf.quarantineErr(id); err != nil {
+		return PageUnknown, err
+	}
+
+	pp := pf.getScratch()
+	defer pf.putScratch(pp)
+	phys := *pp
+	var (
+		prev      *[]byte // stashed first failing image; non-nil = re-read spent
+		failed    bool
+		transient int
+	)
+	defer func() {
+		if prev != nil {
+			pf.putScratch(prev)
+		}
+	}()
+	off := int64(id) * int64(pf.pageSize)
+	for {
+		_, rerr := pf.r.ReadAt(phys, off)
+		if rerr == nil {
+			ptype, verr := pf.verifyPage(id, phys)
+			if verr == nil {
+				if failed {
+					pf.recoveredReads.Add(1)
+				}
+				if pf.version == 0 {
+					pf.legacyReads.Add(1)
+				}
+				copy(buf, phys[:pf.payload])
+				pf.reads.Add(1)
+				return ptype, nil
+			}
+			pf.checksumFailures.Add(1)
+			failed = true
+			if prev == nil {
+				// First integrity failure: stash the image and spend the
+				// single re-read.
+				prev = pf.getScratch()
+				copy(*prev, phys)
+				continue
+			}
+			// Second failure: identical bytes = stable corruption, different
+			// bytes = a torn write was observed. Either way the page leaves
+			// service.
+			class := error(faults.ErrChecksum)
+			if !bytes.Equal(*prev, phys) {
+				pf.tornPages.Add(1)
+				class = faults.ErrTornPage
+			}
+			return PageUnknown, pf.quarantinePage(id, "read", class)
+		}
+		switch faults.Classify(rerr) {
+		case faults.ClassShortRead:
+			pf.shortReads.Add(1)
+			failed = true
+			if prev == nil {
+				prev = pf.getScratch()
+				copy(*prev, phys)
+				continue
+			}
+			return PageUnknown, pf.quarantinePage(id, "read",
+				fmt.Errorf("%w: %v", faults.ErrShortRead, rerr))
+		case faults.ClassTransient:
+			failed = true
+			if transient < pf.retry.Max {
+				d := pf.retry.Backoff(transient, uint64(id))
+				transient++
+				pf.transientRetries.Add(1)
+				if serr := faults.Sleep(ctx, d); serr != nil {
+					return PageUnknown, serr
+				}
+				continue
+			}
+			return PageUnknown, &faults.PageError{Op: "read", Page: uint32(id),
+				Err: fmt.Errorf("%w: %v (gave up after %d retries)", faults.ErrTransientIO, rerr, transient)}
+		default:
+			return PageUnknown, &faults.PageError{Op: "read", Page: uint32(id), Err: rerr}
+		}
+	}
+}
+
+// WritePage writes buf (one page payload) to page id, sealing the
+// integrity trailer with the given page type.
+func (pf *PageFile) WritePage(id PageID, buf []byte, t PageType) error {
 	if pf.closed.Load() {
 		return ErrClosed
 	}
 	if id == InvalidPage || id >= PageID(pf.pages.Load()) {
 		return fmt.Errorf("%w: %d", ErrPageRange, id)
 	}
-	if len(buf) != pf.pageSize {
-		return fmt.Errorf("pager: buffer size %d != page size %d", len(buf), pf.pageSize)
+	if len(buf) != pf.payload {
+		return fmt.Errorf("pager: buffer size %d != page payload %d", len(buf), pf.payload)
 	}
-	if _, err := pf.f.WriteAt(buf, int64(id)*int64(pf.pageSize)); err != nil {
+	if pf.version == 0 {
+		if _, err := pf.f.WriteAt(buf, int64(id)*int64(pf.pageSize)); err != nil {
+			return err
+		}
+		pf.writes.Add(1)
+		return nil
+	}
+	pp := pf.getScratch()
+	defer pf.putScratch(pp)
+	phys := *pp
+	copy(phys, buf)
+	pf.seal(phys, t)
+	if _, err := pf.f.WriteAt(phys, int64(id)*int64(pf.pageSize)); err != nil {
 		return err
 	}
 	pf.writes.Add(1)

@@ -28,11 +28,11 @@ func TestCreateRejectsTinyPages(t *testing.T) {
 
 func TestAllocateReadWrite(t *testing.T) {
 	pf := newFile(t, 128)
-	id1, err := pf.Allocate()
+	id1, err := pf.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
-	id2, err := pf.Allocate()
+	id2, err := pf.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,22 +42,24 @@ func TestAllocateReadWrite(t *testing.T) {
 	if pf.Len() != 2 {
 		t.Fatalf("Len = %d", pf.Len())
 	}
-	buf := make([]byte, 128)
+	buf := make([]byte, pf.PageSize())
 	for i := range buf {
 		buf[i] = byte(i)
 	}
-	if err := pf.WritePage(id2, buf); err != nil {
+	if err := pf.WritePage(id2, buf, PageStoreData); err != nil {
 		t.Fatal(err)
 	}
-	got := make([]byte, 128)
-	if err := pf.ReadPage(id2, got); err != nil {
+	got := make([]byte, pf.PageSize())
+	if ptype, err := pf.ReadPage(id2, got); err != nil {
 		t.Fatal(err)
+	} else if ptype != PageStoreData {
+		t.Fatalf("read back page type %v, want %v", ptype, PageStoreData)
 	}
 	if !bytes.Equal(got, buf) {
 		t.Fatal("page round trip corrupted")
 	}
 	// Fresh page reads back zeroed.
-	if err := pf.ReadPage(id1, got); err != nil {
+	if _, err := pf.ReadPage(id1, got); err != nil {
 		t.Fatal(err)
 	}
 	for _, b := range got {
@@ -69,15 +71,15 @@ func TestAllocateReadWrite(t *testing.T) {
 
 func TestReadErrors(t *testing.T) {
 	pf := newFile(t, 128)
-	buf := make([]byte, 128)
-	if err := pf.ReadPage(InvalidPage, buf); !errors.Is(err, ErrPageRange) {
+	buf := make([]byte, pf.PageSize())
+	if _, err := pf.ReadPage(InvalidPage, buf); !errors.Is(err, ErrPageRange) {
 		t.Fatalf("page 0: %v", err)
 	}
-	if err := pf.ReadPage(99, buf); !errors.Is(err, ErrPageRange) {
+	if _, err := pf.ReadPage(99, buf); !errors.Is(err, ErrPageRange) {
 		t.Fatalf("oob: %v", err)
 	}
-	id, _ := pf.Allocate()
-	if err := pf.ReadPage(id, make([]byte, 64)); err == nil {
+	id, _ := pf.Allocate(PageUnknown)
+	if _, err := pf.ReadPage(id, make([]byte, 64)); err == nil {
 		t.Fatal("short buffer accepted")
 	}
 }
@@ -89,10 +91,10 @@ func TestOpenPersists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, _ := pf.Allocate()
-	buf := make([]byte, 256)
+	id, _ := pf.Allocate(PageUnknown)
+	buf := make([]byte, pf.PageSize())
 	copy(buf, "hello pages")
-	if err := pf.WritePage(id, buf); err != nil {
+	if err := pf.WritePage(id, buf, PageUnknown); err != nil {
 		t.Fatal(err)
 	}
 	if err := pf.Close(); err != nil {
@@ -103,11 +105,11 @@ func TestOpenPersists(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pf2.Close()
-	if pf2.PageSize() != 256 || pf2.Len() != 1 {
-		t.Fatalf("reopened: pageSize=%d len=%d", pf2.PageSize(), pf2.Len())
+	if pf2.PhysicalPageSize() != 256 || pf2.Len() != 1 {
+		t.Fatalf("reopened: pageSize=%d len=%d", pf2.PhysicalPageSize(), pf2.Len())
 	}
-	got := make([]byte, 256)
-	if err := pf2.ReadPage(id, got); err != nil {
+	got := make([]byte, pf2.PageSize())
+	if _, err := pf2.ReadPage(id, got); err != nil {
 		t.Fatal(err)
 	}
 	if string(got[:11]) != "hello pages" {
@@ -142,10 +144,10 @@ func TestOpenRejectsGarbage(t *testing.T) {
 func TestClosedOperationsFail(t *testing.T) {
 	pf := newFile(t, 128)
 	pf.Close()
-	if _, err := pf.Allocate(); !errors.Is(err, ErrClosed) {
+	if _, err := pf.Allocate(PageUnknown); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Allocate after close: %v", err)
 	}
-	if err := pf.ReadPage(1, make([]byte, 128)); !errors.Is(err, ErrClosed) {
+	if _, err := pf.ReadPage(1, make([]byte, 128)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Read after close: %v", err)
 	}
 	if err := pf.Close(); err != nil {
@@ -158,7 +160,7 @@ func TestClosedOperationsFail(t *testing.T) {
 func TestPoolCachesPages(t *testing.T) {
 	pf := newFile(t, 128)
 	pool := NewPool(pf, 4)
-	id, buf, err := pool.Allocate()
+	id, buf, err := pool.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestPoolEvictionWritesBack(t *testing.T) {
 	pool := NewPool(pf, 2)
 	var ids []PageID
 	for i := 0; i < 4; i++ {
-		id, buf, err := pool.Allocate()
+		id, buf, err := pool.Allocate(PageUnknown)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,12 +217,12 @@ func TestPoolEvictionWritesBack(t *testing.T) {
 func TestPoolPinnedPagesSurvive(t *testing.T) {
 	pf := newFile(t, 128)
 	pool := NewPool(pf, 2)
-	id1, b1, _ := pool.Allocate()
+	id1, b1, _ := pool.Allocate(PageUnknown)
 	copy(b1, "pinned")
 	pool.MarkDirty(id1)
 	// id1 stays pinned while we churn through other pages.
 	for i := 0; i < 3; i++ {
-		id, _, err := pool.Allocate()
+		id, _, err := pool.Allocate(PageUnknown)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,13 +241,13 @@ func TestPoolPinnedPagesSurvive(t *testing.T) {
 func TestPoolAllPinnedOverflowsThenShrinks(t *testing.T) {
 	pf := newFile(t, 128)
 	pool := NewPool(pf, 1)
-	id1, _, err := pool.Allocate()
+	id1, _, err := pool.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The only steady-state frame is pinned; the next allocation must
 	// still succeed via a transient overflow frame.
-	id2, _, err := pool.Allocate()
+	id2, _, err := pool.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatalf("all-pinned allocation failed instead of overflowing: %v", err)
 	}
@@ -255,7 +257,7 @@ func TestPoolAllPinnedOverflowsThenShrinks(t *testing.T) {
 	pool.Unpin(id1)
 	pool.Unpin(id2)
 	// Churn: subsequent requests evict the surplus back down to capacity.
-	id3, _, err := pool.Allocate()
+	id3, _, err := pool.Allocate(PageUnknown)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +275,7 @@ func TestPoolFlushPersists(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool := NewPool(pf, 4)
-	id, buf, _ := pool.Allocate()
+	id, buf, _ := pool.Allocate(PageUnknown)
 	copy(buf, "flushed")
 	pool.MarkDirty(id)
 	pool.Unpin(id)
@@ -287,8 +289,8 @@ func TestPoolFlushPersists(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pf2.Close()
-	got := make([]byte, 128)
-	if err := pf2.ReadPage(id, got); err != nil {
+	got := make([]byte, pf2.PageSize())
+	if _, err := pf2.ReadPage(id, got); err != nil {
 		t.Fatal(err)
 	}
 	if string(got[:7]) != "flushed" {
@@ -304,7 +306,7 @@ func TestPoolRandomizedShadow(t *testing.T) {
 	shadow := map[PageID]byte{}
 	var ids []PageID
 	for i := 0; i < 8; i++ {
-		id, _, err := pool.Allocate()
+		id, _, err := pool.Allocate(PageUnknown)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +358,7 @@ func TestPoolConcurrentLeases(t *testing.T) {
 	const pages = 32
 	var ids []PageID
 	for i := 0; i < pages; i++ {
-		id, buf, err := pool.Allocate()
+		id, buf, err := pool.Allocate(PageUnknown)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,8 +2,11 @@ package pager
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"spatialdom/internal/faults"
 )
 
 // maxPoolShards bounds the number of buffer-pool shards; the actual count
@@ -48,6 +51,7 @@ type poolShard struct {
 type frame struct {
 	id    PageID
 	buf   []byte
+	ptype PageType // trailer tag, preserved across write-back
 	dirty bool
 	pins  int
 	elem  *list.Element
@@ -103,7 +107,15 @@ func (p *Pool) shardFor(id PageID) *poolShard {
 // concurrent use; per-call hit/miss attribution is available through a
 // Lease.
 func (p *Pool) Get(id PageID) ([]byte, error) {
-	buf, _, err := p.get(id)
+	buf, _, err := p.get(context.Background(), id)
+	return buf, err
+}
+
+// GetCtx is Get with a cancellation context: a canceled ctx aborts both
+// the physical read's retry backoff and any wait for another goroutine's
+// in-flight load of the same page.
+func (p *Pool) GetCtx(ctx context.Context, id PageID) ([]byte, error) {
+	buf, _, err := p.get(ctx, id)
 	return buf, err
 }
 
@@ -113,7 +125,7 @@ func (p *Pool) Get(id PageID) ([]byte, error) {
 // lock for the transfer, and republishes the result, so concurrent
 // searches on other pages of the shard proceed during the disk wait while
 // concurrent getters of the same page coalesce onto one read.
-func (p *Pool) get(id PageID) (buf []byte, hit bool, err error) {
+func (p *Pool) get(ctx context.Context, id PageID) (buf []byte, hit bool, err error) {
 	sh := p.shardFor(id)
 	sh.mu.Lock()
 	if fr, ok := sh.frames[id]; ok {
@@ -125,10 +137,17 @@ func (p *Pool) get(id PageID) (buf []byte, hit bool, err error) {
 		if ch == nil {
 			return fr.buf, true, nil
 		}
-		// Page in flight: wait for the loader. The close happens after
-		// loadErr is set, and our pin keeps the frame from being reused,
-		// so the lock-free reads below are ordered by the close.
-		<-ch
+		// Page in flight: wait for the loader — but never past our own
+		// context. A canceled waiter releases its pin and leaves; the load
+		// itself continues for the remaining waiters.
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			sh.mu.Lock()
+			fr.pins--
+			sh.mu.Unlock()
+			return nil, false, ctx.Err()
+		}
 		if lerr := fr.loadErr; lerr != nil {
 			sh.mu.Lock()
 			fr.pins--
@@ -144,6 +163,7 @@ func (p *Pool) get(id PageID) (buf []byte, hit bool, err error) {
 		return nil, false, err
 	}
 	fr.id = id
+	fr.ptype = PageUnknown
 	fr.dirty = false
 	fr.pins = 1
 	fr.loading = make(chan struct{})
@@ -152,9 +172,10 @@ func (p *Pool) get(id PageID) (buf []byte, hit bool, err error) {
 	ch := fr.loading
 	sh.mu.Unlock()
 
-	rerr := p.file.ReadPage(id, fr.buf)
+	ptype, rerr := p.file.ReadPageCtx(ctx, id, fr.buf)
 
 	sh.mu.Lock()
+	fr.ptype = ptype
 	fr.loadErr = rerr
 	fr.loading = nil
 	close(ch)
@@ -173,9 +194,10 @@ func (p *Pool) get(id PageID) (buf []byte, hit bool, err error) {
 	return fr.buf, false, nil
 }
 
-// Allocate creates a new zeroed page, pins it and returns its id+buffer.
-func (p *Pool) Allocate() (PageID, []byte, error) {
-	id, err := p.file.Allocate()
+// Allocate creates a new zeroed page of the given type, pins it and
+// returns its id+buffer.
+func (p *Pool) Allocate(t PageType) (PageID, []byte, error) {
+	id, err := p.file.Allocate(t)
 	if err != nil {
 		return InvalidPage, nil, err
 	}
@@ -190,6 +212,7 @@ func (p *Pool) Allocate() (PageID, []byte, error) {
 		fr.buf[i] = 0
 	}
 	fr.id = id
+	fr.ptype = t
 	fr.dirty = true // the zero page must eventually hit the disk image
 	fr.pins = 1
 	sh.frames[id] = fr
@@ -216,7 +239,7 @@ func (sh *poolShard) victim(file *PageFile) (*frame, error) {
 		}
 		fr := e.Value.(*frame)
 		if fr.dirty {
-			if err := file.WritePage(fr.id, fr.buf); err != nil {
+			if err := file.WritePage(fr.id, fr.buf, fr.ptype); err != nil {
 				return nil, err
 			}
 			fr.dirty = false
@@ -263,7 +286,7 @@ func (p *Pool) Flush() error {
 		for _, fr := range sh.frames {
 			if fr.dirty {
 				//nnc:allow lock-balance: Flush is a stop-the-world checkpoint off the query path; the write must stay under the shard lock to serialize against MarkDirty
-				if err := p.file.WritePage(fr.id, fr.buf); err != nil {
+				if err := p.file.WritePage(fr.id, fr.buf, fr.ptype); err != nil {
 					sh.mu.Unlock()
 					return err
 				}
@@ -280,6 +303,9 @@ func (p *Pool) Stats() (hits, misses, reads, writes int64) {
 	r, w := p.file.IOCounts()
 	return p.hits.Load(), p.misses.Load(), r, w
 }
+
+// FaultStats returns the underlying file's cumulative fault counters.
+func (p *Pool) FaultStats() faults.Stats { return p.file.FaultStats() }
 
 // ResetStats zeroes all counters (pool and file).
 func (p *Pool) ResetStats() {

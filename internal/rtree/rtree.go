@@ -120,11 +120,14 @@ type Tree struct {
 
 // DefaultFanout returns the fanout implied by an R-tree page of pageBytes
 // for d-dimensional data, assuming 8-byte coordinates for the two MBR
-// corners plus an 8-byte child pointer/ID per entry. This mirrors the
-// paper's "page size is 4096 bytes" global-tree configuration.
+// corners plus an 8-byte child pointer/ID per entry, after the 3-byte node
+// header (leaf flag + entry count) of the disk node layout. This mirrors
+// the paper's "page size is 4096 bytes" global-tree configuration and
+// matches diskrtree.Capacity entry-for-entry, so in-memory and
+// disk-resident trees built from the same data have identical shapes.
 func DefaultFanout(pageBytes, dim int) int {
 	per := 16*dim + 8
-	f := pageBytes / per
+	f := (pageBytes - 3) / per
 	if f < 4 {
 		f = 4
 	}

@@ -1,7 +1,8 @@
 // Package server exposes NN-candidate search over HTTP with a small JSON
 // API, turning the library into a queryable service:
 //
-//	GET  /healthz              → {"status":"ok", ...}
+//	GET  /healthz              → liveness: {"status":"ok"|"degraded", ...}
+//	GET  /readyz               → readiness probe (503 until the backend serves)
 //	GET  /objects              → dataset summary
 //	GET  /objects/{id}         → one object
 //	POST /query                → NN candidates for a query object
@@ -18,6 +19,13 @@
 //
 // and the response carries the candidates in emission order with their
 // exact minimum distances, plus timing and dominance-check statistics.
+//
+// Degraded answers are never silent: when the backend had to skip
+// unreadable (quarantined) pages, /query answers 206 Partial Content with
+// "incomplete": true and the skipped-subtree counts, and /query/stream
+// flags its summary line the same way. Handler panics are recovered into
+// 500 JSON responses and counted, so one bad request cannot take the
+// process down.
 package server
 
 import (
@@ -28,9 +36,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"spatialdom/internal/core"
+	"spatialdom/internal/faults"
 	"spatialdom/internal/geom"
 	"spatialdom/internal/uncertain"
 )
@@ -60,10 +70,37 @@ type ObjectLister interface {
 	Object(id int) *uncertain.Object
 }
 
+// Optional Backend capabilities surfaced by /healthz and /readyz. The
+// disk-resident index implements all three; the in-memory index none —
+// the endpoints degrade gracefully to what the backend can report.
+type (
+	// HealthChecker lets the backend veto readiness (e.g. the disk index
+	// re-validates its super page).
+	HealthChecker interface {
+		Healthy(ctx context.Context) error
+	}
+	// QuarantineReporter exposes the count of pages withdrawn from service
+	// after integrity failures.
+	QuarantineReporter interface {
+		Quarantined() int64
+	}
+	// FaultReporter exposes the cumulative storage fault counters.
+	FaultReporter interface {
+		FaultStats() faults.Stats
+	}
+	// AccessReporter exposes cumulative storage access counters (buffer
+	// pool and decoded-object cache).
+	AccessReporter interface {
+		AccessStats() core.IOStats
+	}
+)
+
 // Server is the HTTP handler set over one immutable backend.
 type Server struct {
 	b   Backend
 	mux *http.ServeMux
+	// panics counts handler panics recovered into 500 responses.
+	panics atomic.Int64
 }
 
 // New builds a server over the objects with the in-memory index as its
@@ -81,6 +118,7 @@ func New(objs []*uncertain.Object) (*Server, error) {
 func NewBackend(b Backend) *Server {
 	s := &Server{b: b, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/objects", s.handleObjects)
 	s.mux.HandleFunc("/objects/", s.handleObject)
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -88,8 +126,31 @@ func NewBackend(b Backend) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Panics reports how many handler panics have been recovered into 500
+// responses over the server's lifetime.
+func (s *Server) Panics() int64 { return s.panics.Load() }
+
+// ServeHTTP implements http.Handler. Every request runs under a recovery
+// envelope: a handler panic is counted and answered with a 500 JSON body
+// instead of killing the connection (and, under some configurations, the
+// process). http.ErrAbortHandler is re-raised — it is net/http's own
+// "abort this response" signal, not a bug.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.panics.Add(1)
+		// If the handler already wrote a header this write is a no-op on
+		// the status line, but the connection still terminates cleanly.
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", rec))
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // --- request/response types ---------------------------------------------------
 
@@ -110,7 +171,10 @@ type QueryCandidate struct {
 	Dominators int     `json:"dominators"`
 }
 
-// QueryResponse is the POST /query response body.
+// QueryResponse is the POST /query response body. A degraded search (some
+// index pages quarantined) answers 206 Partial Content with Incomplete set
+// and the skipped-read counts filled in; candidates from the unreadable
+// regions may be missing, every candidate present is genuine.
 type QueryResponse struct {
 	Operator   string           `json:"operator"`
 	K          int              `json:"k"`
@@ -118,6 +182,11 @@ type QueryResponse struct {
 	Examined   int              `json:"examined"`
 	ElapsedUS  int64            `json:"elapsed_us"`
 	Checks     int64            `json:"dominance_checks"`
+	Incomplete bool             `json:"incomplete,omitempty"`
+	// UnreadableNodes and UnreadableObjects count index subtrees and
+	// object records the search had to skip (only set when Incomplete).
+	UnreadableNodes   int `json:"unreadable_nodes,omitempty"`
+	UnreadableObjects int `json:"unreadable_objects,omitempty"`
 }
 
 // ObjectJSON is the wire form of an object.
@@ -156,13 +225,60 @@ func errorCode(status int) string {
 
 // --- handlers -------------------------------------------------------------------
 
+// handleHealth is the liveness report: always 200 while the process
+// serves, with "status" flipping from "ok" to "degraded" once the backend
+// has quarantined pages or recovered panics have occurred. Whatever the
+// backend can report (fault counters, pool/cache stats) is included.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":  "ok",
 		"objects": s.b.Len(),
 		"dim":     s.b.Dim(),
 		"time":    time.Now().UTC().Format(time.RFC3339),
-	})
+	}
+	if n := s.panics.Load(); n > 0 {
+		body["status"] = "degraded"
+		body["panics"] = n
+	}
+	if qr, ok := s.b.(QuarantineReporter); ok {
+		n := qr.Quarantined()
+		body["quarantined_pages"] = n
+		if n > 0 {
+			body["status"] = "degraded"
+		}
+	}
+	if fr, ok := s.b.(FaultReporter); ok {
+		body["faults"] = fr.FaultStats()
+	}
+	if ar, ok := s.b.(AccessReporter); ok {
+		st := ar.AccessStats()
+		body["io"] = map[string]int64{
+			"pool_hits":       st.Hits,
+			"pool_misses":     st.Misses,
+			"page_reads":      st.Reads,
+			"page_writes":     st.Writes,
+			"cache_hits":      st.CacheHits,
+			"cache_evictions": st.CacheEvictions,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReady is the readiness probe: 200 when the backend can serve
+// queries, 503 otherwise. Backends that implement HealthChecker (the disk
+// index re-reads and re-validates its super page) get the final say;
+// backends that don't are ready by construction.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if hc, ok := s.b.(HealthChecker); ok {
+		if err := hc.Healthy(r.Context()); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"ready": false,
+				"error": err.Error(),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ready": true})
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
@@ -262,7 +378,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.b.SearchKCtx(r.Context(), q, op, k, core.SearchOptions{Filters: core.AllFilters, Metric: metric})
-	if err != nil {
+	status := http.StatusOK
+	partial, isPartial := core.AsPartial(err)
+	if err != nil && !isPartial {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client is gone; the engine already aborted the traversal.
 			return
@@ -277,6 +395,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedUS: res.Elapsed.Microseconds(),
 		Checks:    res.Stats.DominanceChecks,
 	}
+	if isPartial {
+		// Degraded, not failed: the traversal completed around quarantined
+		// pages. 206 + the flag, so clients never mistake a shrunken
+		// candidate set for a complete answer.
+		status = http.StatusPartialContent
+		resp.Incomplete = true
+		resp.UnreadableNodes = partial.UnreadableNodes
+		resp.UnreadableObjects = partial.UnreadableObjects
+	}
 	for _, c := range res.Candidates {
 		resp.Candidates = append(resp.Candidates, QueryCandidate{
 			ID:         c.Object.ID(),
@@ -285,7 +412,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Dominators: c.Dominators,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, status, resp)
 }
 
 // handleQueryStream is the progressive form of /query: candidates are
@@ -350,13 +477,18 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			}
 		},
 	})
-	if err == nil && res != nil {
-		enc.Encode(map[string]interface{}{
+	_, isPartial := core.AsPartial(err)
+	if (err == nil || isPartial) && res != nil {
+		summary := map[string]interface{}{
 			"done":       true,
 			"candidates": len(res.Candidates),
 			"examined":   res.Examined,
 			"elapsed_us": res.Elapsed.Microseconds(),
-		})
+		}
+		if res.Incomplete {
+			summary["incomplete"] = true
+		}
+		enc.Encode(summary)
 	}
 }
 
