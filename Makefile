@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults
+.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults wal
 
 # The hot-path benchmark set and flags; bench-baseline and bench-compare
 # must agree so the committed BENCH_baseline.txt stays comparable. The
@@ -102,6 +102,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/diskstore
 	$(GO) test -run='^$$' -fuzz=FuzzNodeDecode -fuzztime=10s ./internal/diskrtree
 	$(GO) test -run='^$$' -fuzz=FuzzSuperDecode -fuzztime=10s ./internal/diskindex
+
+# wal runs the durability suite under the race detector: WAL unit tests,
+# the crash kill-point sweeps (exact pre-or-post transaction recovery at
+# every byte offset the log can die at), snapshot-isolated readers under
+# a concurrent writer, the mutable/in-memory conformance suite, the
+# structural fsck's seeded-corruption detection, and the HTTP mutation
+# endpoints.
+wal:
+	$(GO) test -race -run 'WAL|Crash|Snapshot|Mutable|Mutation|FsckStruct|Recover|Scan|Append|Truncated|Dump|Checkpoint' \
+		./internal/wal ./internal/diskindex ./internal/server
 
 # faults runs the end-to-end fault-injection suite under the race
 # detector: engine degradation, quarantine, retry, fsck, legacy compat.

@@ -41,6 +41,7 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "run the parallel workload benchmark instead of a figure")
 		workers    = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel")
 		out        = flag.String("out", "BENCH_parallel.json", "JSON report path for -parallel (empty disables)")
+		force      = flag.Bool("force", false, "record the -parallel artifact even at GOMAXPROCS=1 (marked forced_single_proc)")
 		hotpath    = flag.Bool("hotpath", false, "run the dominance hot-path benchmark (ns/op, allocs/op, QPS) instead of a figure")
 		hotWorkers = flag.Int("hotworkers", 0, "parallel worker count for -hotpath (0 = GOMAXPROCS)")
 		hotOut     = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -hotpath (empty disables)")
@@ -115,6 +116,16 @@ func main() {
 			os.Exit(1)
 		}
 		if *out != "" {
+			// A single-core recording cannot demonstrate scaling — every
+			// speedup degenerates to ~1× — so refuse to overwrite the
+			// checked-in artifact unless explicitly forced, and stamp the
+			// forced artifact so readers know what they are looking at.
+			if runtime.GOMAXPROCS(0) == 1 && !*force {
+				fmt.Fprintln(os.Stderr, "nncbench: GOMAXPROCS=1 — the speedup column is meaningless on one core;"+
+					" refusing to write "+*out+" (rerun with -force to record anyway)")
+				os.Exit(1)
+			}
+			rep.ForcedSingleProc = runtime.GOMAXPROCS(0) == 1
 			if err := rep.WriteJSON(*out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

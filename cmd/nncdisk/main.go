@@ -11,8 +11,10 @@
 //
 // Maintenance subcommands:
 //
-//	nncdisk fsck objects.pg            # verify every page checksum; exit 1 on corruption
-//	nncdisk rewrite objects.pg         # rebuild in place (upgrades legacy files)
+//	nncdisk fsck objects.pg            # page checksums + WAL + structural invariants; exit 1 on findings
+//	nncdisk rewrite objects.pg         # rebuild in place (upgrades legacy files, drops tombstones)
+//	nncdisk checkpoint objects.pg      # flush committed state into the page file, truncate the WAL
+//	nncdisk wal-dump objects.pg.wal    # pretty-print every WAL record
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"spatialdom/internal/diskindex"
 	"spatialdom/internal/pager"
 	"spatialdom/internal/uncertain"
+	"spatialdom/internal/wal"
 )
 
 var opNames = map[string]core.Operator{
@@ -43,6 +46,12 @@ func main() {
 			return
 		case "rewrite":
 			rewriteMain(os.Args[2:])
+			return
+		case "checkpoint":
+			checkpointMain(os.Args[2:])
+			return
+		case "wal-dump":
+			walDumpMain(os.Args[2:])
 			return
 		}
 	}
@@ -161,6 +170,7 @@ func main() {
 func fsckMain(args []string) {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "list every corrupt page")
+	frames := fs.Int("frames", 128, "buffer pool frames for the structural pass")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("usage: nncdisk fsck [-v] <file>"))
@@ -194,7 +204,68 @@ func fsckMain(args []string) {
 		fmt.Fprintf(os.Stderr, "%d corrupt page(s)\n", len(rep.Corrupt))
 		os.Exit(1)
 	}
+
+	// Page bytes verified; now the structural pass — WAL records, tree
+	// reachability, free-list/epoch/tombstone invariants.
+	srep, err := diskindex.FsckStruct(fs.Arg(0), *frames)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("structure: epoch %d, %d tree + %d store + %d tombstone pages, %d free, %d live objects, %d tombstones\n",
+		srep.Epoch, srep.TreePages, srep.StorePages, srep.TombPages,
+		srep.FreePages, srep.LiveObjects, srep.Tombstones)
+	if srep.WALRecords > 0 || srep.WALTorn > 0 {
+		fmt.Printf("wal: %d records, %d committed transactions pending replay, %d torn bytes\n",
+			srep.WALRecords, srep.WALCommitted, srep.WALTorn)
+	}
+	for _, f := range srep.Findings {
+		fmt.Fprintf(os.Stderr, "finding: %s\n", f)
+	}
+	if !srep.Clean() {
+		fmt.Fprintf(os.Stderr, "%d structural finding(s)\n", len(srep.Findings))
+		os.Exit(1)
+	}
 	fmt.Println("clean")
+}
+
+// checkpointMain implements `nncdisk checkpoint <file>`: flush every
+// committed page into the page file and truncate the WAL, so the page
+// file alone carries the index.
+func checkpointMain(args []string) {
+	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
+	frames := fs.Int("frames", 128, "buffer pool frames")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: nncdisk checkpoint [-frames=N] <file>"))
+	}
+	ix, err := diskindex.OpenFileMutable(fs.Arg(0), &diskindex.MutableOptions{Frames: *frames})
+	if err != nil {
+		fatal(err)
+	}
+	if rec := ix.WALRecovery(); rec != nil && rec.CommittedTxs > 0 {
+		fmt.Printf("recovered %d committed transaction(s), %d page(s) replayed\n",
+			rec.CommittedTxs, rec.PagesApplied)
+	}
+	if err := ix.Checkpoint(); err != nil {
+		ix.Close()
+		fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checkpointed %s\n", fs.Arg(0))
+}
+
+// walDumpMain implements `nncdisk wal-dump <file.wal>`.
+func walDumpMain(args []string) {
+	fs := flag.NewFlagSet("wal-dump", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: nncdisk wal-dump <file.wal>"))
+	}
+	if err := wal.DumpFile(fs.Arg(0), 0, os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 // rewriteMain implements `nncdisk rewrite <file>`: logically rebuild the

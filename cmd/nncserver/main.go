@@ -5,6 +5,7 @@
 //	nncserver -n=5000 -m=10 -addr=:8080          # generated dataset
 //	nncserver -input=objects.csv -addr=:8080     # CSV dataset
 //	nncserver -disk=objects.pg -frames=256       # disk-resident index file
+//	nncserver -disk=objects.pg -mutable          # + POST /insert, POST /delete
 //
 // Then:
 //
@@ -19,7 +20,11 @@
 // (or diskindex.Build): queries run through the same engine over the
 // buffer pool, and /objects endpoints answer 501 since the disk backend
 // does not enumerate. Canceled requests abort the search mid-traversal on
-// either backend.
+// either backend. Adding -mutable opens the file writable — POST /insert
+// and POST /delete commit through the write-ahead log, searches in
+// flight keep their snapshot, and a clean shutdown checkpoints so the
+// page file alone carries the index. Without -mutable those endpoints
+// answer 501.
 package main
 
 import (
@@ -60,6 +65,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		input   = flag.String("input", "", "load objects from CSV instead of generating")
 		disk    = flag.String("disk", "", "serve from a disk index page file built by nncdisk")
+		mutable = flag.Bool("mutable", false, "open -disk writable: POST /insert and /delete commit through the WAL")
 		frames  = flag.Int("frames", 256, "buffer pool frames for -disk")
 		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060)")
 		drain   = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
@@ -82,7 +88,18 @@ func main() {
 	}
 
 	var srv *server.Server
-	if *disk != "" {
+	if *disk != "" && *mutable {
+		idx, err := diskindex.OpenFileMutable(*disk, &diskindex.MutableOptions{Frames: *frames})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer idx.Close() // checkpoints, so a clean shutdown leaves an empty WAL
+		if rec := idx.WALRecovery(); rec != nil && rec.CommittedTxs > 0 {
+			log.Printf("recovered %d committed transaction(s) from the WAL", rec.CommittedTxs)
+		}
+		log.Printf("serving mutable disk index %s (epoch %d)", idx, idx.Epoch())
+		srv = server.NewBackend(idx)
+	} else if *disk != "" {
 		pf, err := pager.Open(*disk)
 		if err != nil {
 			log.Fatal(err)

@@ -24,10 +24,10 @@ package diskindex
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"spatialdom/internal/core"
@@ -36,6 +36,7 @@ import (
 	"spatialdom/internal/faults"
 	"spatialdom/internal/pager"
 	"spatialdom/internal/uncertain"
+	"spatialdom/internal/wal"
 )
 
 const superMagic = "SDIX"
@@ -72,6 +73,31 @@ type Index struct {
 	// cacheHits and cacheEvictions are the cumulative decoded-object cache
 	// counters, owned here so they survive cache swaps.
 	cacheHits, cacheEvictions atomic.Int64
+
+	// tombs is the set of deleted record pointers (loaded from the
+	// tombstone log; nil when the file was never mutated). ScanLive skips
+	// them. Mutated only under writeMu.
+	tombs map[diskstore.Ptr]struct{}
+
+	// snap is the current published snapshot of a mutable index; nil on a
+	// read-only one. Searches pin it via acquire/release; the single
+	// writer swaps it at commit (see mutable.go).
+	snap    atomic.Pointer[snapshot]
+	writeMu sync.Mutex
+	mut     *mutState
+}
+
+// snapshot is one published, immutable view of a mutable index: the tree
+// root and geometry, the id span, and a store clone whose directory the
+// writer will never mutate in place.
+type snapshot struct {
+	epoch  uint64
+	root   pager.PageID
+	height int
+	size   int
+	span   int
+	store  *diskstore.Store
+	refs   atomic.Int64
 }
 
 var _ core.Backend = (*Index)(nil)
@@ -85,27 +111,15 @@ const SuperPageID = pager.PageID(1)
 
 // ParseSuper validates and decodes a super-page image into the two
 // metadata page ids and the dense object-ID span. Malformed input yields
-// an error wrapping ErrBadSuper — never a panic. It is the single source
-// of super-page decode truth (Open routes through it) and the surface
-// FuzzSuperDecode exercises.
+// an error wrapping ErrBadSuper — never a panic. It delegates to
+// DecodeSuper (the full v2 decoder, the single source of super-page
+// decode truth) and remains the surface FuzzSuperDecode exercises.
 func ParseSuper(buf []byte) (storeMeta, treeMeta pager.PageID, span int, err error) {
-	if len(buf) < 20 {
-		return 0, 0, 0, fmt.Errorf("%w: %d-byte page too short", ErrBadSuper, len(buf))
+	sb, err := DecodeSuper(buf)
+	if err != nil {
+		return 0, 0, 0, err
 	}
-	if string(buf[:4]) != superMagic {
-		return 0, 0, 0, ErrBadSuper
-	}
-	storeMeta = pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
-	treeMeta = pager.PageID(binary.LittleEndian.Uint32(buf[8:]))
-	rawSpan := binary.LittleEndian.Uint64(buf[12:])
-	if storeMeta == 0 || treeMeta == 0 || storeMeta == treeMeta {
-		return 0, 0, 0, fmt.Errorf("%w: metadata pages store=%d tree=%d", ErrBadSuper, storeMeta, treeMeta)
-	}
-	const maxSpan = 1 << 40 // plausibility bound well beyond any real dataset
-	if rawSpan > maxSpan {
-		return 0, 0, 0, fmt.Errorf("%w: implausible id span %d", ErrBadSuper, rawSpan)
-	}
-	return storeMeta, treeMeta, int(rawSpan), nil
+	return sb.StoreMeta, sb.TreeMeta, sb.Span, nil
 }
 
 // Build writes the objects and their R-tree into the pool's file and
@@ -155,10 +169,7 @@ func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	copy(buf, superMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(store.Meta()))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(tree.Meta()))
-	binary.LittleEndian.PutUint64(buf[12:], uint64(span))
+	EncodeSuper(buf, SuperBlock{StoreMeta: store.Meta(), TreeMeta: tree.Meta(), Span: span})
 	pool.MarkDirty(super)
 	pool.Unpin(super)
 	if err := pool.Flush(); err != nil {
@@ -175,20 +186,30 @@ func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	storeMeta, treeMeta, span, perr := ParseSuper(buf)
+	sb, perr := DecodeSuper(buf)
 	pool.Unpin(super)
 	if perr != nil {
 		return nil, perr
 	}
-	store, err := diskstore.Open(pool, storeMeta)
+	store, err := diskstore.Open(pool, sb.StoreMeta)
 	if err != nil {
 		return nil, err
 	}
-	tree, err := diskrtree.Open(pool, treeMeta)
+	tree, err := diskrtree.Open(pool, sb.TreeMeta)
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(pool, super, store, tree, span), nil
+	ix := newIndex(pool, super, store, tree, sb.Span)
+	if sb.TombHead != 0 {
+		// The file was mutated: load the deleted-record set so ScanLive
+		// (and RewriteFile) skips dead records.
+		tombs, _, _, err := readTombChain(pool, sb.TombHead, pool.File().PageSize())
+		if err != nil {
+			return nil, err
+		}
+		ix.tombs = tombs
+	}
+	return ix, nil
 }
 
 func newIndex(pool *pager.Pool, super pager.PageID, store *diskstore.Store, tree *diskrtree.Tree, span int) *Index {
@@ -222,8 +243,36 @@ func (ix *Index) SetObjCacheCap(n int) {
 // objCacheLen reports the entries cached right now (test hook).
 func (ix *Index) objCacheLen() int { return ix.objCache.Load().len() }
 
-// Len returns the number of indexed objects.
-func (ix *Index) Len() int { return ix.store.Len() }
+// Len returns the number of indexed (live) objects.
+func (ix *Index) Len() int {
+	if s := ix.snap.Load(); s != nil {
+		return s.size
+	}
+	return ix.tree.Len()
+}
+
+// curStore returns the store view current reads should use: the latest
+// snapshot's clone on a mutable index, the shared store otherwise.
+func (ix *Index) curStore() *diskstore.Store {
+	if s := ix.snap.Load(); s != nil {
+		return s.store
+	}
+	return ix.store
+}
+
+// ScanLive visits every live record in stream order, skipping deleted
+// ones. Not safe concurrently with Insert/Delete — it is the offline
+// enumeration surface (RewriteFile, fsck, open-time id indexing).
+//
+//nnc:allow ctx-flow: ScanLive is an offline full-file enumeration (rewrite/fsck/open), not a query; nothing upstream has a ctx to thread
+func (ix *Index) ScanLive(fn func(diskstore.Ptr, *uncertain.Object) error) error {
+	return ix.curStore().Scan(func(p diskstore.Ptr, o *uncertain.Object) error {
+		if _, dead := ix.tombs[p]; dead {
+			return nil
+		}
+		return fn(p, o)
+	})
+}
 
 // Dim returns the dimensionality.
 func (ix *Index) Dim() int { return ix.tree.Dim() }
@@ -237,8 +286,12 @@ func (ix *Index) Dim() int { return ix.tree.Dim() }
 // traffic; SearchKCtx goes through a per-search session instead and is
 // the entry point that keeps Result.IO exact under concurrency.
 
-// Root returns the R-tree root page.
+// Root returns the R-tree root page (of the current snapshot, on a
+// mutable index).
 func (ix *Index) Root() (core.NodeRef, error) {
+	if s := ix.snap.Load(); s != nil {
+		return core.NodeRef{ID: uint64(s.root)}, nil
+	}
 	return core.NodeRef{ID: uint64(ix.tree.Root())}, nil
 }
 
@@ -274,7 +327,7 @@ func (ix *Index) Resolve(r core.ObjRef) (*uncertain.Object, error) {
 	if o, ok := cache.get(ptr); ok {
 		return o, nil
 	}
-	o, err := ix.store.Read(ptr)
+	o, err := ix.curStore().Read(ptr)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +336,12 @@ func (ix *Index) Resolve(r core.ObjRef) (*uncertain.Object, error) {
 }
 
 // DenseIDSpan reports the persisted object-ID span (core.DenseIDSpanner).
-func (ix *Index) DenseIDSpan() int { return ix.denseSpan }
+func (ix *Index) DenseIDSpan() int {
+	if s := ix.snap.Load(); s != nil {
+		return s.span
+	}
+	return ix.denseSpan
+}
 
 // AccessStats combines the buffer pool's cumulative counters with the
 // decoded-object cache's; the engine turns them into per-search deltas.
@@ -306,6 +364,7 @@ func (ix *Index) AccessStats() core.IOStats {
 // concurrent ResetCache/SetObjCacheCap swap.
 type session struct {
 	ix    *Index
+	snap  *snapshot // pinned view of a mutable index; nil when read-only
 	lease *pager.Lease
 	cache *objLRU
 
@@ -318,10 +377,26 @@ var (
 	_ core.DenseIDSpanner = (*Index)(nil)
 )
 
-// DenseIDSpan forwards the index's persisted span to the engine.
-func (s *session) DenseIDSpan() int { return s.ix.denseSpan }
+// DenseIDSpan forwards the pinned snapshot's span to the engine.
+func (s *session) DenseIDSpan() int {
+	if s.snap != nil {
+		return s.snap.span
+	}
+	return s.ix.denseSpan
+}
+
+// store returns the store view this search reads records through.
+func (s *session) store() *diskstore.Store {
+	if s.snap != nil {
+		return s.snap.store
+	}
+	return s.ix.store
+}
 
 func (s *session) Root() (core.NodeRef, error) {
+	if s.snap != nil {
+		return core.NodeRef{ID: uint64(s.snap.root)}, nil
+	}
 	return core.NodeRef{ID: uint64(s.ix.tree.Root())}, nil
 }
 
@@ -349,7 +424,7 @@ func (s *session) Resolve(r core.ObjRef) (*uncertain.Object, error) {
 		s.cacheHits++
 		return o, nil
 	}
-	o, err := s.ix.store.ReadVia(s.lease, ptr)
+	o, err := s.store().ReadVia(s.lease, ptr)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +454,14 @@ func (ix *Index) SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Op
 	if k < 1 {
 		return nil, fmt.Errorf("diskindex: k=%d must be >= 1", k)
 	}
-	s := &session{ix: ix, lease: ix.pool.NewLeaseCtx(ctx), cache: ix.objCache.Load()}
+	// Pinning the snapshot (no-op on a read-only index) freezes this
+	// search's view: the root, the store geometry, and — via the epoch
+	// refcount — every page reachable from them, which the writer will not
+	// recycle until the pin drops. SearchKParallel inherits this per query
+	// because core.SearchParallel fans out through SearchKCtx.
+	snap := ix.acquire()
+	defer ix.release(snap)
+	s := &session{ix: ix, snap: snap, lease: ix.pool.NewLeaseCtx(ctx), cache: ix.objCache.Load()}
 	return core.SearchBackend(ctx, s, q, op, k, opts)
 }
 
@@ -405,8 +487,12 @@ func (ix *Index) SearchKParallel(ctx context.Context, queries []*uncertain.Objec
 
 // String describes the index.
 func (ix *Index) String() string {
+	height := ix.tree.Height()
+	if s := ix.snap.Load(); s != nil {
+		height = s.height
+	}
 	return fmt.Sprintf("DiskIndex(%d objects, dim %d, tree height %d, %d pages)",
-		ix.Len(), ix.Dim(), ix.tree.Height(), ix.pool.File().Len())
+		ix.Len(), ix.Dim(), height, ix.pool.File().Len())
 }
 
 // --- health & maintenance ----------------------------------------------------
@@ -423,12 +509,18 @@ func (ix *Index) FaultStats() faults.Stats { return ix.pool.FaultStats() }
 // Healthy is a cheap readiness probe: it re-reads and re-validates the
 // super page through the buffer pool. A nil return means the index can
 // serve queries (possibly degraded — check Quarantined for that signal).
+// On a mutable index it takes the write mutex: the super page is updated
+// in place at commit, so this read must not race the cache install.
 func (ix *Index) Healthy(ctx context.Context) error {
+	if ix.mut != nil {
+		ix.writeMu.Lock()
+		defer ix.writeMu.Unlock()
+	}
 	buf, err := ix.pool.GetCtx(ctx, ix.super)
 	if err != nil {
 		return err
 	}
-	_, _, _, perr := ParseSuper(buf)
+	_, perr := DecodeSuper(buf)
 	ix.pool.Unpin(ix.super)
 	return perr
 }
@@ -446,6 +538,15 @@ func RewriteFile(path string, frames int) error {
 	if frames <= 0 {
 		frames = 256
 	}
+	// A WAL beside the file means a mutable session committed transactions
+	// the page file may not hold yet (or died mid-write); recover first so
+	// the rewrite reads the latest committed state.
+	walFile := path + ".wal"
+	if st, err := os.Stat(walFile); err == nil && st.Size() > wal.HeaderSize {
+		if err := recoverForRewrite(path, walFile); err != nil {
+			return err
+		}
+	}
 	pf, err := pager.Open(path)
 	if err != nil {
 		return err
@@ -457,7 +558,7 @@ func RewriteFile(path string, frames int) error {
 		return err
 	}
 	objs := make([]*uncertain.Object, 0, ix.Len())
-	serr := ix.store.Scan(func(_ diskstore.Ptr, o *uncertain.Object) error {
+	serr := ix.ScanLive(func(_ diskstore.Ptr, o *uncertain.Object) error {
 		objs = append(objs, o)
 		return nil
 	})
@@ -481,5 +582,34 @@ func RewriteFile(path string, frames int) error {
 	if err := nf.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The old WAL describes pages of the replaced file; drop it.
+	if err := os.Remove(walFile); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// recoverForRewrite replays a leftover WAL into the page file and resets
+// it, so RewriteFile (and read-only Open) see the committed state.
+func recoverForRewrite(path, walFile string) error {
+	pf, err := pager.Open(path)
+	if err != nil {
+		return err
+	}
+	wlog, err := wal.Open(walFile, pf.PageSize(), nil)
+	if err != nil {
+		pf.Close()
+		return err
+	}
+	_, rerr := wal.Recover(wlog, pf)
+	if cerr := wlog.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if cerr := pf.Close(); rerr == nil {
+		rerr = cerr
+	}
+	return rerr
 }

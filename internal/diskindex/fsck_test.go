@@ -1,0 +1,287 @@
+package diskindex
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/wal"
+)
+
+// Tombstone-log page layout helpers (count u16 | next u32 | ptrs u64×count).
+func putTombPtr(buf []byte, i int, v uint64) { binary.LittleEndian.PutUint64(buf[6+8*i:], v) }
+func tombEntryCount(buf []byte) int          { return int(binary.LittleEndian.Uint16(buf)) }
+func setTombEntryCount(buf []byte, n int)    { binary.LittleEndian.PutUint16(buf, uint16(n)) }
+
+// fsckBase builds a mutated index file: enough deletes to grow a
+// tombstone chain and park pages on the free list, then a clean close.
+func fsckBase(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "base.pg")
+	ds := datagen.Generate(datagen.Params{N: 90, M: 5, EdgeLen: 400, Seed: 51})
+	ix, err := CreateFileMutable(path, 3, &MutableOptions{Frames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ds.Objects {
+		if err := ix.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range ds.Objects[:40] {
+		if ok, err := ix.Delete(o.ID()); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", o.ID(), ok, err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fsckCopy(t *testing.T, base, dst string) {
+	t.Helper()
+	copyFile(t, base, dst)
+	copyFile(t, base+".wal", dst+".wal")
+}
+
+// editSuper rewrites the super page through f, resealing the checksum, so
+// the corruption is invisible to the page-level fsck and only the
+// structural pass can catch it.
+func editSuper(t *testing.T, path string, f func(*SuperBlock)) {
+	t.Helper()
+	pf, err := pager.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	buf := make([]byte, pf.PageSize())
+	if _, err := pf.ReadPage(SuperPageID, buf); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := DecodeSuper(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(&sb)
+	EncodeSuper(buf, sb)
+	if err := pf.WritePage(SuperPageID, buf, pager.PageSuper); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasFinding(rep *StructReport, code string) bool {
+	for _, f := range rep.Findings {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFsckStructDetectsSeededCorruption corrupts one structural invariant
+// per case — always with valid page checksums, so pager.Fsck alone would
+// pass — and requires FsckStruct to flag every single one.
+func TestFsckStructDetectsSeededCorruption(t *testing.T) {
+	dir := t.TempDir()
+	base := fsckBase(t, dir)
+
+	clean, err := FsckStruct(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Clean() {
+		t.Fatalf("clean base flagged: %v", clean.Findings)
+	}
+	if clean.FreePages == 0 {
+		t.Fatal("base file has no free pages; corruption cases need one")
+	}
+	if clean.Tombstones == 0 || clean.TombPages == 0 {
+		t.Fatal("base file has no tombstones; corruption cases need them")
+	}
+
+	// tombTailPage locates the tombstone chain's tail for in-place edits.
+	tombTail := func(t *testing.T, path string) pager.PageID {
+		pf, err := pager.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pf.Close()
+		buf := make([]byte, pf.PageSize())
+		if _, err := pf.ReadPage(SuperPageID, buf); err != nil {
+			t.Fatal(err)
+		}
+		sb, err := DecodeSuper(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.TombTail
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+		want    string
+	}{
+		{"free-list holds a reachable page", func(t *testing.T, path string) {
+			editSuper(t, path, func(sb *SuperBlock) { sb.Free = append(sb.Free, sb.StoreMeta) })
+		}, "free-reachable"},
+		{"free-list duplicate entry", func(t *testing.T, path string) {
+			editSuper(t, path, func(sb *SuperBlock) { sb.Free = append(sb.Free, sb.Free[0]) })
+		}, "free-dup"},
+		{"free-list id beyond file end", func(t *testing.T, path string) {
+			editSuper(t, path, func(sb *SuperBlock) { sb.Free = append(sb.Free, 1<<20) })
+		}, "free-range"},
+		{"tombstone count mismatch", func(t *testing.T, path string) {
+			editSuper(t, path, func(sb *SuperBlock) { sb.TombCount++ })
+		}, "tomb-count"},
+		{"tombstone pointer to nowhere", func(t *testing.T, path string) {
+			tail := tombTail(t, path)
+			pf, err := pager.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pf.Close()
+			buf := make([]byte, pf.PageSize())
+			pt, err := pf.ReadPage(tail, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// First entry now addresses an offset far past the heap tail.
+			putTombPtr(buf, 0, 1<<40)
+			if err := pf.WritePage(tail, buf, pt); err != nil {
+				t.Fatal(err)
+			}
+			if err := pf.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}, "tomb-ptr"},
+		{"hidden tombstone skews live count", func(t *testing.T, path string) {
+			tail := tombTail(t, path)
+			pf, err := pager.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pf.Close()
+			buf := make([]byte, pf.PageSize())
+			pt, err := pf.ReadPage(tail, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tombEntryCount(buf)
+			setTombEntryCount(buf, n-1)
+			if err := pf.WritePage(tail, buf, pt); err != nil {
+				t.Fatal(err)
+			}
+			if err := pf.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// Keep the super consistent so only the live-count check fires.
+			editSuper(t, path, func(sb *SuperBlock) { sb.TombCount-- })
+		}, "live-count"},
+		{"epoch zero with mutation artifacts", func(t *testing.T, path string) {
+			editSuper(t, path, func(sb *SuperBlock) { sb.Epoch = 0 })
+		}, "epoch-zero"},
+		{"wal torn tail", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path+".wal", os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write([]byte("garbage tail bytes")); err != nil {
+				t.Fatal(err)
+			}
+		}, "wal-torn-tail"},
+		{"wal commit without images", func(t *testing.T, path string) {
+			pf, err := pager.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := pf.PageSize()
+			pf.Close()
+			l, err := wal.Open(path+".wal", payload, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			if _, err := l.Scan(nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.AppendCommit(999); err != nil {
+				t.Fatal(err)
+			}
+		}, "wal-empty-commit"},
+	}
+
+	detected := 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			work := filepath.Join(dir, "work.pg")
+			fsckCopy(t, base, work)
+			tc.corrupt(t, work)
+			rep, err := FsckStruct(work, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Clean() {
+				t.Fatalf("corruption %q not detected", tc.name)
+			}
+			if !hasFinding(rep, tc.want) {
+				t.Fatalf("finding %q missing; got %v", tc.want, rep.Findings)
+			}
+			detected++
+		})
+	}
+	if detected != len(cases) {
+		t.Fatalf("%d/%d seeded corruptions detected", detected, len(cases))
+	}
+}
+
+// TestFsckStructPendingWAL checks a crashed-but-committed file: fsck must
+// judge the post-recovery state clean without mutating the original.
+func TestFsckStructPendingWAL(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.Generate(datagen.Params{N: 25, M: 4, EdgeLen: 400, Seed: 53})
+	base := crashBase(t, dir, ds.Objects[:24])
+
+	work := filepath.Join(dir, "work.pg")
+	fsckCopy(t, base, work)
+	ix, err := OpenFileMutable(work, &MutableOptions{Frames: 32, WALLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(ds.Objects[24]); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the commit lives only in the WAL.
+	ix.mut.wal.Close()
+	ix.mut.owned.Close()
+
+	before, err := os.ReadFile(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStruct(work, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("pending-WAL file flagged: %v", rep.Findings)
+	}
+	if rep.WALCommitted == 0 {
+		t.Fatal("committed transaction not reported as pending replay")
+	}
+	after, err := os.ReadFile(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("fsck mutated the file under inspection")
+	}
+}

@@ -1,0 +1,815 @@
+package diskindex
+
+// The mutable disk index: Insert/Delete with WAL durability and
+// snapshot-isolated readers.
+//
+// # Write path
+//
+// One writer at a time (writeMu). A mutation stages every page it touches
+// in a Tx, then commits: page images are appended to the WAL, the commit
+// record is appended and fsynced (the durability point), the images are
+// installed into the buffer pool with Put, and finally a new snapshot is
+// published. The page file itself receives committed images lazily — by
+// buffer-pool eviction or at a checkpoint — which is safe because
+// recovery replays the WAL over the file.
+//
+// # Read path
+//
+// Readers never lock. A search acquires the current snapshot (epoch, tree
+// root, store clone) with a refcount and walks pages through the buffer
+// pool exactly as the read-only index does. Copy-on-write keeps that
+// sound: a committed transaction only ever Puts page images that no live
+// snapshot can reach — tree nodes and store data pages are rewritten at
+// fresh page ids, and the pages updated in place (super, metadata, store
+// directory, tombstone log) are ones searches never read mid-flight.
+//
+// # Reclamation
+//
+// Pages freed by a transaction are tagged with the pre-transaction epoch
+// and parked; they rejoin the free list only when every snapshot at or
+// below that epoch has been released (retired snapshots drain in epoch
+// order). The persisted free list in the super page is written as if no
+// readers existed — correct for the post-crash world, where there are
+// none.
+//
+// # Failure
+//
+// An error while appending page images aborts cleanly (nothing was
+// published). An error on the commit fsync or the cache install poisons
+// the index: the transaction's durability is indeterminate, so further
+// writes are refused while readers continue on the last published
+// snapshot; reopening the file runs WAL recovery and resolves the
+// ambiguity either way.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/diskrtree"
+	"spatialdom/internal/diskstore"
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+	"spatialdom/internal/wal"
+)
+
+var (
+	// ErrReadOnly is returned by Insert/Delete on an index opened without a
+	// WAL (Build/Open rather than CreateFileMutable/OpenFileMutable).
+	ErrReadOnly = errors.New("diskindex: index is read-only")
+	// ErrPoisoned wraps the error that poisoned the write path: a commit
+	// whose durability is indeterminate. Reads continue; writes are refused
+	// until the file is reopened (which runs WAL recovery).
+	ErrPoisoned = errors.New("diskindex: write path poisoned")
+	// ErrClosed is returned by operations on a closed mutable index.
+	ErrClosed = errors.New("diskindex: index closed")
+)
+
+// DefaultWALLimit is the WAL size that triggers an automatic checkpoint
+// after a commit.
+const DefaultWALLimit = 4 << 20
+
+// MutableOptions configures CreateFileMutable / OpenFileMutable. The zero
+// value (or a nil pointer) picks defaults throughout.
+type MutableOptions struct {
+	// WALPath overrides the log location (default: index path + ".wal").
+	WALPath string
+	// WALLimit is the log size in bytes that triggers an automatic
+	// checkpoint after a commit; 0 means DefaultWALLimit, negative disables
+	// auto-checkpointing.
+	WALLimit int64
+	// Frames bounds the buffer pool (default 256).
+	Frames int
+	// PageSize is the physical page size for CreateFileMutable (default
+	// pager.PageSize); ignored by OpenFileMutable.
+	PageSize int
+	// WALWrap, if non-nil, intercepts the WAL's underlying file — the
+	// crash-injection hook used by the kill-point sweep tests.
+	WALWrap func(*os.File) wal.File
+}
+
+func (o *MutableOptions) walPath(indexPath string) string {
+	if o != nil && o.WALPath != "" {
+		return o.WALPath
+	}
+	return indexPath + ".wal"
+}
+
+func (o *MutableOptions) frames() int {
+	if o != nil && o.Frames > 0 {
+		return o.Frames
+	}
+	return 256
+}
+
+func (o *MutableOptions) walLimit() int64 {
+	if o == nil || o.WALLimit == 0 {
+		return DefaultWALLimit
+	}
+	if o.WALLimit < 0 {
+		return 0
+	}
+	return o.WALLimit
+}
+
+func (o *MutableOptions) walWrap() func(*os.File) wal.File {
+	if o != nil {
+		return o.WALWrap
+	}
+	return nil
+}
+
+// pendingFree is a freed page waiting for readers: reachable by snapshots
+// with epoch <= epoch, reusable once the oldest live epoch exceeds it.
+type pendingFree struct {
+	id    pager.PageID
+	epoch uint64
+}
+
+// mutState is the writer-side state of a mutable index, guarded by
+// Index.writeMu.
+type mutState struct {
+	wal      *wal.Log
+	owned    *pager.PageFile // closed by Close
+	walLimit int64
+
+	free    []pager.PageID
+	pending []pendingFree
+	retired []*snapshot
+
+	tombHead  pager.PageID
+	tombTail  pager.PageID
+	tombCount int // entries used in the tail page
+	tombPages []pager.PageID
+
+	byID map[int]diskstore.Ptr
+
+	span    int
+	spanNeg bool // a negative object id was seen: span stays unknown
+
+	leakedFree int // free-list ids dropped at super-page overflow
+	ckptFails  int // best-effort auto-checkpoints that failed
+
+	recovered *wal.RecoveryStats
+	poisoned  error
+	closed    bool
+}
+
+// mutCapture is the rollback record for the mutState fields a transaction
+// mutates before commit.
+type mutCapture struct {
+	tombHead  pager.PageID
+	tombTail  pager.PageID
+	tombCount int
+	tombPages int
+	span      int
+	spanNeg   bool
+	leaked    int
+}
+
+func (m *mutState) capture() mutCapture {
+	return mutCapture{
+		tombHead: m.tombHead, tombTail: m.tombTail, tombCount: m.tombCount,
+		tombPages: len(m.tombPages), span: m.span, spanNeg: m.spanNeg, leaked: m.leakedFree,
+	}
+}
+
+func (m *mutState) restore(c mutCapture) {
+	m.tombHead, m.tombTail, m.tombCount = c.tombHead, c.tombTail, c.tombCount
+	m.tombPages = m.tombPages[:c.tombPages]
+	m.span, m.spanNeg, m.leakedFree = c.span, c.spanNeg, c.leaked
+}
+
+func (m *mutState) spanValue() int {
+	if m.spanNeg {
+		return 0
+	}
+	return m.span
+}
+
+// --- snapshot acquire / release ----------------------------------------------
+
+// acquire pins the current snapshot for a search; nil on a read-only
+// index. The add-then-recheck loop closes the race with a concurrent
+// publish: a reader that pinned a just-retired snapshot detects the swap
+// and retries, so the writer's "refs drained" test never misses a reader
+// actually inside the snapshot.
+func (ix *Index) acquire() *snapshot {
+	for {
+		s := ix.snap.Load()
+		if s == nil {
+			return nil
+		}
+		s.refs.Add(1)
+		if ix.snap.Load() == s {
+			return s
+		}
+		s.refs.Add(-1)
+	}
+}
+
+func (ix *Index) release(s *snapshot) {
+	if s != nil {
+		s.refs.Add(-1)
+	}
+}
+
+// reclaim pops drained retired snapshots (in epoch order) and moves
+// pending frees no live snapshot can reach onto the free list.
+func (m *mutState) reclaim(curEpoch uint64) {
+	for len(m.retired) > 0 && m.retired[0].refs.Load() == 0 {
+		m.retired = m.retired[1:]
+	}
+	minLive := curEpoch
+	if len(m.retired) > 0 {
+		minLive = m.retired[0].epoch
+	}
+	keep := m.pending[:0]
+	for _, p := range m.pending {
+		if p.epoch < minLive {
+			m.free = append(m.free, p.id)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	m.pending = keep
+}
+
+// --- open / create -----------------------------------------------------------
+
+// CreateFileMutable creates an empty mutable index file of the given
+// dimensionality at path, plus its WAL beside it. The returned Index
+// serves searches and accepts Insert/Delete; Close releases both files.
+//
+//nnc:allow ctx-flow: CreateFileMutable is startup file creation, not a query; nothing upstream has a ctx to thread
+func CreateFileMutable(path string, dim int, opts *MutableOptions) (*Index, error) {
+	ps := pager.PageSize
+	if opts != nil && opts.PageSize > 0 {
+		ps = opts.PageSize
+	}
+	pf, err := pager.Create(path, ps)
+	if err != nil {
+		return nil, err
+	}
+	pool := pager.NewPool(pf, opts.frames())
+	super, sbuf, err := pool.Allocate(pager.PageSuper)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	store, err := diskstore.Create(pool)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	tree, err := diskrtree.CreateEmpty(pool, dim)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	EncodeSuper(sbuf, SuperBlock{StoreMeta: store.Meta(), TreeMeta: tree.Meta()})
+	pool.MarkDirty(super)
+	pool.Unpin(super)
+	if err := pool.Flush(); err != nil {
+		pf.Close()
+		return nil, err
+	}
+	wlog, err := wal.Open(opts.walPath(path), pf.PageSize(), opts.walWrap())
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	// A stale WAL beside a file we just re-created would replay foreign
+	// pages on the next open; start it empty.
+	if _, err := wlog.Scan(nil); err == nil && wlog.Size() > wal.HeaderSize {
+		if err := wlog.Reset(); err != nil {
+			wlog.Close()
+			pf.Close()
+			return nil, err
+		}
+	}
+	ix, err := attachMutable(pf, pool, super, store, tree, SuperBlock{}, wlog, opts, nil)
+	if err != nil {
+		wlog.Close()
+		pf.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// OpenFileMutable opens an index file for reading and writing: it runs
+// WAL recovery first (resolving any crash), then attaches the mutable
+// machinery. The file may have been written by Build, CreateFileMutable
+// or a previous mutable session.
+//
+//nnc:allow ctx-flow: OpenFileMutable is startup recovery + attach, not a query; nothing upstream has a ctx to thread
+func OpenFileMutable(path string, opts *MutableOptions) (*Index, error) {
+	pf, err := pager.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	wlog, err := wal.Open(opts.walPath(path), pf.PageSize(), opts.walWrap())
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	fail := func(err error) (*Index, error) {
+		wlog.Close()
+		pf.Close()
+		return nil, err
+	}
+	rec, err := wal.Recover(wlog, pf)
+	if err != nil {
+		return fail(fmt.Errorf("diskindex: wal recovery: %w", err))
+	}
+	pool := pager.NewPool(pf, opts.frames())
+	sbuf, err := pool.Get(SuperPageID)
+	if err != nil {
+		return fail(err)
+	}
+	sb, perr := DecodeSuper(sbuf)
+	pool.Unpin(SuperPageID)
+	if perr != nil {
+		return fail(perr)
+	}
+	store, err := diskstore.Open(pool, sb.StoreMeta)
+	if err != nil {
+		return fail(err)
+	}
+	tree, err := diskrtree.Open(pool, sb.TreeMeta)
+	if err != nil {
+		return fail(err)
+	}
+	ix, err := attachMutable(pf, pool, SuperPageID, store, tree, sb, wlog, opts, rec)
+	if err != nil {
+		return fail(err)
+	}
+	return ix, nil
+}
+
+// attachMutable wires the writer-side state onto a freshly opened index
+// and publishes the first snapshot.
+func attachMutable(pf *pager.PageFile, pool *pager.Pool, super pager.PageID,
+	store *diskstore.Store, tree *diskrtree.Tree, sb SuperBlock,
+	wlog *wal.Log, opts *MutableOptions, rec *wal.RecoveryStats) (*Index, error) {
+
+	tombs, tombPages, tailCount, err := readTombChain(pool, sb.TombHead, pf.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	if sb.TombHead != 0 && tailCount != sb.TombCount {
+		return nil, fmt.Errorf("%w: tombstone tail holds %d entries, super says %d", ErrBadSuper, tailCount, sb.TombCount)
+	}
+
+	ix := newIndex(pool, super, store, tree, sb.Span)
+	ix.tombs = tombs
+
+	byID := make(map[int]diskstore.Ptr, tree.Len())
+	spanNeg := false
+	dups := 0
+	err = ix.ScanLive(func(p diskstore.Ptr, o *uncertain.Object) error {
+		if _, ok := byID[o.ID()]; ok {
+			dups++
+		}
+		byID[o.ID()] = p
+		if o.ID() < 0 {
+			spanNeg = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dups > 0 {
+		return nil, fmt.Errorf("diskindex: %d duplicate object ids; a mutable index needs unique ids (rebuild the file)", dups)
+	}
+
+	ix.mut = &mutState{
+		wal:      wlog,
+		owned:    pf,
+		walLimit: opts.walLimit(),
+		free:     append([]pager.PageID(nil), sb.Free...),
+		tombHead: sb.TombHead, tombTail: sb.TombTail, tombCount: sb.TombCount,
+		tombPages: tombPages,
+		byID:      byID,
+		span:      sb.Span,
+		spanNeg:   spanNeg,
+		recovered: rec,
+	}
+	ix.snap.Store(&snapshot{
+		epoch: sb.Epoch, root: tree.Root(), height: tree.Height(),
+		size: tree.Len(), span: sb.Span, store: store.Clone(),
+	})
+	return ix, nil
+}
+
+// readTombChain loads the tombstone log: the set of deleted record
+// pointers, the chain's page ids, and the entry count of the tail page.
+func readTombChain(pool *pager.Pool, head pager.PageID, payload int) (map[diskstore.Ptr]struct{}, []pager.PageID, int, error) {
+	tombs := make(map[diskstore.Ptr]struct{})
+	if head == 0 {
+		return tombs, nil, 0, nil
+	}
+	per := tombPerPage(payload)
+	var pages []pager.PageID
+	seen := make(map[pager.PageID]bool)
+	tailCount := 0
+	for id := head; id != 0; {
+		if seen[id] {
+			return nil, nil, 0, fmt.Errorf("diskindex: tombstone chain loops at page %d", id)
+		}
+		seen[id] = true
+		buf, err := pool.Get(id)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		count := int(binary.LittleEndian.Uint16(buf[0:]))
+		next := pager.PageID(binary.LittleEndian.Uint32(buf[2:]))
+		if count > per {
+			pool.Unpin(id)
+			return nil, nil, 0, fmt.Errorf("diskindex: tombstone page %d claims %d entries (max %d)", id, count, per)
+		}
+		for i := 0; i < count; i++ {
+			tombs[diskstore.Ptr(binary.LittleEndian.Uint64(buf[6+8*i:]))] = struct{}{}
+		}
+		pool.Unpin(id)
+		pages = append(pages, id)
+		tailCount = count
+		id = next
+	}
+	return tombs, pages, tailCount, nil
+}
+
+func tombPerPage(payload int) int { return (payload - 6) / 8 }
+
+// --- mutations ---------------------------------------------------------------
+
+func (m *mutState) writeGate() error {
+	if m.closed {
+		return ErrClosed
+	}
+	if m.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, m.poisoned)
+	}
+	return nil
+}
+
+// Insert adds an object, mirroring the in-memory dynamic API: the
+// object's ID must be unused and its dimensionality must match. When
+// Insert returns nil the object is durable (WAL commit fsynced).
+// Searches already in flight keep the snapshot they started with;
+// searches started afterwards see the new object.
+//
+//nnc:allow ctx-flow: a write transaction must run to completion — aborting mid-commit is exactly the crash recovery exists for, so Insert takes no ctx by design
+func (ix *Index) Insert(o *uncertain.Object) error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	m := ix.mut
+	if m == nil {
+		return ErrReadOnly
+	}
+	if err := m.writeGate(); err != nil {
+		return err
+	}
+	if o.Dim() != ix.tree.Dim() {
+		return fmt.Errorf("%w: object %d has dim %d, want %d", core.ErrIndexDimMix, o.ID(), o.Dim(), ix.tree.Dim())
+	}
+	if _, dup := m.byID[o.ID()]; dup {
+		return fmt.Errorf("%w: %d", core.ErrDuplicateID, o.ID())
+	}
+
+	treeSt, storeSt, cap := ix.tree.State(), ix.store.State(), m.capture()
+	tx := newTx(ix)
+	var ptr diskstore.Ptr
+	err := func() error {
+		var err error
+		ptr, err = ix.store.AppendTx(tx, o)
+		if err != nil {
+			return err
+		}
+		if err := ix.tree.InsertTx(tx, diskrtree.Entry{Rect: o.MBR(), ID: int64(ptr)}); err != nil {
+			return err
+		}
+		switch {
+		case o.ID() < 0:
+			m.spanNeg = true
+		case !m.spanNeg && o.ID() >= m.span:
+			m.span = o.ID() + 1
+		}
+		if err := ix.store.WriteMetaTx(tx); err != nil {
+			return err
+		}
+		return ix.tree.WriteMetaTx(tx)
+	}()
+	if err == nil {
+		err = ix.commitTx(tx)
+	}
+	if err != nil {
+		ix.tree.Restore(treeSt)
+		ix.store.Restore(storeSt)
+		m.restore(cap)
+		tx.abort()
+		return err
+	}
+	m.byID[o.ID()] = ptr
+	ix.maybeCheckpoint()
+	return nil
+}
+
+// Delete removes the object with the given ID, reporting whether it was
+// present. A true/nil return means the delete is durable; concurrent
+// searches keep the snapshot they started with.
+//
+//nnc:allow ctx-flow: a write transaction must run to completion — aborting mid-commit is exactly the crash recovery exists for, so Delete takes no ctx by design
+func (ix *Index) Delete(id int) (bool, error) {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	m := ix.mut
+	if m == nil {
+		return false, ErrReadOnly
+	}
+	if err := m.writeGate(); err != nil {
+		return false, err
+	}
+	ptr, ok := m.byID[id]
+	if !ok {
+		return false, nil
+	}
+	o, err := ix.Resolve(core.ObjRef{ID: uint64(ptr)})
+	if err != nil {
+		return false, err
+	}
+
+	treeSt, storeSt, cap := ix.tree.State(), ix.store.State(), m.capture()
+	tx := newTx(ix)
+	err = func() error {
+		removed, err := ix.tree.DeleteTx(tx, diskrtree.Entry{Rect: o.MBR(), ID: int64(ptr)})
+		if err != nil {
+			return err
+		}
+		if !removed {
+			return fmt.Errorf("diskindex: object %d (ptr %d) indexed but absent from tree", id, ptr)
+		}
+		if err := ix.tombAppendTx(tx, ptr); err != nil {
+			return err
+		}
+		if err := ix.store.WriteMetaTx(tx); err != nil {
+			return err
+		}
+		return ix.tree.WriteMetaTx(tx)
+	}()
+	if err == nil {
+		err = ix.commitTx(tx)
+	}
+	if err != nil {
+		ix.tree.Restore(treeSt)
+		ix.store.Restore(storeSt)
+		m.restore(cap)
+		tx.abort()
+		return false, err
+	}
+	delete(m.byID, id)
+	ix.tombs[ptr] = struct{}{}
+	ix.maybeCheckpoint()
+	return true, nil
+}
+
+// tombAppendTx appends one deleted record pointer to the tombstone log,
+// growing the chain by a page when the tail is full. Tombstone pages are
+// updated in place (same page id): searches never read them, only Open
+// and fsck do.
+func (ix *Index) tombAppendTx(tx *Tx, ptr diskstore.Ptr) error {
+	m := ix.mut
+	per := tombPerPage(tx.PageSize())
+	if m.tombTail == 0 || m.tombCount >= per {
+		id, _, err := tx.Alloc(pager.PageMapLog)
+		if err != nil {
+			return err
+		}
+		if m.tombTail == 0 {
+			m.tombHead = id
+		} else {
+			prev, err := tx.Stage(m.tombTail, pager.PageMapLog)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(prev[2:], uint32(id))
+		}
+		m.tombPages = append(m.tombPages, id)
+		m.tombTail = id
+		m.tombCount = 0
+	}
+	buf, err := tx.Stage(m.tombTail, pager.PageMapLog)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[6+8*m.tombCount:], uint64(ptr))
+	m.tombCount++
+	binary.LittleEndian.PutUint16(buf[0:], uint16(m.tombCount))
+	return nil
+}
+
+// stageSuper stages the post-transaction super page. The persisted free
+// list is written for the post-crash world — no readers — so it includes
+// the pages still parked for snapshot drain and the ones this transaction
+// freed.
+func (ix *Index) stageSuper(tx *Tx, epoch uint64) error {
+	m := ix.mut
+	free := make([]pager.PageID, 0, len(m.free)+len(tx.recycle)+len(m.pending)+len(tx.freed))
+	free = append(free, m.free...)
+	free = append(free, tx.recycle...)
+	for _, p := range m.pending {
+		free = append(free, p.id)
+	}
+	free = append(free, tx.freed...)
+	buf, err := tx.Stage(ix.super, pager.PageSuper)
+	if err != nil {
+		return err
+	}
+	m.leakedFree += EncodeSuper(buf, SuperBlock{
+		StoreMeta: ix.store.Meta(),
+		TreeMeta:  ix.tree.Meta(),
+		Span:      m.spanValue(),
+		Epoch:     epoch,
+		TombHead:  m.tombHead,
+		TombTail:  m.tombTail,
+		TombCount: m.tombCount,
+		Free:      free,
+	})
+	return nil
+}
+
+func (ix *Index) poison(err error) error {
+	ix.mut.poisoned = err
+	return fmt.Errorf("%w: %v", ErrPoisoned, err)
+}
+
+// commitTx makes the transaction durable and publishes the new snapshot.
+// On an image-append error the caller can abort cleanly; a commit-fsync
+// or cache-install error poisons the index (see the package comment).
+func (ix *Index) commitTx(tx *Tx) error {
+	m := ix.mut
+	cur := ix.snap.Load()
+	newEpoch := cur.epoch + 1
+	if err := ix.stageSuper(tx, newEpoch); err != nil {
+		return err
+	}
+	txid := m.wal.NextTx()
+	for _, id := range tx.order {
+		sp := tx.staged[id]
+		if !sp.live {
+			continue
+		}
+		if err := m.wal.AppendPageImage(txid, id, sp.t, sp.buf); err != nil {
+			return fmt.Errorf("diskindex: wal append: %w", err)
+		}
+	}
+	if err := m.wal.AppendCommit(txid); err != nil {
+		return ix.poison(fmt.Errorf("wal commit: %w", err))
+	}
+	// Durable. Install the images and publish.
+	for _, id := range tx.order {
+		sp := tx.staged[id]
+		if !sp.live {
+			continue
+		}
+		if err := ix.pool.Put(id, sp.buf, sp.t); err != nil {
+			return ix.poison(fmt.Errorf("cache install: %w", err))
+		}
+	}
+	ns := &snapshot{
+		epoch: newEpoch, root: ix.tree.Root(), height: ix.tree.Height(),
+		size: ix.tree.Len(), span: m.spanValue(), store: ix.store.Clone(),
+	}
+	ix.snap.Store(ns)
+	m.retired = append(m.retired, cur)
+	for _, id := range tx.freed {
+		m.pending = append(m.pending, pendingFree{id: id, epoch: cur.epoch})
+	}
+	m.free = append(m.free, tx.recycle...)
+	m.reclaim(newEpoch)
+	return nil
+}
+
+// maybeCheckpoint runs a checkpoint when the WAL has outgrown its limit.
+// Best-effort: a failure leaves the WAL intact (still recoverable) and is
+// retried after the next commit.
+func (ix *Index) maybeCheckpoint() {
+	m := ix.mut
+	if m.walLimit <= 0 || m.wal.Size() < m.walLimit {
+		return
+	}
+	if err := ix.checkpointLocked(); err != nil {
+		m.ckptFails++
+	}
+}
+
+// Checkpoint flushes every committed page into the page file, fsyncs it,
+// and truncates the WAL. After a clean checkpoint the page file alone
+// holds the index.
+//
+//nnc:allow ctx-flow: Checkpoint is an offline maintenance flush, not a query; interrupting it mid-flush is the crash path recovery handles
+func (ix *Index) Checkpoint() error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	m := ix.mut
+	if m == nil {
+		return ErrReadOnly
+	}
+	if err := m.writeGate(); err != nil {
+		return err
+	}
+	return ix.checkpointLocked()
+}
+
+func (ix *Index) checkpointLocked() error {
+	m := ix.mut
+	if err := ix.pool.Flush(); err != nil {
+		return fmt.Errorf("diskindex: checkpoint flush: %w", err)
+	}
+	// The checkpoint record marks "everything ≤ txid is in the page file";
+	// the reset that follows usually removes it at once, but if the reset
+	// is interrupted the record documents the state for wal-dump and the
+	// (idempotent) recovery replay.
+	if err := m.wal.AppendCheckpoint(m.wal.LastTx()); err != nil {
+		return fmt.Errorf("diskindex: checkpoint record: %w", err)
+	}
+	if err := m.wal.Reset(); err != nil {
+		return fmt.Errorf("diskindex: wal reset: %w", err)
+	}
+	return nil
+}
+
+// Close checkpoints (unless poisoned), then closes the WAL and the page
+// file. Only valid on indexes from CreateFileMutable/OpenFileMutable.
+//
+//nnc:allow ctx-flow: Close is shutdown teardown, not a query; nothing upstream has a ctx to thread
+func (ix *Index) Close() error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	m := ix.mut
+	if m == nil {
+		return ErrReadOnly
+	}
+	if m.closed {
+		return ErrClosed
+	}
+	m.closed = true
+	var first error
+	if m.poisoned == nil {
+		first = ix.checkpointLocked()
+	}
+	if err := m.wal.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := m.owned.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// --- introspection -----------------------------------------------------------
+
+// Epoch returns the current snapshot's commit epoch (0 on a read-only
+// index that was never mutated).
+func (ix *Index) Epoch() uint64 {
+	if s := ix.snap.Load(); s != nil {
+		return s.epoch
+	}
+	return 0
+}
+
+// Mutable reports whether the index accepts Insert/Delete.
+func (ix *Index) Mutable() bool { return ix.mut != nil }
+
+// WALRecovery returns the statistics of the recovery pass OpenFileMutable
+// ran, or nil (fresh create / read-only index).
+func (ix *Index) WALRecovery() *wal.RecoveryStats {
+	if ix.mut == nil {
+		return nil
+	}
+	return ix.mut.recovered
+}
+
+// WALSize returns the WAL's current valid length in bytes.
+func (ix *Index) WALSize() int64 {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.mut == nil {
+		return 0
+	}
+	return ix.mut.wal.Size()
+}
+
+// LeakedFreePages counts free-list entries dropped because the super
+// page's free list overflowed; `nncdisk rewrite` reclaims the space.
+func (ix *Index) LeakedFreePages() int {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.mut == nil {
+		return 0
+	}
+	return ix.mut.leakedFree
+}

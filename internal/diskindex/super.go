@@ -1,0 +1,125 @@
+package diskindex
+
+// Super page, format v2. The v1 layout (magic, metadata page ids, dense
+// id span) occupied bytes [0, 20) and left the rest of the page zero, so
+// the mutable-index fields appended here decode as benign zero values on
+// every pre-existing file: epoch 0, no tombstone log, an empty free list.
+//
+//	0  "SDIX"
+//	4  store meta page u32
+//	8  tree meta page  u32
+//	12 dense id span   u64
+//	20 epoch           u64   (commit counter; 0 = never mutated)
+//	28 tombstone head  u32   (first tombstone-log page, 0 = none)
+//	32 tombstone tail  u32   (last chain page, append target)
+//	36 tombstone count u32   (entries used in the tail page)
+//	40 free count      u32
+//	44 free page ids   u32 × free count
+//
+// The free list caps at the page's remaining capacity; a transaction
+// whose free set would overflow drops the excess ids (they leak until
+// `nncdisk rewrite` compacts the file) and counts them, preferring a
+// bounded leak over an unbounded on-disk structure for what is, by
+// construction, a short list between checkpoints.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spatialdom/internal/pager"
+)
+
+// superFixed is the byte offset where the free list begins.
+const superFixed = 44
+
+// SuperBlock is the decoded super page.
+type SuperBlock struct {
+	StoreMeta pager.PageID
+	TreeMeta  pager.PageID
+	Span      int
+	Epoch     uint64
+	TombHead  pager.PageID
+	TombTail  pager.PageID
+	TombCount int
+	Free      []pager.PageID
+}
+
+// FreeListCap returns how many free page ids a super page of the given
+// payload size can hold.
+func FreeListCap(pageSize int) int { return (pageSize - superFixed) / 4 }
+
+// DecodeSuper validates and decodes a full super-page image. Malformed
+// input yields an error wrapping ErrBadSuper — never a panic.
+func DecodeSuper(buf []byte) (SuperBlock, error) {
+	var sb SuperBlock
+	if len(buf) < superFixed {
+		return sb, fmt.Errorf("%w: %d-byte page too short", ErrBadSuper, len(buf))
+	}
+	if string(buf[:4]) != superMagic {
+		return sb, ErrBadSuper
+	}
+	sb.StoreMeta = pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
+	sb.TreeMeta = pager.PageID(binary.LittleEndian.Uint32(buf[8:]))
+	rawSpan := binary.LittleEndian.Uint64(buf[12:])
+	if sb.StoreMeta == 0 || sb.TreeMeta == 0 || sb.StoreMeta == sb.TreeMeta {
+		return sb, fmt.Errorf("%w: metadata pages store=%d tree=%d", ErrBadSuper, sb.StoreMeta, sb.TreeMeta)
+	}
+	const maxSpan = 1 << 40 // plausibility bound well beyond any real dataset
+	if rawSpan > maxSpan {
+		return sb, fmt.Errorf("%w: implausible id span %d", ErrBadSuper, rawSpan)
+	}
+	sb.Span = int(rawSpan)
+	sb.Epoch = binary.LittleEndian.Uint64(buf[20:])
+	sb.TombHead = pager.PageID(binary.LittleEndian.Uint32(buf[28:]))
+	sb.TombTail = pager.PageID(binary.LittleEndian.Uint32(buf[32:]))
+	sb.TombCount = int(binary.LittleEndian.Uint32(buf[36:]))
+	if (sb.TombHead == 0) != (sb.TombTail == 0) {
+		return sb, fmt.Errorf("%w: tombstone chain head=%d tail=%d", ErrBadSuper, sb.TombHead, sb.TombTail)
+	}
+	if sb.TombHead == 0 && sb.TombCount != 0 {
+		return sb, fmt.Errorf("%w: %d tombstone entries without a chain", ErrBadSuper, sb.TombCount)
+	}
+	nfree := int(binary.LittleEndian.Uint32(buf[40:]))
+	if nfree > (len(buf)-superFixed)/4 {
+		return sb, fmt.Errorf("%w: free list of %d overflows page", ErrBadSuper, nfree)
+	}
+	if nfree > 0 {
+		sb.Free = make([]pager.PageID, nfree)
+		for i := range sb.Free {
+			id := pager.PageID(binary.LittleEndian.Uint32(buf[superFixed+4*i:]))
+			if id <= SuperPageID {
+				return sb, fmt.Errorf("%w: free list holds reserved page %d", ErrBadSuper, id)
+			}
+			sb.Free[i] = id
+		}
+	}
+	return sb, nil
+}
+
+// EncodeSuper serializes sb into a super-page image, zeroing the tail.
+// Free ids beyond the page's capacity are dropped; the count of dropped
+// ids is returned so the caller can account the leak.
+func EncodeSuper(buf []byte, sb SuperBlock) int {
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf, superMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(sb.StoreMeta))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(sb.TreeMeta))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(sb.Span))
+	binary.LittleEndian.PutUint64(buf[20:], sb.Epoch)
+	binary.LittleEndian.PutUint32(buf[28:], uint32(sb.TombHead))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(sb.TombTail))
+	binary.LittleEndian.PutUint32(buf[36:], uint32(sb.TombCount))
+	free := sb.Free
+	dropped := 0
+	if cap := (len(buf) - superFixed) / 4; len(free) > cap {
+		dropped = len(free) - cap
+		free = free[:cap]
+	}
+	binary.LittleEndian.PutUint32(buf[40:], uint32(len(free)))
+	for i, id := range free {
+		binary.LittleEndian.PutUint32(buf[superFixed+4*i:], uint32(id))
+	}
+	return dropped
+}

@@ -1,0 +1,167 @@
+package diskindex
+
+// Tx is the write transaction: the pager.TxPager the R-tree and object
+// store mutate through. Every page write is staged in a private buffer;
+// until commitTx runs, nothing reaches the WAL, the buffer pool or the
+// page file, so aborting a transaction is pure bookkeeping — restore the
+// structures' in-memory headers and hand the popped free-list pages back.
+//
+// A Tx lives entirely under the index's write mutex; none of this is
+// concurrency-safe on its own.
+
+import (
+	"fmt"
+
+	"spatialdom/internal/pager"
+)
+
+type stagedPage struct {
+	buf []byte
+	t   pager.PageType
+	// live is cleared when the transaction frees its own staged page: the
+	// image must then be neither logged nor installed.
+	live bool
+}
+
+// Tx implements pager.TxPager over the index's committed pages.
+type Tx struct {
+	ix     *Index
+	staged map[pager.PageID]*stagedPage
+	order  []pager.PageID // staging order, the WAL append order
+	reads  map[pager.PageID][]byte
+	owned  map[pager.PageID]bool
+
+	popped  []pager.PageID // taken off the index free list by Alloc
+	grown   []pager.PageID // appended to the page file by Alloc
+	recycle []pager.PageID // owned pages freed again, reusable immediately
+	freed   []pager.PageID // committed pages freed: reclaim after drain
+}
+
+var _ pager.TxPager = (*Tx)(nil)
+
+func newTx(ix *Index) *Tx {
+	return &Tx{
+		ix:     ix,
+		staged: make(map[pager.PageID]*stagedPage),
+		reads:  make(map[pager.PageID][]byte),
+		owned:  make(map[pager.PageID]bool),
+	}
+}
+
+// PageSize returns the page payload size.
+func (tx *Tx) PageSize() int { return tx.ix.pool.File().PageSize() }
+
+// Owned reports whether the transaction allocated page id itself.
+func (tx *Tx) Owned(id pager.PageID) bool { return tx.owned[id] }
+
+// committedCopy reads page id from the buffer pool into a private buffer.
+func (tx *Tx) committedCopy(id pager.PageID) ([]byte, error) {
+	if buf, ok := tx.reads[id]; ok {
+		return buf, nil
+	}
+	src, err := tx.ix.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, len(src))
+	copy(buf, src)
+	tx.ix.pool.Unpin(id)
+	tx.reads[id] = buf
+	return buf, nil
+}
+
+// Read returns the staged copy when present, else a private copy of the
+// committed page.
+//
+//nnc:allow ctx-flow: Tx implements pager.TxPager, which is ctx-free by design — a single-writer transaction is never cancelled mid-flight, only committed or aborted
+func (tx *Tx) Read(id pager.PageID) ([]byte, error) {
+	if sp, ok := tx.staged[id]; ok && sp.live {
+		return sp.buf, nil
+	}
+	return tx.committedCopy(id)
+}
+
+// Stage returns the writable staged copy of page id, creating it from the
+// committed content on first touch.
+//
+//nnc:allow ctx-flow: Tx implements pager.TxPager, which is ctx-free by design — a single-writer transaction is never cancelled mid-flight, only committed or aborted
+func (tx *Tx) Stage(id pager.PageID, t pager.PageType) ([]byte, error) {
+	if sp, ok := tx.staged[id]; ok {
+		if !sp.live {
+			return nil, fmt.Errorf("diskindex: tx stages freed page %d", id)
+		}
+		return sp.buf, nil
+	}
+	buf, err := tx.committedCopy(id)
+	if err != nil {
+		return nil, err
+	}
+	tx.staged[id] = &stagedPage{buf: buf, t: t, live: true}
+	tx.order = append(tx.order, id)
+	return buf, nil
+}
+
+// Alloc returns a fresh zeroed staged page: a page the transaction itself
+// freed earlier, else one off the index free list (pages whose last
+// reader has drained), else a page appended to the file. File growth
+// before commit is crash-safe — a grown page is unreachable from every
+// committed root, and the file header's page count only persists on Sync.
+//
+//nnc:allow ctx-flow: Tx implements pager.TxPager, which is ctx-free by design — a single-writer transaction is never cancelled mid-flight, only committed or aborted
+func (tx *Tx) Alloc(t pager.PageType) (pager.PageID, []byte, error) {
+	ps := tx.PageSize()
+	if n := len(tx.recycle); n > 0 {
+		id := tx.recycle[n-1]
+		tx.recycle = tx.recycle[:n-1]
+		sp := tx.staged[id]
+		for i := range sp.buf {
+			sp.buf[i] = 0
+		}
+		sp.t = t
+		sp.live = true
+		return id, sp.buf, nil
+	}
+	m := tx.ix.mut
+	var id pager.PageID
+	if n := len(m.free); n > 0 {
+		id = m.free[n-1]
+		m.free = m.free[:n-1]
+		tx.popped = append(tx.popped, id)
+	} else {
+		nid, _, err := tx.ix.pool.Allocate(t)
+		if err != nil {
+			return pager.InvalidPage, nil, err
+		}
+		tx.ix.pool.Unpin(nid)
+		id = nid
+		tx.grown = append(tx.grown, id)
+	}
+	tx.owned[id] = true
+	sp := &stagedPage{buf: make([]byte, ps), t: t, live: true}
+	tx.staged[id] = sp
+	tx.order = append(tx.order, id)
+	return id, sp.buf, nil
+}
+
+// Free marks page id unreachable from the post-transaction state. An
+// owned page never committed, so it is reusable at once; a committed page
+// waits for every snapshot that can still reach it to drain.
+func (tx *Tx) Free(id pager.PageID) {
+	if sp, ok := tx.staged[id]; ok {
+		sp.live = false
+	}
+	if tx.owned[id] {
+		tx.recycle = append(tx.recycle, id)
+		return
+	}
+	tx.freed = append(tx.freed, id)
+}
+
+// abort hands the pages Alloc consumed back to the index free list: the
+// popped ones were committed-free before, and the grown ones exist in the
+// file but are unreachable from every committed root.
+func (tx *Tx) abort() {
+	m := tx.ix.mut
+	m.free = append(m.free, tx.popped...)
+	m.free = append(m.free, tx.grown...)
+}

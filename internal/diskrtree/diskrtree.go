@@ -153,7 +153,7 @@ func Open(pool *pager.Pool, meta pager.PageID) (*Tree, error) {
 		size:   int(binary.LittleEndian.Uint64(buf[8:])),
 		root:   pager.PageID(binary.LittleEndian.Uint32(buf[16:])),
 	}
-	if t.dim < 1 || t.dim > maxDim || t.height < 1 || t.size < 1 || t.root == 0 {
+	if t.dim < 1 || t.dim > maxDim || t.height < 1 || t.size < 0 || t.root == 0 {
 		return nil, fmt.Errorf("%w: dim=%d height=%d size=%d root=%d",
 			ErrBadMeta, t.dim, t.height, t.size, t.root)
 	}
@@ -311,36 +311,48 @@ func (t *Tree) writeNode(leaf bool, rects []geom.Rect, kids []pager.PageID, ids 
 		return pager.InvalidPage, err
 	}
 	defer t.pool.Unpin(page)
-	if leaf {
+	if err := EncodeNode(buf, t.dim, &Node{Leaf: leaf, Rects: rects, Children: kids, IDs: ids}); err != nil {
+		return pager.InvalidPage, err
+	}
+	t.pool.MarkDirty(page)
+	return page, nil
+}
+
+// EncodeNode serializes a node into a page payload buffer — the inverse
+// of DecodeNode, shared by the bulk loader and the transactional mutation
+// path.
+func EncodeNode(buf []byte, dim int, n *Node) error {
+	entry := 16*dim + 8
+	if 3+len(n.Rects)*entry > len(buf) {
+		return fmt.Errorf("diskrtree: node overflow (%d entries of %d bytes > %d-byte page)",
+			len(n.Rects), entry, len(buf))
+	}
+	if n.Leaf {
 		buf[0] = 1
 	} else {
 		buf[0] = 0
 	}
-	binary.LittleEndian.PutUint16(buf[1:], uint16(len(rects)))
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.Rects)))
 	off := 3
-	for i, r := range rects {
-		for j := 0; j < t.dim; j++ {
+	for i, r := range n.Rects {
+		for j := 0; j < dim; j++ {
 			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(r.Lo[j]))
 			off += 8
 		}
-		for j := 0; j < t.dim; j++ {
+		for j := 0; j < dim; j++ {
 			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(r.Hi[j]))
 			off += 8
 		}
 		var ref uint64
-		if leaf {
-			ref = uint64(ids[i])
+		if n.Leaf {
+			ref = uint64(n.IDs[i])
 		} else {
-			ref = uint64(kids[i])
+			ref = uint64(n.Children[i])
 		}
 		binary.LittleEndian.PutUint64(buf[off:], ref)
 		off += 8
 	}
-	if off > len(buf) {
-		return pager.InvalidPage, fmt.Errorf("diskrtree: node overflow (%d > %d)", off, len(buf))
-	}
-	t.pool.MarkDirty(page)
-	return page, nil
+	return nil
 }
 
 // ReadNode materializes the node stored at the given page. Each call is
@@ -383,7 +395,10 @@ func DecodeNode(buf []byte, dim int) (*Node, error) {
 	}
 	leaf := buf[0] == 1
 	count := int(binary.LittleEndian.Uint16(buf[1:]))
-	if count < 1 {
+	if count < 1 && !leaf {
+		// Internal nodes always have at least one child. A leaf with zero
+		// entries is legal in exactly one place — the root of an empty
+		// mutable tree — and decodes to an entry-less node.
 		return nil, fmt.Errorf("%w: empty node", ErrCorruptNode)
 	}
 	entry := 16*dim + 8

@@ -26,16 +26,34 @@ const metaMagic = "SDST"
 // Ptr addresses a record by its logical stream offset.
 type Ptr uint64
 
-// Store is an append-only object heap over a buffer pool. Appends must not
-// be interleaved with other allocations on the same file (data pages must
-// stay contiguous); build the store fully before building other structures.
+// Store is an append-only object heap over a buffer pool. Bulk-build
+// appends (Append) require data pages to stay contiguous — build the
+// store fully before building other structures. Transactional appends
+// (AppendTx) lift that restriction by maintaining an explicit page
+// directory, so a mutable index can interleave heap growth with R-tree
+// page allocation.
+//
+// A Store handle is single-writer. Readers run against an immutable
+// Clone taken at snapshot-install time: the writer never mutates a dir
+// slot a clone can see (tail-page rewrites copy the directory first),
+// so concurrent ReadVia through a clone is race-free by construction.
 type Store struct {
 	pool  *pager.Pool
 	meta  pager.PageID
 	first pager.PageID // first data page (0 until the first append)
 	pages int          // number of data pages
 	tail  uint64       // logical length in bytes
-	count int          // number of records
+	count int          // number of records ever appended (deletes don't decrement)
+
+	// dir maps data-page index to page id once the store has gone
+	// through a transactional append; nil means the legacy contiguous
+	// layout [first, first+pages). dirPages is the on-disk chain holding
+	// it; dirtyFrom is the first directory index whose persisted form is
+	// stale (len(dir)+1 when none).
+	dir       []pager.PageID
+	dirPages  []pager.PageID
+	dirHead   pager.PageID
+	dirtyFrom int
 }
 
 // ErrBadMeta is returned by Open on a non-store meta page.
@@ -75,18 +93,66 @@ func Open(pool *pager.Pool, meta pager.PageID) (*Store, error) {
 		return nil, ErrBadMeta
 	}
 	s := &Store{
-		pool:  pool,
-		meta:  meta,
-		first: pager.PageID(binary.LittleEndian.Uint32(buf[4:])),
-		pages: int(binary.LittleEndian.Uint32(buf[8:])),
-		tail:  binary.LittleEndian.Uint64(buf[12:]),
-		count: int(binary.LittleEndian.Uint32(buf[20:])),
+		pool:    pool,
+		meta:    meta,
+		first:   pager.PageID(binary.LittleEndian.Uint32(buf[4:])),
+		pages:   int(binary.LittleEndian.Uint32(buf[8:])),
+		tail:    binary.LittleEndian.Uint64(buf[12:]),
+		count:   int(binary.LittleEndian.Uint32(buf[20:])),
+		dirHead: pager.PageID(binary.LittleEndian.Uint32(buf[24:])),
 	}
 	ps := uint64(pool.File().PageSize())
-	if s.tail > uint64(s.pages)*ps || (s.pages > 0 && s.first == 0) || s.count < 0 {
+	if s.tail > uint64(s.pages)*ps || (s.pages > 0 && s.first == 0 && s.dirHead == 0) || s.count < 0 {
 		return nil, fmt.Errorf("%w: tail %d beyond %d data pages", ErrBadMeta, s.tail, s.pages)
 	}
+	if s.dirHead != 0 {
+		if err := s.readDir(); err != nil {
+			return nil, err
+		}
+	}
+	s.dirtyFrom = s.pages + 1
 	return s, nil
+}
+
+// dirPerPage is the directory entries one chain page holds.
+func (s *Store) dirPerPage() int { return (s.pool.File().PageSize() - 6) / 4 }
+
+// readDir walks the on-disk directory chain into s.dir/s.dirPages.
+func (s *Store) readDir() error {
+	per := s.dirPerPage()
+	seen := make(map[pager.PageID]bool)
+	next := s.dirHead
+	for next != 0 {
+		if seen[next] {
+			return fmt.Errorf("%w: directory chain loops at page %d", ErrBadMeta, next)
+		}
+		seen[next] = true
+		buf, err := s.pool.Get(next)
+		if err != nil {
+			return err
+		}
+		count := int(binary.LittleEndian.Uint16(buf[0:]))
+		link := pager.PageID(binary.LittleEndian.Uint32(buf[2:]))
+		if count > per {
+			s.pool.Unpin(next)
+			return fmt.Errorf("%w: directory page %d declares %d entries (max %d)", ErrBadMeta, next, count, per)
+		}
+		for i := 0; i < count; i++ {
+			id := pager.PageID(binary.LittleEndian.Uint32(buf[6+4*i:]))
+			if id == 0 {
+				s.pool.Unpin(next)
+				return fmt.Errorf("%w: directory page %d holds invalid page id", ErrBadMeta, next)
+			}
+			s.dir = append(s.dir, id)
+		}
+		s.pool.Unpin(next)
+		s.dirPages = append(s.dirPages, next)
+		next = link
+	}
+	if len(s.dir) != s.pages {
+		return fmt.Errorf("%w: directory holds %d pages, meta declares %d", ErrBadMeta, len(s.dir), s.pages)
+	}
+	return nil
 }
 
 func (s *Store) writeMeta() error {
@@ -95,13 +161,18 @@ func (s *Store) writeMeta() error {
 		return err
 	}
 	defer s.pool.Unpin(s.meta)
+	s.encodeMeta(buf)
+	s.pool.MarkDirty(s.meta)
+	return nil
+}
+
+func (s *Store) encodeMeta(buf []byte) {
 	copy(buf, metaMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(s.first))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(s.pages))
 	binary.LittleEndian.PutUint64(buf[12:], s.tail)
 	binary.LittleEndian.PutUint32(buf[20:], uint32(s.count))
-	s.pool.MarkDirty(s.meta)
-	return nil
+	binary.LittleEndian.PutUint32(buf[24:], uint32(s.dirHead))
 }
 
 // Meta returns the store's meta page id.
@@ -271,11 +342,15 @@ func encode(o *uncertain.Object) []byte {
 }
 
 // page returns the page id holding logical offset off, extending the data
-// area when extend is set.
+// area when extend is set (bulk-build path: pages must come out
+// contiguous; transactional appends grow through AppendTx instead).
 func (s *Store) page(off uint64, extend bool) (pager.PageID, int, error) {
 	ps := uint64(s.pool.File().PageSize())
 	idx := int(off / ps)
 	for extend && idx >= s.pages {
+		if s.dir != nil {
+			return pager.InvalidPage, 0, errors.New("diskstore: bulk append on a directory-backed store")
+		}
 		id, _, err := s.pool.Allocate(pager.PageStoreData)
 		if err != nil {
 			return pager.InvalidPage, 0, err
@@ -290,6 +365,9 @@ func (s *Store) page(off uint64, extend bool) (pager.PageID, int, error) {
 	}
 	if idx >= s.pages {
 		return pager.InvalidPage, 0, fmt.Errorf("diskstore: offset %d beyond data area", off)
+	}
+	if s.dir != nil {
+		return s.dir[idx], int(off % ps), nil
 	}
 	return s.first + pager.PageID(idx), int(off % ps), nil
 }

@@ -1,0 +1,256 @@
+package diskstore
+
+// Transactional appends for the mutable disk index. AppendTx writes a
+// record through a pager.TxPager instead of the pool, so nothing touches
+// the WAL, the cache or the file until the surrounding transaction
+// commits. Two disciplines make concurrent readers safe without locks:
+//
+//   - Data pages are copy-on-write: extending the partially-filled tail
+//     page re-encodes it into a fresh page and frees the old one, so a
+//     reader pinned to the pre-transaction snapshot keeps reading the
+//     old page's bytes. (In-place extension would be value-identical for
+//     the bytes the old snapshot can reach, but the commit-time cache
+//     install copies the whole page — a write the race detector rightly
+//     flags.)
+//
+//   - The page directory is persistent-in-memory: appends grow the dir
+//     slice (shared backing stays valid for clones, which never index
+//     past their own length), and rewriting an existing slot copies the
+//     slice first. A Clone taken at snapshot install is therefore
+//     immutable for free.
+//
+// Record pointers are logical stream offsets and the stream only grows,
+// so a Ptr is valid forever — deleted records simply become unreferenced
+// garbage between live ones (reclaimed by `nncdisk rewrite`). That
+// immutability is what lets the decoded-object cache stay keyed by Ptr
+// across epochs with no invalidation protocol.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spatialdom/internal/pager"
+	"spatialdom/internal/uncertain"
+)
+
+// Clone returns an immutable snapshot view of the store for concurrent
+// readers. Shallow copy is sufficient: the writer never overwrites a dir
+// slot this clone can see, and tail/count only grow on the writer's copy.
+func (s *Store) Clone() *Store {
+	c := *s
+	return &c
+}
+
+// State captures the store's mutable header for transaction rollback.
+type State struct {
+	First     pager.PageID
+	Pages     int
+	Tail      uint64
+	Count     int
+	Dir       []pager.PageID
+	DirPages  []pager.PageID
+	DirHead   pager.PageID
+	DirtyFrom int
+}
+
+// State snapshots the mutable fields.
+func (s *Store) State() State {
+	return State{
+		First: s.first, Pages: s.pages, Tail: s.tail, Count: s.count,
+		Dir: s.dir, DirPages: s.dirPages, DirHead: s.dirHead, DirtyFrom: s.dirtyFrom,
+	}
+}
+
+// Restore rolls the mutable fields back to a captured State.
+func (s *Store) Restore(st State) {
+	s.first, s.pages, s.tail, s.count = st.First, st.Pages, st.Tail, st.Count
+	s.dir, s.dirPages, s.dirHead, s.dirtyFrom = st.Dir, st.DirPages, st.DirHead, st.DirtyFrom
+}
+
+// DataPages returns the ids of the store's data pages in stream order —
+// the reachability set fsck walks.
+func (s *Store) DataPages() []pager.PageID {
+	out := make([]pager.PageID, s.pages)
+	for i := range out {
+		if s.dir != nil {
+			out[i] = s.dir[i]
+		} else {
+			out[i] = s.first + pager.PageID(i)
+		}
+	}
+	return out
+}
+
+// DirPages returns the ids of the directory chain pages (empty for the
+// contiguous layout).
+func (s *Store) DirPages() []pager.PageID {
+	out := make([]pager.PageID, len(s.dirPages))
+	copy(out, s.dirPages)
+	return out
+}
+
+// Tail returns the logical stream length in bytes.
+func (s *Store) Tail() uint64 { return s.tail }
+
+// AppendTx serializes the object into the staged page set of the
+// surrounding transaction and returns its record pointer. The partially
+// filled tail page, if extended, is copy-on-written; fresh data pages
+// come from the transaction's allocator.
+func (s *Store) AppendTx(tx pager.TxPager, o *uncertain.Object) (Ptr, error) {
+	rec := encode(o)
+	ptr := Ptr(s.tail)
+	ps := uint64(tx.PageSize())
+
+	// Ensure the directory exists: copy-on-write of the tail page (and
+	// any later reopen) needs explicit page ids.
+	if s.dir == nil && s.pages > 0 {
+		s.dir = make([]pager.PageID, s.pages)
+		for i := range s.dir {
+			s.dir[i] = s.first + pager.PageID(i)
+		}
+		s.dirtyFrom = 0
+	}
+
+	off := s.tail
+	data := rec
+	for len(data) > 0 {
+		idx := int(off / ps)
+		inPage := int(off % ps)
+		var buf []byte
+		switch {
+		case idx < s.pages && inPage > 0:
+			// Extending the partially filled tail page: copy-on-write
+			// unless this transaction already owns it.
+			old := s.dir[idx]
+			if tx.Owned(old) {
+				b, err := tx.Stage(old, pager.PageStoreData)
+				if err != nil {
+					return 0, err
+				}
+				buf = b
+			} else {
+				id, b, err := tx.Alloc(pager.PageStoreData)
+				if err != nil {
+					return 0, err
+				}
+				prev, err := tx.Read(old)
+				if err != nil {
+					return 0, err
+				}
+				copy(b[:inPage], prev[:inPage])
+				s.setDirEntry(idx, id)
+				tx.Free(old)
+				buf = b
+			}
+		case idx < s.pages:
+			// A write at offset 0 of an existing page would mean the tail
+			// sits at or before that page's start — impossible while tail
+			// and the page count agree.
+			return 0, fmt.Errorf("diskstore: append offset %d inside committed page %d", off, idx)
+		default:
+			id, b, err := tx.Alloc(pager.PageStoreData)
+			if err != nil {
+				return 0, err
+			}
+			s.dir = append(s.dir, id)
+			if s.dirtyFrom > idx {
+				s.dirtyFrom = idx
+			}
+			s.pages++
+			if s.pages == 1 {
+				s.first = id
+			}
+			buf = b
+		}
+		n := copy(buf[inPage:], data)
+		data = data[n:]
+		off += uint64(n)
+	}
+	s.tail = off
+	s.count++
+	if err := s.syncDirTx(tx); err != nil {
+		return 0, err
+	}
+	return ptr, nil
+}
+
+// setDirEntry rewrites one directory slot, copying the slice first so
+// reader clones sharing the old backing never observe the change.
+func (s *Store) setDirEntry(i int, id pager.PageID) {
+	nd := make([]pager.PageID, len(s.dir))
+	copy(nd, s.dir)
+	nd[i] = id
+	s.dir = nd
+	if s.dirtyFrom > i {
+		s.dirtyFrom = i
+	}
+}
+
+// syncDirTx re-persists every directory chain page covering entries at or
+// past dirtyFrom, allocating chain pages as the directory grows. Chain
+// pages are updated in place (no copy-on-write): readers never touch the
+// directory mid-search — they carry the decoded dir slice in their
+// snapshot's store clone.
+func (s *Store) syncDirTx(tx pager.TxPager) error {
+	if s.dirtyFrom > len(s.dir) {
+		return nil
+	}
+	per := s.dirPerPage()
+	needPages := (len(s.dir) + per - 1) / per
+	for len(s.dirPages) < needPages {
+		id, _, err := tx.Alloc(pager.PageStoreDir)
+		if err != nil {
+			return err
+		}
+		if len(s.dirPages) == 0 {
+			s.dirHead = id
+		} else {
+			// Link from the previous tail.
+			prev := s.dirPages[len(s.dirPages)-1]
+			pb, err := tx.Stage(prev, pager.PageStoreDir)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(pb[2:], uint32(id))
+		}
+		s.dirPages = append(s.dirPages, id)
+	}
+	for p := s.dirtyFrom / per; p < needPages; p++ {
+		buf, err := tx.Stage(s.dirPages[p], pager.PageStoreDir)
+		if err != nil {
+			return err
+		}
+		lo := p * per
+		hi := lo + per
+		if hi > len(s.dir) {
+			hi = len(s.dir)
+		}
+		binary.LittleEndian.PutUint16(buf[0:], uint16(hi-lo))
+		var next pager.PageID
+		if p+1 < len(s.dirPages) {
+			next = s.dirPages[p+1]
+		}
+		binary.LittleEndian.PutUint32(buf[2:], uint32(next))
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint32(buf[6+4*(i-lo):], uint32(s.dir[i]))
+		}
+	}
+	s.dirtyFrom = len(s.dir) + 1
+	return nil
+}
+
+// WriteMetaTx stages the store's meta page with its current header — the
+// transaction-side counterpart of writeMeta.
+func (s *Store) WriteMetaTx(tx pager.TxPager) error {
+	buf, err := tx.Stage(s.meta, pager.PageStoreMeta)
+	if err != nil {
+		return err
+	}
+	s.encodeMeta(buf)
+	return nil
+}
+
+// ReadAtVia exposes raw stream reads for fsck's record-chain walk.
+func (s *Store) ReadAtVia(r pager.Reader, off uint64, data []byte) error {
+	return s.readAtVia(r, off, data)
+}

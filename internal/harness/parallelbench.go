@@ -27,12 +27,16 @@ type BackendSweep struct {
 // single-core box every point degenerates to ~1×, and only a multi-core
 // reading demonstrates scaling.
 type ParallelReport struct {
-	Scale      string         `json:"scale"`
-	Seed       int64          `json:"seed"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Queries    int            `json:"queries"`
-	Operator   string         `json:"operator"`
-	Backends   []BackendSweep `json:"backends"`
+	Scale      string `json:"scale"`
+	Seed       int64  `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// ForcedSingleProc marks an artifact recorded on a single-core box
+	// with -force: the speedup column is meaningless there (ceiling 1×)
+	// and must not be read as a scaling regression.
+	ForcedSingleProc bool           `json:"forced_single_proc,omitempty"`
+	Queries          int            `json:"queries"`
+	Operator         string         `json:"operator"`
+	Backends         []BackendSweep `json:"backends"`
 }
 
 // replicateQueries tiles the workload up to at least want queries so each

@@ -70,3 +70,30 @@ func (s *store) BranchLocal(ok bool) {
 func (s *store) FallsOffEnd() {
 	s.mu.Lock()
 } //wantlint lock-balance: function end reached
+
+// The WAL writer methods stand in for internal/wal's Log appends: each
+// one fsyncs, so holding a lock across them serializes every commit.
+func (file) AppendPageImage(tx uint64, id int, p []byte) error { return nil }
+func (file) AppendCommit(tx uint64) error                      { return nil }
+func (file) AppendCheckpoint(tx uint64) error                  { return nil }
+
+func (s *store) WALImageUnderLock(p []byte) error {
+	s.mu.Lock()
+	err := s.f.AppendPageImage(1, 2, p) //wantlint lock-balance: while s.mu is held
+	s.mu.Unlock()
+	return err
+}
+
+func (s *store) WALCommitUnderRLock() error {
+	s.mu.RLock()
+	err := s.f.AppendCommit(1) //wantlint lock-balance: while s.mu is held
+	s.mu.RUnlock()
+	return err
+}
+
+func (s *store) WALCheckpointAfterUnlock() error {
+	s.mu.Lock()
+	tx := uint64(7)
+	s.mu.Unlock()
+	return s.f.AppendCheckpoint(tx) // lock released before the fsync: clean
+}

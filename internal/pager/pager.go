@@ -85,6 +85,8 @@ const (
 	PageStoreData
 	PageTreeMeta
 	PageTreeNode
+	PageStoreDir
+	PageMapLog
 )
 
 // String names the page type for reports.
@@ -104,6 +106,10 @@ func (t PageType) String() string {
 		return "tree-meta"
 	case PageTreeNode:
 		return "tree-node"
+	case PageStoreDir:
+		return "store-dir"
+	case PageMapLog:
+		return "map-log"
 	}
 	return "invalid"
 }
@@ -456,6 +462,39 @@ func (pf *PageFile) Allocate(t PageType) (PageID, error) {
 	pf.pages.Add(1)
 	pf.writes.Add(1)
 	return id, nil
+}
+
+// EnsurePages grows the file until it holds at least n pages (including
+// the header page), appending zeroed pages tagged PageUnknown. WAL
+// recovery uses it: a crash can commit page images for pages the header's
+// count never recorded, and replay must be able to land them.
+func (pf *PageFile) EnsurePages(n int) error {
+	if pf.closed.Load() {
+		return ErrClosed
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if int(pf.pages.Load()) >= n {
+		return nil
+	}
+	zp := pf.getScratch()
+	defer pf.putScratch(zp)
+	zero := *zp
+	for i := range zero {
+		zero[i] = 0
+	}
+	if pf.version >= 1 {
+		pf.seal(zero, PageUnknown)
+	}
+	for int(pf.pages.Load()) < n {
+		id := PageID(pf.pages.Load())
+		if _, err := pf.f.WriteAt(zero, int64(id)*int64(pf.pageSize)); err != nil {
+			return err
+		}
+		pf.pages.Add(1)
+		pf.writes.Add(1)
+	}
+	return pf.writeHeader()
 }
 
 // ReadPage reads page id's payload into buf (len must equal PageSize),

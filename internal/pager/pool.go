@@ -3,6 +3,7 @@ package pager
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -256,6 +257,44 @@ func (sh *poolShard) victim(file *PageFile) (*frame, error) {
 	fr := &frame{buf: make([]byte, file.PageSize())}
 	fr.elem = sh.lru.PushFront(fr)
 	return fr, nil
+}
+
+// Put installs buf as the cached content of page id, marking the frame
+// dirty without touching the disk — the commit-apply path of a write
+// transaction: the WAL already holds the image durably, so the page file
+// can receive it lazily via eviction write-back or Flush. The caller
+// must guarantee no concurrent reader dereferences the page's buffer
+// while Put copies into it (the mutable index's copy-on-write discipline:
+// a committed transaction only ever Puts pages that live searches cannot
+// reach from their snapshot root).
+func (p *Pool) Put(id PageID, buf []byte, t PageType) error {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[id]; ok {
+		if ch := fr.loading; ch != nil {
+			// A reader is mid-load of this page. Under the copy-on-write
+			// discipline this cannot happen for a page a committed write
+			// touches; refuse rather than race the loader's buffer fill.
+			return fmt.Errorf("pager: Put(%d) raced an in-flight load", id)
+		}
+		copy(fr.buf, buf)
+		fr.ptype = t
+		fr.dirty = true
+		sh.lru.MoveToFront(fr.elem)
+		return nil
+	}
+	fr, err := sh.victim(p.file)
+	if err != nil {
+		return err
+	}
+	copy(fr.buf, buf)
+	fr.id = id
+	fr.ptype = t
+	fr.dirty = true
+	fr.pins = 0
+	sh.frames[id] = fr
+	return nil
 }
 
 // MarkDirty flags a pinned page as modified.

@@ -1,0 +1,46 @@
+package pager
+
+// TxPager is the page surface a disk structure mutates through inside one
+// write transaction. The transaction stages every modified page in
+// memory; nothing reaches the WAL, the buffer pool or the page file until
+// the transaction commits, and an abort simply discards the staging area.
+// Reads see the transaction's own staged writes first (read-your-writes),
+// then the committed state.
+//
+// The mutable disk index implements TxPager (internal/diskindex); the
+// R-tree and object-store mutation paths (internal/diskrtree,
+// internal/diskstore) are written against this interface so they stay
+// ignorant of WAL framing, free-list policy and epoch bookkeeping.
+//
+// All methods are single-goroutine: a transaction belongs to the one
+// writer the index admits at a time.
+type TxPager interface {
+	// Read returns page id's payload: the staged copy when the
+	// transaction already touched it, else a private copy of the committed
+	// page. The returned buffer is stable for the transaction's lifetime
+	// but must not be mutated; use Stage for that.
+	Read(id PageID) ([]byte, error)
+
+	// Stage returns a writable staged copy of page id, creating it from
+	// the committed content on first touch. Mutations to the returned
+	// buffer are the transaction's pending write of that page.
+	Stage(id PageID, t PageType) ([]byte, error)
+
+	// Alloc returns a fresh writable page: recycled from the free list
+	// when a page's last reader epoch has drained, else appended to the
+	// file. The buffer is zeroed and staged.
+	Alloc(t PageType) (PageID, []byte, error)
+
+	// Free marks page id unreachable from the post-transaction state. The
+	// page is not reused until every search pinned to a snapshot that
+	// could still reach it has finished.
+	Free(id PageID)
+
+	// Owned reports whether page id was allocated by this transaction.
+	// Structures use it to rewrite their own fresh pages in place instead
+	// of copy-on-writing them a second time.
+	Owned(id PageID) bool
+
+	// PageSize returns the page payload size.
+	PageSize() int
+}

@@ -1,0 +1,128 @@
+package server
+
+// Mutation endpoints over the mutable disk backend:
+//
+//	POST /insert → insert one object (ObjectJSON body)
+//	POST /delete → tombstone one object by id
+//
+// Both answer 501 unless the backend implements Mutator with Mutable()
+// true — the read-only disk index and the bulk-built in-memory index
+// stay immutable over HTTP exactly as they are in the library. Each
+// accepted request is one committed WAL transaction: when the response
+// arrives the change is durable, and searches already in flight keep
+// their pinned snapshot.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// Mutator is the optional Backend capability behind POST /insert and
+// POST /delete. The mutable disk index implements it; Mutable() lets a
+// read-only handle of the same concrete type decline at runtime.
+type Mutator interface {
+	Insert(o *uncertain.Object) error
+	Delete(id int) (bool, error)
+	Mutable() bool
+}
+
+// DeleteRequest is the POST /delete body.
+type DeleteRequest struct {
+	ID int `json:"id"`
+}
+
+// MutationResponse is the POST /insert and POST /delete response body.
+type MutationResponse struct {
+	ID      int  `json:"id"`
+	Deleted bool `json:"deleted,omitempty"`
+	// Objects is the live object count after the mutation committed.
+	Objects int `json:"objects"`
+}
+
+// mutator returns the backend's mutation capability, or nil with the
+// error already written when the backend cannot mutate.
+func (s *Server) mutator(w http.ResponseWriter, r *http.Request) Mutator {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return nil
+	}
+	m, ok := s.b.(Mutator)
+	if !ok || !m.Mutable() {
+		writeError(w, http.StatusNotImplemented, errors.New("backend is read-only"))
+		return nil
+	}
+	return m
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	m := s.mutator(w, r)
+	if m == nil {
+		return
+	}
+	var req ObjectJSON
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	pts := make([]geom.Point, len(req.Instances))
+	for i, row := range req.Instances {
+		pts[i] = geom.Point(row)
+	}
+	o, err := uncertain.New(req.ID, pts, req.Probs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("building object: %w", err))
+		return
+	}
+	if req.Label != "" {
+		o.SetLabel(req.Label)
+	}
+	if s.b.Len() > 0 && o.Dim() != s.b.Dim() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("object dim %d != dataset dim %d", o.Dim(), s.b.Dim()))
+		return
+	}
+	if err := m.Insert(o); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, core.ErrDuplicateID):
+			status = http.StatusConflict
+		case errors.Is(err, core.ErrIndexDimMix):
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutationResponse{ID: o.ID(), Objects: s.b.Len()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	m := s.mutator(w, r)
+	if m == nil {
+		return
+	}
+	var req DeleteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	ok, err := m.Delete(req.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("object %d not found", req.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, MutationResponse{ID: req.ID, Deleted: true, Objects: s.b.Len()})
+}

@@ -6,6 +6,8 @@
 //	GET  /objects              → dataset summary
 //	GET  /objects/{id}         → one object
 //	POST /query                → NN candidates for a query object
+//	POST /insert               → insert one object (mutable disk backend)
+//	POST /delete               → delete one object by id (mutable disk backend)
 //
 // The query request body:
 //
@@ -95,7 +97,9 @@ type (
 	}
 )
 
-// Server is the HTTP handler set over one immutable backend.
+// Server is the HTTP handler set over one backend. Search endpoints work
+// on every backend; the mutation endpoints require the Mutator
+// capability (the mutable disk index) and answer 501 otherwise.
 type Server struct {
 	b   Backend
 	mux *http.ServeMux
@@ -123,6 +127,8 @@ func NewBackend(b Backend) *Server {
 	s.mux.HandleFunc("/objects/", s.handleObject)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("/insert", s.handleInsert)
+	s.mux.HandleFunc("/delete", s.handleDelete)
 	return s
 }
 

@@ -1,0 +1,472 @@
+// Package wal implements the write-ahead log behind the mutable disk
+// index. Every write transaction appends full page images followed by a
+// commit record; the commit append fsyncs, so a transaction is durable
+// exactly when its commit record is on stable storage. Recovery replays
+// the page images of committed transactions into the page file and
+// truncates any torn tail — a crash at any byte offset of the log yields
+// either the pre-transaction or the post-transaction state, never a
+// mixture (see DESIGN.md §2e).
+//
+// # Record grammar
+//
+// The file opens with a 16-byte header:
+//
+//	"SDWL" | version u8 | reserved u8×3 | page payload u32 | reserved u32
+//
+// followed by a sequence of records:
+//
+//	type u8 | txid u64 | plen u32 | payload [plen] | crc32c u32
+//
+// The CRC32C (Castagnoli — the same polynomial as the pager's page
+// trailers) covers the record header and payload. Record types:
+//
+//	1 page-image  payload = pageID u32 | pageType u8 | image [page payload]
+//	2 commit      payload empty; the append fsyncs before returning
+//	3 checkpoint  payload empty; all txids ≤ txid are in the page file
+//
+// A scan stops at the first record that is short, oversized, CRC-corrupt
+// or of unknown type: everything beyond that point is a torn tail from an
+// interrupted append and is truncated by recovery. Because images are
+// whole pages (physical redo), replay is idempotent — applying a
+// committed transaction twice converges to the same bytes.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"spatialdom/internal/pager"
+)
+
+// Record types.
+const (
+	RecPageImage  byte = 1
+	RecCommit     byte = 2
+	RecCheckpoint byte = 3
+)
+
+// Format constants.
+const (
+	headerSize    = 16
+	recHeaderSize = 13 // type u8 | txid u64 | plen u32
+	crcSize       = 4
+	walMagic      = "SDWL"
+	// Version is the log format version written by Open.
+	Version = 1
+)
+
+var (
+	// ErrTornTail marks a scan that stopped before EOF: the bytes past the
+	// scan end are a torn append, dropped by recovery.
+	ErrTornTail = errors.New("wal: torn tail")
+	// ErrCrash is returned by a CrashFile once its write budget is spent —
+	// the injected "process died here" signal of the kill-point sweep.
+	ErrCrash = errors.New("wal: injected crash")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// File is the backing-store surface the log writes through. *os.File
+// implements it; CrashFile wraps one to die at a chosen byte offset.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// Log is an append-only write-ahead log. A Log belongs to one writer
+// goroutine at a time (the index serializes writers on its own mutex);
+// none of its methods lock.
+type Log struct {
+	f       File
+	path    string
+	payload int   // page payload bytes carried by each page-image record
+	off     int64 // append offset = end of last valid record
+	lastTx  uint64
+	// dirtyTail records that a scan saw bytes past the valid prefix. The
+	// next append truncates them first: merely overwriting could leave a
+	// stale-but-valid old record beyond a shorter fresh one, and a later
+	// scan would replay it.
+	dirtyTail bool
+}
+
+// PageImageRecordSize returns the encoded size of one page-image record
+// for the given page payload — the unit the kill-point sweep steps by.
+func PageImageRecordSize(payload int) int64 {
+	return int64(recHeaderSize + 5 + payload + crcSize)
+}
+
+// CommitRecordSize is the encoded size of a commit (or checkpoint) record.
+const CommitRecordSize = int64(recHeaderSize + crcSize)
+
+// HeaderSize is the size of the log file header.
+const HeaderSize = int64(headerSize)
+
+// Open opens (creating if absent) the log at path. payload is the page
+// payload size of the page file the log protects; an existing log must
+// declare the same. wrap, if non-nil, intercepts the underlying file —
+// the crash-injection hook. Open does not scan records; use Scan or
+// Recover to position the log after existing content.
+func Open(path string, payload int, wrap func(*os.File) File) (*Log, error) {
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var f File = osf
+	if wrap != nil {
+		f = wrap(osf)
+	}
+	st, err := osf.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{f: f, path: path, payload: payload, off: HeaderSize}
+	if st.Size() < HeaderSize {
+		// Fresh (or torn-at-birth) log: write the header. A header torn by
+		// a crash is indistinguishable from an empty log, which is correct:
+		// no record can precede a complete header.
+		hdr := make([]byte, headerSize)
+		copy(hdr, walMagic)
+		hdr[4] = Version
+		putLE32(hdr[8:12], uint32(payload))
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: reading header: %w", err)
+	}
+	if string(hdr[:4]) != walMagic {
+		f.Close()
+		return nil, errors.New("wal: bad magic")
+	}
+	if hdr[4] > Version {
+		f.Close()
+		return nil, fmt.Errorf("wal: format version %d is newer than supported %d", hdr[4], Version)
+	}
+	if got := int(le32(hdr[8:12])); got != payload {
+		f.Close()
+		return nil, fmt.Errorf("wal: log page payload %d != page file payload %d", got, payload)
+	}
+	return l, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Size returns the append offset — the log's valid length in bytes.
+func (l *Log) Size() int64 { return l.off }
+
+// LastTx returns the highest transaction id seen (appended or scanned).
+func (l *Log) LastTx() uint64 { return l.lastTx }
+
+// NextTx reserves and returns the next transaction id.
+func (l *Log) NextTx() uint64 {
+	l.lastTx++
+	return l.lastTx
+}
+
+// Close closes the underlying file without truncating or syncing.
+func (l *Log) Close() error { return l.f.Close() }
+
+// appendRecord encodes and writes one record at the append offset,
+// truncating any torn tail left by a previous scan first.
+func (l *Log) appendRecord(typ byte, txid uint64, payload []byte) error {
+	if l.dirtyTail {
+		if err := l.f.Truncate(l.off); err != nil {
+			return fmt.Errorf("wal: truncating torn tail before append: %w", err)
+		}
+		l.dirtyTail = false
+	}
+	rec := make([]byte, recHeaderSize+len(payload)+crcSize)
+	rec[0] = typ
+	putLE64(rec[1:9], txid)
+	putLE32(rec[9:13], uint32(len(payload)))
+	copy(rec[recHeaderSize:], payload)
+	crc := crc32.Update(0, castagnoli, rec[:recHeaderSize+len(payload)])
+	putLE32(rec[recHeaderSize+len(payload):], crc)
+	if _, err := l.f.WriteAt(rec, l.off); err != nil {
+		return err
+	}
+	l.off += int64(len(rec))
+	if txid > l.lastTx {
+		l.lastTx = txid
+	}
+	return nil
+}
+
+// AppendPageImage appends the full payload image of one page under txid.
+// It does not sync: durability comes from the commit append.
+func (l *Log) AppendPageImage(txid uint64, id pager.PageID, t pager.PageType, image []byte) error {
+	if len(image) != l.payload {
+		return fmt.Errorf("wal: image size %d != page payload %d", len(image), l.payload)
+	}
+	p := make([]byte, 5+len(image))
+	putLE32(p[0:4], uint32(id))
+	p[4] = byte(t)
+	copy(p[5:], image)
+	return l.appendRecord(RecPageImage, txid, p)
+}
+
+// AppendCommit appends txid's commit record and fsyncs the log. When it
+// returns nil the transaction is durable.
+func (l *Log) AppendCommit(txid uint64) error {
+	if err := l.appendRecord(RecCommit, txid, nil); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// AppendCheckpoint records that every transaction with id ≤ txid is fully
+// applied and synced in the page file, then fsyncs.
+func (l *Log) AppendCheckpoint(txid uint64) error {
+	if err := l.appendRecord(RecCheckpoint, txid, nil); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Reset truncates the log back to its header — valid only when the page
+// file durably holds every committed transaction (after a checkpoint).
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(HeaderSize); err != nil {
+		return err
+	}
+	l.off = HeaderSize
+	l.dirtyTail = false
+	return l.f.Sync()
+}
+
+// Rec is one decoded record delivered by Scan. Image fields are only set
+// for page-image records; Image aliases a scan-internal buffer, valid
+// only during the callback.
+type Rec struct {
+	Off   int64 // file offset of the record
+	Type  byte
+	TxID  uint64
+	Page  pager.PageID
+	PType pager.PageType
+	Image []byte
+}
+
+// ScanInfo summarizes a sequential scan.
+type ScanInfo struct {
+	Records int   // valid records delivered
+	End     int64 // offset one past the last valid record
+	Torn    int64 // bytes beyond End (0 on a clean log)
+}
+
+// Scan reads every valid record in order, invoking fn for each, and stops
+// at the first torn or corrupt record. It positions the log's append
+// offset at the end of the valid prefix; the first append after a scan
+// that saw a torn tail truncates the tail before writing.
+func (l *Log) Scan(fn func(Rec) error) (*ScanInfo, error) {
+	size := fileSize(l.f)
+	info := &ScanInfo{End: HeaderSize}
+	off := HeaderSize
+	hdr := make([]byte, recHeaderSize)
+	var payload []byte
+	maxPlen := 5 + l.payload
+	for {
+		if off+int64(recHeaderSize+crcSize) > size {
+			break // not even a minimal record fits: tail
+		}
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			break
+		}
+		typ := hdr[0]
+		txid := le64(hdr[1:9])
+		plen := int(le32(hdr[9:13]))
+		if plen > maxPlen {
+			break // implausible length: corrupt header
+		}
+		switch typ {
+		case RecPageImage:
+			if plen != maxPlen {
+				typ = 0
+			}
+		case RecCommit, RecCheckpoint:
+			if plen != 0 {
+				typ = 0
+			}
+		default:
+			typ = 0
+		}
+		if typ == 0 {
+			break // unknown type or type/length mismatch
+		}
+		recLen := int64(recHeaderSize + plen + crcSize)
+		if off+recLen > size {
+			break // record runs past EOF: torn append
+		}
+		if cap(payload) < plen+crcSize {
+			payload = make([]byte, plen+crcSize)
+		}
+		body := payload[:plen+crcSize]
+		if _, err := l.f.ReadAt(body, off+int64(recHeaderSize)); err != nil {
+			break
+		}
+		crc := crc32.Update(0, castagnoli, hdr)
+		crc = crc32.Update(crc, castagnoli, body[:plen])
+		if crc != le32(body[plen:]) {
+			break // torn or corrupt record
+		}
+		r := Rec{Off: off, Type: typ, TxID: txid}
+		if typ == RecPageImage {
+			r.Page = pager.PageID(le32(body[0:4]))
+			r.PType = pager.PageType(body[4])
+			r.Image = body[5:plen]
+		}
+		if fn != nil {
+			if err := fn(r); err != nil {
+				return info, err
+			}
+		}
+		off += recLen
+		info.Records++
+		info.End = off
+		if txid > l.lastTx {
+			l.lastTx = txid
+		}
+	}
+	info.Torn = size - info.End
+	l.off = info.End
+	l.dirtyTail = info.Torn > 0
+	return info, nil
+}
+
+// RecoveryStats reports what Recover did.
+type RecoveryStats struct {
+	Records      int   // valid records scanned
+	CommittedTxs int   // transactions replayed into the page file
+	PagesApplied int   // page images written during replay
+	TornBytes    int64 // torn-tail bytes truncated
+	DroppedTxs   int   // transactions with images but no commit record
+}
+
+// Recover makes the page file consistent with the log: it scans the
+// valid record prefix, truncates any torn tail, replays the page images
+// of every committed transaction in log order (growing the page file as
+// needed), syncs the page file, and finally resets the log — at which
+// point the page file alone holds the latest committed state. Replay is
+// idempotent, so a crash during Recover is repaired by running it again.
+func Recover(l *Log, pf *pager.PageFile) (*RecoveryStats, error) {
+	// Pass 1: find the committed transaction set and the valid prefix.
+	committed := make(map[uint64]bool)
+	pending := make(map[uint64]bool)
+	info, err := l.Scan(func(r Rec) error {
+		switch r.Type {
+		case RecPageImage:
+			pending[r.TxID] = true
+		case RecCommit:
+			committed[r.TxID] = true
+			delete(pending, r.TxID)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &RecoveryStats{Records: info.Records, TornBytes: info.Torn, DroppedTxs: len(pending)}
+	if info.Torn > 0 {
+		if err := l.f.Truncate(info.End); err != nil {
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	st.CommittedTxs = len(committed)
+	if len(committed) == 0 {
+		if info.Records > 0 || info.Torn > 0 {
+			if err := l.Reset(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	// Pass 2: apply committed images in log order. Later transactions
+	// overwrite earlier images of the same page, converging on the newest
+	// committed version.
+	var applyErr error
+	_, err = l.Scan(func(r Rec) error {
+		if r.Type != RecPageImage || !committed[r.TxID] {
+			return nil
+		}
+		if need := int(r.Page) + 1; need > int(pfPages(pf)) {
+			if err := pf.EnsurePages(need); err != nil {
+				applyErr = err
+				return err
+			}
+		}
+		if err := pf.WritePage(r.Page, r.Image, r.PType); err != nil {
+			applyErr = err
+			return err
+		}
+		st.PagesApplied++
+		return nil
+	})
+	if err != nil {
+		if applyErr != nil {
+			return nil, fmt.Errorf("wal: replay: %w", applyErr)
+		}
+		return nil, err
+	}
+	if err := pf.Sync(); err != nil {
+		return nil, err
+	}
+	if err := l.Reset(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func pfPages(pf *pager.PageFile) int { return pf.Len() + 1 }
+
+func fileSize(f File) int64 {
+	type sizer interface{ Stat() (os.FileInfo, error) }
+	if s, ok := f.(sizer); ok {
+		if st, err := s.Stat(); err == nil {
+			return st.Size()
+		}
+	}
+	// Fall back to probing: binary-search is overkill for a log; read in
+	// growing steps until a read comes back short.
+	var size int64
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := f.ReadAt(buf, size)
+		size += int64(n)
+		if err != nil || n < len(buf) {
+			return size
+		}
+	}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putLE64(b []byte, v uint64) {
+	putLE32(b, uint32(v))
+	putLE32(b[4:], uint32(v>>32))
+}
