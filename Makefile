@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults wal
+.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults wal parallel bench-compare-parallel
 
 # The hot-path benchmark set and flags; bench-baseline and bench-compare
 # must agree so the committed BENCH_baseline.txt stays comparable. The
@@ -69,6 +69,24 @@ bench-compare:
 hotpath:
 	$(GO) run ./cmd/nncbench -hotpath -scale=small
 
+# parallel runs the worker sweep with the scaling gate armed: speedup,
+# p95 and p99 under load must stay inside the thresholds (the gate
+# self-disables on single-proc machines where scaling is unmeasurable).
+# The sweep lands in a scratch artifact (the committed BENCH_parallel.json
+# is refreshed deliberately via nncbench -parallel -force on the reference
+# machine); mutex/block contention profiles land next to it.
+parallel:
+	$(GO) run ./cmd/nncbench -parallel -scale=small -gate -force -profiledir=. -out=bench_parallel_new.json
+
+# bench-compare-parallel re-records the sweep to a scratch artifact and
+# diffs it against the committed BENCH_parallel.json per backend and
+# worker count (qps, p95, p99, speedup). Informational by default —
+# absolute throughput is machine-bound; pass GATE=-gate=15 to fail on
+# >15% regressions when comparing on the same machine.
+bench-compare-parallel:
+	$(GO) run ./cmd/nncbench -parallel -scale=small -force -out=bench_parallel_new.json
+	$(GO) run ./cmd/benchdiff -parallel $(GATE) BENCH_parallel.json bench_parallel_new.json
+
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
@@ -83,7 +101,7 @@ examples:
 	$(GO) run ./examples/nncore
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_new.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_new.txt bench_parallel_new.json mutex.prof block.prof
 
 verify:
 	$(GO) run ./cmd/nncbench -verify -scale=small

@@ -419,3 +419,49 @@ func BenchmarkParallelSearchDisk(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSearchParallelBatchMem — the real batch API (work-stealing
+// queue, per-worker pinned scratch) rather than the hand-rolled fan-out
+// above. One op = one 64-query batch, so ns/op is per-batch and allocs/op
+// shows the whole batch overhead: queue + scratch pinning + result slice.
+func BenchmarkSearchParallelBatchMem(b *testing.B) {
+	d := dataFor(b, "A-N", defaultParams(datagen.AntiCorrelated, benchN), benchMq, benchHq)
+	batch := make([]*Object, 64)
+	for i := range batch {
+		batch[i] = d.queries[i%len(d.queries)]
+	}
+	for _, w := range parallelWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SearchParallel(context.Background(), d.idx, batch, PSD, 1,
+					core.SearchOptions{Filters: AllFilters}, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchRunParallelMem — per-query latency under the testing
+// package's own RunParallel driver. SetParallelism pins the goroutine
+// fan-out (per the bench-hygiene lint rule) so the contention level is
+// the same on a laptop and a CI runner.
+func BenchmarkSearchRunParallelMem(b *testing.B) {
+	d := dataFor(b, "A-N", defaultParams(datagen.AntiCorrelated, benchN), benchMq, benchHq)
+	b.ReportAllocs()
+	b.SetParallelism(2)
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) - 1
+			q := d.queries[i%len(d.queries)]
+			if _, err := d.idx.SearchKCtx(context.Background(), q, PSD, 1,
+				core.SearchOptions{Filters: AllFilters}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

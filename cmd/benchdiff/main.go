@@ -14,6 +14,11 @@
 //
 // Benchmarks appearing in only one file are listed but not compared.
 // Repeated runs of the same benchmark (e.g. -count=5) are averaged.
+//
+// With -parallel, the two arguments are BENCH_parallel.json artifacts
+// instead of text files, and the diff is per backend and worker count
+// (qps, p95, p99, speedup); -gate then fails on qps drops or p95/p99
+// rises beyond the percentage. Wired as `make bench-compare-parallel`.
 package main
 
 import (
@@ -106,10 +111,14 @@ func delta(old, new, threshold float64) string {
 func main() {
 	threshold := flag.Float64("threshold", 10, "percent change below which a delta is reported as noise")
 	gate := flag.Float64("gate", 0, "fail (exit 1) if any ns/op regression exceeds this percent; 0 disables")
+	parallel := flag.Bool("parallel", false, "diff two BENCH_parallel.json artifacts (qps/p95/p99/speedup per worker count) instead of text benchmarks")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold=pct] [-gate=pct] old.txt new.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold=pct] [-gate=pct] [-parallel] old new")
 		os.Exit(2)
+	}
+	if *parallel {
+		os.Exit(runParallelDiff(flag.Arg(0), flag.Arg(1), *threshold, *gate))
 	}
 	oldM, oldOrder, err := parseFile(flag.Arg(0))
 	if err != nil {

@@ -1,0 +1,140 @@
+package main
+
+// Parallel-artifact mode: benchdiff -parallel old.json new.json diffs two
+// BENCH_parallel.json artifacts (harness.ParallelReport) point by point —
+// qps, p95, p99, speedup and allocs/op deltas per backend and worker
+// count — so the scaling trajectory is reviewable the same way text
+// benchmarks are.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialdom/internal/harness"
+)
+
+// readParallelReport loads one BENCH_parallel.json artifact.
+func readParallelReport(path string) (*harness.ParallelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep harness.ParallelReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// pointKey identifies one sweep point across the two artifacts.
+type pointKey struct {
+	backend string
+	workers int
+}
+
+// indexPoints flattens a report into key → point, keeping encounter order.
+func indexPoints(rep *harness.ParallelReport) (map[pointKey]harness.WorkerPoint, []pointKey) {
+	pts := map[pointKey]harness.WorkerPoint{}
+	var order []pointKey
+	for _, b := range rep.Backends {
+		for _, p := range b.Points {
+			k := pointKey{b.Backend, p.Workers}
+			pts[k] = p
+			order = append(order, k)
+		}
+	}
+	return pts, order
+}
+
+// runParallelDiff renders the per-point deltas and returns the exit code:
+// 1 when gate > 0 and any comparable point regressed beyond it (qps down,
+// or p95/p99 up, by more than gate percent), 0 otherwise.
+func runParallelDiff(oldPath, newPath string, threshold, gate float64) int {
+	oldRep, err := readParallelReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRep, err := readParallelReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if oldRep.GOMAXPROCS != newRep.GOMAXPROCS || oldRep.ForcedSingleProc != newRep.ForcedSingleProc {
+		fmt.Printf("note: GOMAXPROCS %d → %d (forced_single_proc %v → %v); absolute deltas may reflect the machine, not the code\n\n",
+			oldRep.GOMAXPROCS, newRep.GOMAXPROCS, oldRep.ForcedSingleProc, newRep.ForcedSingleProc)
+	}
+	oldPts, oldOrder := indexPoints(oldRep)
+	newPts, newOrder := indexPoints(newRep)
+
+	rows := [][]string{{"backend", "workers", "old QPS", "new QPS", "ΔQPS",
+		"old p95", "new p95", "Δp95", "old p99", "new p99", "Δp99", "speedup"}}
+	failed := false
+	for _, k := range oldOrder {
+		o := oldPts[k]
+		n, ok := newPts[k]
+		if !ok {
+			rows = append(rows, []string{k.backend, fmt.Sprint(k.workers),
+				fmt.Sprintf("%.1f", o.QPS), "-", "gone", "", "", "", "", "", "", ""})
+			continue
+		}
+		rows = append(rows, []string{k.backend, fmt.Sprint(k.workers),
+			fmt.Sprintf("%.1f", o.QPS), fmt.Sprintf("%.1f", n.QPS), delta(o.QPS, n.QPS, threshold),
+			fmt.Sprintf("%.3f", o.P95Millis), fmt.Sprintf("%.3f", n.P95Millis), delta(o.P95Millis, n.P95Millis, threshold),
+			fmt.Sprintf("%.3f", o.P99Millis), fmt.Sprintf("%.3f", n.P99Millis), delta(o.P99Millis, n.P99Millis, threshold),
+			fmt.Sprintf("%.2fx→%.2fx", o.Speedup, n.Speedup)})
+		if gate > 0 {
+			if o.QPS > 0 && (o.QPS-n.QPS)/o.QPS*100 > gate {
+				failed = true
+			}
+			if o.P95Millis > 0 && (n.P95Millis-o.P95Millis)/o.P95Millis*100 > gate {
+				failed = true
+			}
+			if o.P99Millis > 0 && (n.P99Millis-o.P99Millis)/o.P99Millis*100 > gate {
+				failed = true
+			}
+		}
+	}
+	for _, k := range newOrder {
+		if _, ok := oldPts[k]; !ok {
+			n := newPts[k]
+			rows = append(rows, []string{k.backend, fmt.Sprint(k.workers),
+				"-", fmt.Sprintf("%.1f", n.QPS), "new", "", "", "", "", "", "", ""})
+		}
+	}
+	printAligned(rows)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: parallel qps/p95/p99 regression beyond %.0f%% gate\n", gate)
+		return 1
+	}
+	return 0
+}
+
+// printAligned renders rows with right-aligned numeric columns, matching
+// the text-benchmark mode's layout.
+func printAligned(rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", widths[i]-len(c)))
+			} else {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)) + c)
+			}
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -42,6 +43,8 @@ func main() {
 		workers    = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel")
 		out        = flag.String("out", "BENCH_parallel.json", "JSON report path for -parallel (empty disables)")
 		force      = flag.Bool("force", false, "record the -parallel artifact even at GOMAXPROCS=1 (marked forced_single_proc)")
+		gateFlag   = flag.Bool("gate", false, "fail (exit 1) if the -parallel sweep misses the scaling/tail-latency thresholds")
+		profiledir = flag.String("profiledir", "", "directory to write raw mutex.prof/block.prof contention profiles from -parallel (empty disables)")
 		hotpath    = flag.Bool("hotpath", false, "run the dominance hot-path benchmark (ns/op, allocs/op, QPS) instead of a figure")
 		hotWorkers = flag.Int("hotworkers", 0, "parallel worker count for -hotpath (0 = GOMAXPROCS)")
 		hotOut     = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -hotpath (empty disables)")
@@ -106,7 +109,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		rep, err := harness.ParallelBench(sc, *seed, counts)
+		rep, cont, err := harness.ParallelBench(sc, *seed, counts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -114,6 +117,22 @@ func main() {
 		if err := rep.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *profiledir != "" {
+			for _, p := range []struct {
+				name string
+				data []byte
+			}{{"mutex.prof", cont.MutexRaw}, {"block.prof", cont.BlockRaw}} {
+				if p.data == nil {
+					continue
+				}
+				path := filepath.Join(*profiledir, p.name)
+				if err := os.WriteFile(path, p.data, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
 		}
 		if *out != "" {
 			// A single-core recording cannot demonstrate scaling — every
@@ -131,6 +150,19 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *out)
+		}
+		if *gateFlag {
+			if !rep.Gateable() {
+				fmt.Println("scaling gate skipped: GOMAXPROCS=1 (no parallelism to judge)")
+				return
+			}
+			if errs := rep.GateErrors(); len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintln(os.Stderr, "gate: "+e.Error())
+				}
+				os.Exit(1)
+			}
+			fmt.Println("scaling gate passed")
 		}
 		return
 	}

@@ -197,9 +197,9 @@ type searchScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
-// release clears every pooled slot (so pooled slabs don't pin objects from
-// finished searches) and returns the scratch to the pool.
-func (sc *searchScratch) release() {
+// clear empties every slot (so a recycled scratch doesn't pin objects from
+// finished searches) while keeping the backing arrays for reuse.
+func (sc *searchScratch) clear() {
 	for i := range sc.heap.s {
 		sc.heap.s[i] = searchItem{}
 	}
@@ -213,6 +213,11 @@ func (sc *searchScratch) release() {
 	}
 	sc.band = sc.band[:0]
 	sc.check.reset()
+}
+
+// release clears the scratch and returns it to the pool.
+func (sc *searchScratch) release() {
+	sc.clear()
 	scratchPool.Put(sc)
 }
 
@@ -256,7 +261,14 @@ func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 		return nil, err
 	}
 
-	sc := scratchPool.Get().(*searchScratch)
+	// A batch worker arrives with its own scratch pinned in the context
+	// (see SearchParallelOpts): that scratch backs every query the worker
+	// runs, with no pool traffic and no cross-core arena migration.
+	// Single-shot searches fall back to the shared pool.
+	sc, pinned := pinnedScratch(ctx)
+	if !pinned {
+		sc = scratchPool.Get().(*searchScratch)
+	}
 	if ds, ok := b.(DenseIDSpanner); ok {
 		sc.check.setDenseSpan(ds.DenseIDSpan())
 	}
@@ -267,7 +279,11 @@ func SearchBackend(ctx context.Context, b Backend, q *uncertain.Object, op Opera
 	defer func() {
 		sc.batch = batch
 		sc.band = band
-		sc.release()
+		if pinned {
+			sc.clear() // the batch worker keeps it for its next query
+		} else {
+			sc.release()
+		}
 	}()
 
 	finish := func() {

@@ -1,0 +1,211 @@
+package harness
+
+// Contention capture for the parallel sweep: mutex and block profiling
+// are switched on around the measured run, the runtime's cumulative
+// profile records are diffed before/after, and the delta is summarized
+// into the bench artifact — which lock sites burned how many
+// contention-seconds — so a scaling regression comes with its own
+// culprit list instead of a bare p95 number.
+
+import (
+	"bytes"
+	"regexp"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContendedSite is one aggregated contention source: the innermost
+// non-runtime frame of the blocked stack, with the sampled event count
+// and the total time goroutines spent blocked there.
+type ContendedSite struct {
+	Site    string  `json:"site"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ContentionSummary is one profile's delta over a measured run.
+type ContentionSummary struct {
+	// TotalSeconds is the summed blocked time across every site —
+	// contention-seconds, comparable across runs of the same workload.
+	TotalSeconds float64 `json:"total_seconds"`
+	// Top lists the heaviest sites, most blocked time first.
+	Top []ContendedSite `json:"top,omitempty"`
+}
+
+// Contention is the paired mutex/block outcome of CaptureContention. Raw
+// holds the pprof-serialized profiles (cumulative, not deltas) for
+// offline `go tool pprof` digging; the summaries are the deltas.
+type Contention struct {
+	Mutex, Block       ContentionSummary
+	MutexRaw, BlockRaw []byte
+}
+
+// maxContendedSites bounds the per-profile site list in the artifact.
+const maxContendedSites = 8
+
+// CaptureContention runs fn with mutex and block profiling at full
+// sampling, and returns the contention the run added. Profiling rates are
+// restored afterwards, so steady-state overhead is zero outside the
+// measured window. Full sampling costs a few percent inside the window —
+// uniform across the sweep's points, so speedup ratios are unaffected.
+func CaptureContention(fn func()) Contention {
+	prevMutex := runtime.SetMutexProfileFraction(1)
+	runtime.SetBlockProfileRate(1)
+	beforeMutex := snapshotRecords(runtime.MutexProfile)
+	beforeBlock := snapshotRecords(runtime.BlockProfile)
+
+	fn()
+
+	var c Contention
+	cps := cyclesPerSecond()
+	c.Mutex = diffRecords(beforeMutex, snapshotRecords(runtime.MutexProfile), cps)
+	c.Block = diffRecords(beforeBlock, snapshotRecords(runtime.BlockProfile), cps)
+	c.MutexRaw = rawProfile("mutex")
+	c.BlockRaw = rawProfile("block")
+
+	runtime.SetMutexProfileFraction(prevMutex)
+	runtime.SetBlockProfileRate(0)
+	return c
+}
+
+// snapshotRecords drains one of the runtime's cumulative contention
+// profiles (runtime.MutexProfile or runtime.BlockProfile).
+func snapshotRecords(read func([]runtime.BlockProfileRecord) (int, bool)) []runtime.BlockProfileRecord {
+	n, _ := read(nil)
+	for {
+		recs := make([]runtime.BlockProfileRecord, n+64)
+		n, ok := read(recs)
+		if ok {
+			return recs[:n]
+		}
+	}
+}
+
+// stackKey folds a record's PC stack into a map key.
+func stackKey(r runtime.BlockProfileRecord) string {
+	var b strings.Builder
+	for _, pc := range r.Stack() {
+		b.WriteString(strconv.FormatUint(uint64(pc), 16))
+		b.WriteByte(':')
+	}
+	return b.String()
+}
+
+// diffRecords subtracts the before snapshot from after (the runtime's
+// records are cumulative since process start), aggregates per blame
+// frame, and returns the summary.
+func diffRecords(before, after []runtime.BlockProfileRecord, cyclesPerSec float64) ContentionSummary {
+	prev := make(map[string]runtime.BlockProfileRecord, len(before))
+	for _, r := range before {
+		prev[stackKey(r)] = r
+	}
+	type agg struct {
+		count  int64
+		cycles int64
+	}
+	sites := map[string]*agg{}
+	var total agg
+	for _, r := range after {
+		count, cycles := r.Count, r.Cycles
+		if p, ok := prev[stackKey(r)]; ok {
+			count -= p.Count
+			cycles -= p.Cycles
+		}
+		if count <= 0 && cycles <= 0 {
+			continue
+		}
+		site := blameFrame(r.Stack())
+		a := sites[site]
+		if a == nil {
+			a = &agg{}
+			sites[site] = a
+		}
+		a.count += count
+		a.cycles += cycles
+		total.count += count
+		total.cycles += cycles
+	}
+	sum := ContentionSummary{TotalSeconds: float64(total.cycles) / cyclesPerSec}
+	for site, a := range sites {
+		sum.Top = append(sum.Top, ContendedSite{
+			Site: site, Count: a.count, Seconds: float64(a.cycles) / cyclesPerSec,
+		})
+	}
+	sort.Slice(sum.Top, func(i, j int) bool {
+		if sum.Top[i].Seconds != sum.Top[j].Seconds {
+			return sum.Top[i].Seconds > sum.Top[j].Seconds
+		}
+		return sum.Top[i].Site < sum.Top[j].Site
+	})
+	if len(sum.Top) > maxContendedSites {
+		sum.Top = sum.Top[:maxContendedSites]
+	}
+	return sum
+}
+
+// blameFrame picks the innermost frame that is not runtime/sync plumbing
+// — the code that chose to take the contended lock or channel.
+func blameFrame(stack []uintptr) string {
+	frames := runtime.CallersFrames(stack)
+	first := ""
+	for {
+		f, more := frames.Next()
+		name := f.Function
+		if name == "" {
+			if !more {
+				break
+			}
+			continue
+		}
+		if first == "" {
+			first = name
+		}
+		if !strings.HasPrefix(name, "runtime.") && !strings.HasPrefix(name, "sync.") &&
+			!strings.HasPrefix(name, "runtime_") && !strings.HasPrefix(name, "internal/sync.") {
+			return name
+		}
+		if !more {
+			break
+		}
+	}
+	if first == "" {
+		return "(unknown)"
+	}
+	return first
+}
+
+var cpsRe = regexp.MustCompile(`cycles/second=(\d+)`)
+
+// cyclesPerSecond recovers the runtime's contention-clock rate from the
+// mutex profile's text header ("cycles/second=N"); the runtime does not
+// export it directly. Falls back to 1e9 (≈ nanosecond ticks) if the
+// header is missing, which keeps magnitudes sane rather than exact.
+func cyclesPerSecond() float64 {
+	var buf bytes.Buffer
+	if p := pprof.Lookup("mutex"); p != nil {
+		_ = p.WriteTo(&buf, 1)
+	}
+	if m := cpsRe.FindSubmatch(buf.Bytes()); m != nil {
+		if v, err := strconv.ParseFloat(string(m[1]), 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1e9
+}
+
+// rawProfile serializes a named pprof profile (cumulative) for artifact
+// upload; nil on failure — the raw form is a bonus, not a gate input.
+func rawProfile(name string) []byte {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}

@@ -125,10 +125,11 @@ type Measurement struct {
 	// RunWorkloadParallel this is the reduced (parallel) elapsed time, not
 	// the per-query sum.
 	WallMillis float64
-	// P50Millis and P95Millis are nearest-rank per-query latency
-	// percentiles over the workload.
+	// P50Millis, P95Millis and P99Millis are nearest-rank per-query
+	// latency percentiles over the workload.
 	P50Millis float64
 	P95Millis float64
+	P99Millis float64
 	// QPS is queries per wall-clock second (len(queries)/WallMillis),
 	// the throughput number worker sweeps compare across parallelism.
 	QPS float64
@@ -169,6 +170,7 @@ func RunWorkloadOn(s Searcher, queries []*uncertain.Object, op core.Operator, cf
 	}
 	m.P50Millis = percentile(lats, 50)
 	m.P95Millis = percentile(lats, 95)
+	m.P99Millis = percentile(lats, 99)
 	n := float64(len(queries))
 	m.Candidates /= n
 	m.Millis /= n

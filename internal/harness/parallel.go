@@ -2,9 +2,8 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"spatialdom/internal/core"
@@ -19,12 +18,12 @@ func RunWorkloadParallel(idx *core.Index, queries []*uncertain.Object, op core.O
 }
 
 // RunWorkloadParallelOn runs the workload over any Searcher (memory or
-// disk backend) fanned out over the given number of worker goroutines.
-// Every search builds its own Checker and — on the disk backend — its own
-// page lease, so queries are embarrassingly parallel on both backends.
-// Millis stays the per-query average (comparable to RunWorkload),
+// disk backend) through the real production fan-out —
+// core.SearchParallelOpts with per-worker scratch affinity and work
+// stealing — so what the sweep measures is exactly what the batch API
+// ships. Millis stays the per-query average (comparable to RunWorkload),
 // WallMillis is the reduced parallel elapsed time, QPS = queries per
-// wall-clock second, and P50Millis/P95Millis are per-query latency
+// wall-clock second, and P50/P95/P99Millis are per-query latency
 // percentiles under concurrency.
 func RunWorkloadParallelOn(s Searcher, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig, workers int) Measurement {
 	if workers > len(queries) {
@@ -33,50 +32,28 @@ func RunWorkloadParallelOn(s Searcher, queries []*uncertain.Object, op core.Oper
 	if workers <= 1 {
 		return RunWorkloadOn(s, queries, op, cfg)
 	}
-	var (
-		mu   sync.Mutex
-		agg  Measurement
-		lats []float64
-		wg   sync.WaitGroup
-		next atomic.Int64
-	)
 	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var local Measurement
-			var localLats []float64
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
-					break
-				}
-				res, err := s.SearchKCtx(context.Background(), queries[i], op, 1, core.SearchOptions{Filters: cfg})
-				if err != nil {
-					continue // background context: unreachable
-				}
-				lat := float64(res.Elapsed) / float64(time.Millisecond)
-				localLats = append(localLats, lat)
-				local.Candidates += float64(len(res.Candidates))
-				local.Millis += lat
-				local.Comparisons += float64(res.Stats.InstanceComparisons)
-			}
-			mu.Lock()
-			agg.Candidates += local.Candidates
-			agg.Millis += local.Millis
-			agg.Comparisons += local.Comparisons
-			lats = append(lats, localLats...)
-			mu.Unlock()
-		}()
+	results, err := core.SearchParallelOpts(context.Background(), s, queries, op, 1,
+		core.SearchOptions{Filters: cfg}, core.BatchOptions{Workers: workers})
+	if err != nil {
+		panic(fmt.Sprintf("harness: parallel workload search failed: %v", err))
 	}
-	wg.Wait()
+	var agg Measurement
 	agg.WallMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	lats := make([]float64, 0, len(results))
+	for _, res := range results {
+		lat := float64(res.Elapsed) / float64(time.Millisecond)
+		lats = append(lats, lat)
+		agg.Candidates += float64(len(res.Candidates))
+		agg.Millis += lat
+		agg.Comparisons += float64(res.Stats.InstanceComparisons)
+	}
 	if agg.WallMillis > 0 {
 		agg.QPS = float64(len(queries)) / (agg.WallMillis / 1000)
 	}
 	agg.P50Millis = percentile(lats, 50)
 	agg.P95Millis = percentile(lats, 95)
+	agg.P99Millis = percentile(lats, 99)
 	n := float64(len(queries))
 	agg.Candidates /= n
 	agg.Millis /= n
@@ -92,6 +69,7 @@ type WorkerPoint struct {
 	QPS       float64 `json:"qps"`
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
 	Speedup   float64 `json:"speedup"`
 	// AllocsPerOp is the heap allocations per query over the whole sweep
 	// point (runtime.MemStats delta), including the fan-out's own
@@ -100,9 +78,11 @@ type WorkerPoint struct {
 }
 
 // WorkerSweep runs the same workload at each worker count and reports
-// QPS/p50/p95/allocs per point. The first point's QPS is the speedup
+// QPS/p50/p95/p99/allocs per point. The first point's QPS is the speedup
 // baseline, so pass workers in increasing order starting at 1 for the
-// conventional reading.
+// conventional reading. Pools and caches must be warmed before the sweep
+// (ParallelBench does) or the first point measures cold-start allocation,
+// not steady state.
 func WorkerSweep(s Searcher, queries []*uncertain.Object, op core.Operator, cfg core.FilterConfig, workers []int) []WorkerPoint {
 	points := make([]WorkerPoint, 0, len(workers))
 	var base float64
@@ -112,7 +92,8 @@ func WorkerSweep(s Searcher, queries []*uncertain.Object, op core.Operator, cfg 
 		runtime.ReadMemStats(&before)
 		m := RunWorkloadParallelOn(s, queries, op, cfg, w)
 		runtime.ReadMemStats(&after)
-		p := WorkerPoint{Workers: w, QPS: m.QPS, P50Millis: m.P50Millis, P95Millis: m.P95Millis,
+		p := WorkerPoint{Workers: w, QPS: m.QPS,
+			P50Millis: m.P50Millis, P95Millis: m.P95Millis, P99Millis: m.P99Millis,
 			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(len(queries))}
 		if base == 0 {
 			base = m.QPS

@@ -5,16 +5,23 @@ import (
 	"go/ast"
 )
 
-// checkBenchHygiene requires every Benchmark function to call
-// b.ReportAllocs: the zero-allocation guarantees in this repo are only as
-// good as the benchmarks that would show a regression, and a benchmark
-// that hides allocs/op hides exactly the number we watch. Test files are
-// parsed but not type-checked (they may live in the package under test),
-// so the check is syntactic: a function named Benchmark* taking a single
-// *testing.B must reach a <recv>.ReportAllocs() call — directly, in a
-// b.Run sub-benchmark closure, or through a same-package helper (many
-// benchmarks here delegate the timed loop to runSearches-style helpers
-// that report allocs on the sub-benchmark's behalf).
+// checkBenchHygiene enforces two benchmark-quality rules. First, every
+// Benchmark function must call b.ReportAllocs: the zero-allocation
+// guarantees in this repo are only as good as the benchmarks that would
+// show a regression, and a benchmark that hides allocs/op hides exactly
+// the number we watch. Second, a benchmark that drives b.RunParallel
+// must also call b.SetParallelism: RunParallel defaults to one goroutine
+// per GOMAXPROCS, which on a small CI runner degenerates to a serial
+// benchmark that reports "parallel" numbers — pinning the fan-out keeps
+// the contention level the benchmark claims to measure.
+//
+// Test files are parsed but not type-checked (they may live in the
+// package under test), so both checks are syntactic: a function named
+// Benchmark* taking a single *testing.B must reach a <recv>.Method()
+// call — directly, in a b.Run sub-benchmark closure, or through a
+// same-package helper (many benchmarks here delegate the timed loop to
+// runSearches-style helpers that report allocs on the sub-benchmark's
+// behalf).
 func checkBenchHygiene(prog *Program, r *Reporter) {
 	for _, pkg := range prog.TestASTs {
 		// Same-package helpers the benchmarks may delegate to, by name.
@@ -35,23 +42,29 @@ func checkBenchHygiene(prog *Program, r *Reporter) {
 				if !isBenchmarkDecl(fd) {
 					continue
 				}
-				if !reachesReportAllocs(fd, helpers, map[*ast.FuncDecl]bool{}) {
+				if !reachesMethodCall(fd, "ReportAllocs", helpers, map[*ast.FuncDecl]bool{}) {
 					r.Report(fd.Pos(), "bench-hygiene",
 						fmt.Sprintf("%s never calls b.ReportAllocs(); allocation regressions would be invisible in this benchmark", fd.Name.Name))
+				}
+				if reachesMethodCall(fd, "RunParallel", helpers, map[*ast.FuncDecl]bool{}) &&
+					!reachesMethodCall(fd, "SetParallelism", helpers, map[*ast.FuncDecl]bool{}) {
+					r.Report(fd.Pos(), "bench-hygiene",
+						fmt.Sprintf("%s uses b.RunParallel without b.SetParallelism; the contention level then depends on GOMAXPROCS and the numbers are not comparable across machines", fd.Name.Name))
 				}
 			}
 		}
 	}
 }
 
-// reachesReportAllocs walks fd's body and, through plain same-package
-// function calls, the helpers it delegates to.
-func reachesReportAllocs(fd *ast.FuncDecl, helpers map[string]*ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
+// reachesMethodCall walks fd's body looking for a <recv>.method() call,
+// following plain same-package function calls into the helpers they
+// delegate to.
+func reachesMethodCall(fd *ast.FuncDecl, method string, helpers map[string]*ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
 	if seen[fd] {
 		return false
 	}
 	seen[fd] = true
-	if callsReportAllocs(fd.Body) {
+	if callsMethod(fd.Body, method) {
 		return true
 	}
 	found := false
@@ -64,7 +77,7 @@ func reachesReportAllocs(fd *ast.FuncDecl, helpers map[string]*ast.FuncDecl, see
 			return true
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
-			if callee, ok := helpers[id.Name]; ok && reachesReportAllocs(callee, helpers, seen) {
+			if callee, ok := helpers[id.Name]; ok && reachesMethodCall(callee, method, helpers, seen) {
 				found = true
 			}
 		}
@@ -95,7 +108,8 @@ func isBenchmarkDecl(fd *ast.FuncDecl) bool {
 	return ok && id.Name == "testing"
 }
 
-func callsReportAllocs(body *ast.BlockStmt) bool {
+// callsMethod reports whether body contains any <x>.method(...) call.
+func callsMethod(body *ast.BlockStmt, method string) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -105,7 +119,7 @@ func callsReportAllocs(body *ast.BlockStmt) bool {
 		if !ok {
 			return true
 		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "ReportAllocs" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == method {
 			found = true
 		}
 		return true

@@ -56,4 +56,33 @@ func silent(b *testing.B) {
 	}
 }
 
+func BenchmarkRunParallelPinned(b *testing.B) {
+	b.ReportAllocs()
+	b.SetParallelism(2)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+		}
+	})
+}
+
+func BenchmarkRunParallelUnpinned(b *testing.B) { //wantlint bench-hygiene: uses b.RunParallel without b.SetParallelism
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+		}
+	})
+}
+
+func BenchmarkRunParallelHelper(b *testing.B) { //wantlint bench-hygiene: uses b.RunParallel without b.SetParallelism
+	b.ReportAllocs()
+	drive(b)
+}
+
+func drive(b *testing.B) {
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+		}
+	})
+}
+
 func TestPlaceholder(t *testing.T) {} // non-benchmark: ignored by the check

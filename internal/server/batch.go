@@ -1,0 +1,174 @@
+package server
+
+// POST /query/batch: many queries, one request, answered through
+// core.SearchParallelOpts — the same scratch-affinity + work-stealing
+// fan-out the library ships. All batch requests on a server share one
+// core.Admission sized below GOMAXPROCS, so a huge batch executes at
+// bounded parallelism and interleaves with other batches (and leaves
+// headroom for single /query traffic) at query granularity instead of
+// monopolizing the worker pool for its whole duration.
+//
+// The request body:
+//
+//	{
+//	  "queries":  [{"instances": [[x,...],...], "weights": [...]}, ...],
+//	  "operator": "PSD",
+//	  "k":        1,            // optional
+//	  "metric":   "euclidean",  // optional
+//	  "workers":  0             // optional fan-out hint, capped by admission
+//	}
+//
+// and the response carries one QueryResponse per query, in request order.
+// A degraded slot (quarantined pages skipped) is flagged incomplete in
+// place and counted in incomplete_slots; any degraded slot makes the
+// whole response 206 Partial Content, mirroring /query.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// defaultMaxBatch bounds the per-request query count; oversized batches
+// are rejected outright (400) rather than admitted slowly — the client
+// can split, and the bound keeps one request from holding admission
+// tokens for minutes.
+const defaultMaxBatch = 256
+
+// BatchQuery is one query object inside a BatchRequest.
+type BatchQuery struct {
+	Instances [][]float64 `json:"instances"`
+	Weights   []float64   `json:"weights,omitempty"`
+}
+
+// BatchRequest is the POST /query/batch body. Operator, K and Metric are
+// shared by every query in the batch.
+type BatchRequest struct {
+	Queries  []BatchQuery `json:"queries"`
+	Operator string       `json:"operator"`
+	K        int          `json:"k,omitempty"`
+	Metric   string       `json:"metric,omitempty"`
+	// Workers is an optional fan-out hint; it is clamped to the server's
+	// admission capacity, so a client cannot demand more parallelism than
+	// the operator provisioned.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResponse is the POST /query/batch response body.
+type BatchResponse struct {
+	Operator string          `json:"operator"`
+	K        int             `json:"k"`
+	Results  []QueryResponse `json:"results"`
+	// IncompleteSlots counts degraded results; when > 0 the response
+	// status is 206 and each degraded slot is flagged in place.
+	IncompleteSlots int `json:"incomplete_slots,omitempty"`
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d; split the request", len(req.Queries), s.maxBatch))
+		return
+	}
+	op, err := parseOperator(req.Operator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 || k > s.b.Len() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range", k))
+		return
+	}
+	queries := make([]*uncertain.Object, len(req.Queries))
+	for i, bq := range req.Queries {
+		pts := make([]geom.Point, len(bq.Instances))
+		for j, row := range bq.Instances {
+			pts[j] = geom.Point(row)
+		}
+		q, err := uncertain.New(i, pts, bq.Weights)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		if q.Dim() != s.b.Dim() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("query %d: dim %d != dataset dim %d", i, q.Dim(), s.b.Dim()))
+			return
+		}
+		queries[i] = q
+	}
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.adm.Limit() {
+		workers = s.adm.Limit()
+	}
+	// Degraded slots never surface as a batch error (the engine stores the
+	// flagged result and keeps going), so any error here is hard.
+	results, err := core.SearchParallelOpts(r.Context(), s.b, queries, op, k,
+		core.SearchOptions{Filters: core.AllFilters, Metric: metric},
+		core.BatchOptions{Workers: workers, Admission: s.adm})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return // the client is gone; the batch already canceled itself
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	resp := BatchResponse{Operator: op.String(), K: k, Results: make([]QueryResponse, len(results))}
+	for i, res := range results {
+		qr := &resp.Results[i]
+		qr.Operator = op.String()
+		qr.K = k
+		qr.Examined = res.Examined
+		qr.ElapsedUS = res.Elapsed.Microseconds()
+		qr.Checks = res.Stats.DominanceChecks
+		if res.Incomplete {
+			qr.Incomplete = true
+			resp.IncompleteSlots++
+		}
+		for _, c := range res.Candidates {
+			qr.Candidates = append(qr.Candidates, QueryCandidate{
+				ID:         c.Object.ID(),
+				Label:      c.Object.Label(),
+				MinDist:    c.MinDist,
+				Dominators: c.Dominators,
+			})
+		}
+	}
+	status := http.StatusOK
+	if resp.IncompleteSlots > 0 {
+		status = http.StatusPartialContent
+	}
+	writeJSON(w, status, resp)
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"spatialdom/internal/datagen"
+)
+
+// batchBody builds a BatchRequest from dataset query objects.
+func batchBody(qs []*QueryRequest) BatchRequest {
+	req := BatchRequest{Operator: "PSD"}
+	for _, q := range qs {
+		req.Queries = append(req.Queries, BatchQuery{Instances: q.Instances, Weights: q.Weights})
+	}
+	return req
+}
+
+// queryReqFor converts a generated query object to a wire QueryRequest.
+func queryReqFor(ds *datagen.Dataset, n int, seed int64) []*QueryRequest {
+	qs := ds.Queries(n, 4, 200, seed)
+	out := make([]*QueryRequest, len(qs))
+	for i, q := range qs {
+		req := &QueryRequest{Operator: "PSD"}
+		for j := 0; j < q.Len(); j++ {
+			req.Instances = append(req.Instances, append([]float64(nil), q.Instance(j)...))
+		}
+		out[i] = req
+	}
+	return out
+}
+
+// TestQueryBatchMatchesSingle: the batch endpoint's slots equal the
+// corresponding single /query answers, in request order.
+func TestQueryBatchMatchesSingle(t *testing.T) {
+	ts, ds := newTestServer(t)
+	wire := queryReqFor(ds, 8, 777)
+
+	var batch BatchResponse
+	if code := postJSON(t, ts.URL+"/query/batch", batchBody(wire), &batch); code != http.StatusOK {
+		t.Fatalf("batch status = %d", code)
+	}
+	if len(batch.Results) != len(wire) {
+		t.Fatalf("batch returned %d results for %d queries", len(batch.Results), len(wire))
+	}
+	for i, q := range wire {
+		var single QueryResponse
+		if code := postJSON(t, ts.URL+"/query", q, &single); code != http.StatusOK {
+			t.Fatalf("single query %d status = %d", i, code)
+		}
+		got := batch.Results[i]
+		if len(got.Candidates) != len(single.Candidates) {
+			t.Fatalf("slot %d: batch %d candidates, single %d", i, len(got.Candidates), len(single.Candidates))
+		}
+		for j := range single.Candidates {
+			if got.Candidates[j].ID != single.Candidates[j].ID {
+				t.Fatalf("slot %d candidate %d: batch ID %d, single ID %d",
+					i, j, got.Candidates[j].ID, single.Candidates[j].ID)
+			}
+		}
+	}
+}
+
+// TestQueryBatchValidation: malformed batches are rejected up front.
+func TestQueryBatchValidation(t *testing.T) {
+	ts, ds := newTestServer(t)
+	wire := queryReqFor(ds, 1, 779)
+
+	if code := postJSON(t, ts.URL+"/query/batch", BatchRequest{Operator: "PSD"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", code)
+	}
+	bad := batchBody(wire)
+	bad.Operator = "NOPE"
+	if code := postJSON(t, ts.URL+"/query/batch", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad operator status = %d, want 400", code)
+	}
+	dim := batchBody(wire)
+	dim.Queries[0].Instances = [][]float64{{1, 2, 3, 4, 5}}
+	if code := postJSON(t, ts.URL+"/query/batch", dim, nil); code != http.StatusBadRequest {
+		t.Fatalf("dim mismatch status = %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/query/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestQueryBatchSizeLimit: a batch beyond the server's cap is rejected
+// with a split-the-request error, not admitted slowly.
+func TestQueryBatchSizeLimit(t *testing.T) {
+	ds := datagen.Generate(datagen.Params{N: 50, M: 4, Seed: 91})
+	srv, err := New(ds.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.maxBatch = 3
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	wire := queryReqFor(ds, 4, 92)
+	if code := postJSON(t, ts.URL+"/query/batch", batchBody(wire), nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized batch status = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/query/batch", batchBody(wire[:3]), nil); code != http.StatusOK {
+		t.Fatalf("at-limit batch status = %d, want 200", code)
+	}
+}
+
+// TestQueryBatchConcurrent: many batches in flight at once all complete
+// correctly through the shared admission gate — no starvation, no lost
+// slots, order preserved per batch.
+func TestQueryBatchConcurrent(t *testing.T) {
+	ts, ds := newTestServer(t)
+	wire := queryReqFor(ds, 6, 781)
+	body := batchBody(wire)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp BatchResponse
+			if code := postJSON(t, ts.URL+"/query/batch", body, &resp); code != http.StatusOK {
+				errs <- fmt.Errorf("status %d", code)
+				return
+			}
+			if len(resp.Results) != len(wire) {
+				errs <- fmt.Errorf("%d results for %d queries", len(resp.Results), len(wire))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryBatchWorkersClamped: a client asking for absurd parallelism is
+// clamped to the admission limit rather than honored.
+func TestQueryBatchWorkersClamped(t *testing.T) {
+	ts, ds := newTestServer(t)
+	wire := queryReqFor(ds, 4, 783)
+	body := batchBody(wire)
+	body.Workers = 1 << 20
+	var resp BatchResponse
+	if code := postJSON(t, ts.URL+"/query/batch", body, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(resp.Results) != len(wire) {
+		t.Fatalf("%d results for %d queries", len(resp.Results), len(wire))
+	}
+}

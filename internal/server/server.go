@@ -6,6 +6,7 @@
 //	GET  /objects              → dataset summary
 //	GET  /objects/{id}         → one object
 //	POST /query                → NN candidates for a query object
+//	POST /query/batch          → many queries at once (admission-gated parallel fan-out)
 //	POST /insert               → insert one object (mutable disk backend)
 //	POST /delete               → delete one object by id (mutable disk backend)
 //
@@ -36,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -103,6 +105,12 @@ type (
 type Server struct {
 	b   Backend
 	mux *http.ServeMux
+	// adm gates every /query/batch search: all batch requests share this
+	// token bucket, so their combined executing-query parallelism never
+	// exceeds its limit and single /query traffic keeps CPU headroom.
+	adm *core.Admission
+	// maxBatch bounds the per-request query count on /query/batch.
+	maxBatch int
 	// panics counts handler panics recovered into 500 responses.
 	panics atomic.Int64
 }
@@ -120,12 +128,21 @@ func New(objs []*uncertain.Object) (*Server, error) {
 // NewBackend builds a server over an existing backend (in-memory or
 // disk-resident).
 func NewBackend(b Backend) *Server {
-	s := &Server{b: b, mux: http.NewServeMux()}
+	// Batch admission is provisioned one token below GOMAXPROCS (min 1):
+	// batches can saturate all but one processor, and that last one stays
+	// schedulable for single /query requests and health probes even while
+	// a huge batch is in flight.
+	limit := runtime.GOMAXPROCS(0) - 1
+	if limit < 1 {
+		limit = 1
+	}
+	s := &Server{b: b, mux: http.NewServeMux(), adm: core.NewAdmission(limit), maxBatch: defaultMaxBatch}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/objects", s.handleObjects)
 	s.mux.HandleFunc("/objects/", s.handleObject)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/insert", s.handleInsert)
 	s.mux.HandleFunc("/delete", s.handleDelete)
