@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults wal parallel bench-compare-parallel
+.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults wal parallel bench-compare-parallel load load-baseline conformance
 
 # The hot-path benchmark set and flags; bench-baseline and bench-compare
 # must agree so the committed BENCH_baseline.txt stays comparable. The
@@ -87,6 +87,25 @@ bench-compare-parallel:
 	$(GO) run ./cmd/nncbench -parallel -scale=small -force -out=bench_parallel_new.json
 	$(GO) run ./cmd/benchdiff -parallel $(GATE) BENCH_parallel.json bench_parallel_new.json
 
+# load runs the nncload serving-tier smoke with its relative gate armed
+# (cached-hot QPS ≥ 3× uncached, bounded p99, zero errors — ratios within
+# one run, so the gate holds on any machine), then diffs the fresh
+# artifact against the committed BENCH_load.json. The committed artifact
+# is refreshed deliberately via `make load-baseline`.
+load:
+	$(GO) run ./cmd/nncload -scale=small -gate -out=bench_load_new.json
+	$(GO) run ./cmd/benchdiff -load $(GATE) BENCH_load.json bench_load_new.json
+
+load-baseline:
+	$(GO) run ./cmd/nncload -scale=small -gate -out=BENCH_load.json
+
+# conformance runs the cache-invalidation conformance suite under the
+# race detector: random inserts/deletes interleaved with cached queries,
+# every served answer byte-equal to a fresh uncached search, on both the
+# in-memory and WAL-backed mutable disk backends.
+conformance:
+	$(GO) test -race -run 'InvalidationConformance|Door|Shield' ./internal/server/front ./internal/core
+
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
@@ -101,7 +120,7 @@ examples:
 	$(GO) run ./examples/nncore
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_new.txt bench_parallel_new.json mutex.prof block.prof
+	rm -f cover.out test_output.txt bench_output.txt bench_new.txt bench_parallel_new.json bench_load_new.json mutex.prof block.prof
 
 verify:
 	$(GO) run ./cmd/nncbench -verify -scale=small

@@ -1,0 +1,84 @@
+package main
+
+// Load-artifact mode: benchdiff -load old.json new.json diffs two
+// BENCH_load.json artifacts (harness.LoadReport) phase by phase — qps,
+// p50/p95/p99 and cache hit rate — so serving-tier regressions are
+// reviewable the same way engine benchmarks are.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"spatialdom/internal/harness"
+)
+
+// readLoadReport loads one BENCH_load.json artifact.
+func readLoadReport(path string) (*harness.LoadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep harness.LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runLoadDiff renders the per-phase deltas and returns the exit code:
+// 1 when gate > 0 and any phase regressed beyond it (qps down, or p99
+// up, by more than gate percent), 0 otherwise.
+func runLoadDiff(oldPath, newPath string, threshold, gate float64) int {
+	oldRep, err := readLoadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRep, err := readLoadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if oldRep.GOMAXPROCS != newRep.GOMAXPROCS || oldRep.Conns != newRep.Conns {
+		fmt.Printf("note: GOMAXPROCS %d → %d, conns %d → %d; absolute deltas may reflect the machine, not the code\n\n",
+			oldRep.GOMAXPROCS, newRep.GOMAXPROCS, oldRep.Conns, newRep.Conns)
+	}
+
+	rows := [][]string{{"phase", "old QPS", "new QPS", "ΔQPS",
+		"old p50", "new p50", "old p99", "new p99", "Δp99", "old hit%", "new hit%"}}
+	failed := false
+	for _, o := range oldRep.Phases {
+		n := newRep.Phase(o.Name)
+		if n == nil {
+			rows = append(rows, []string{o.Name, fmt.Sprintf("%.1f", o.QPS), "-", "gone",
+				"", "", "", "", "", "", ""})
+			continue
+		}
+		rows = append(rows, []string{o.Name,
+			fmt.Sprintf("%.1f", o.QPS), fmt.Sprintf("%.1f", n.QPS), delta(o.QPS, n.QPS, threshold),
+			fmt.Sprintf("%.3f", o.P50Millis), fmt.Sprintf("%.3f", n.P50Millis),
+			fmt.Sprintf("%.3f", o.P99Millis), fmt.Sprintf("%.3f", n.P99Millis), delta(o.P99Millis, n.P99Millis, threshold),
+			fmt.Sprintf("%.1f", o.CacheHitPct), fmt.Sprintf("%.1f", n.CacheHitPct)})
+		if gate > 0 {
+			if o.QPS > 0 && (o.QPS-n.QPS)/o.QPS*100 > gate {
+				failed = true
+			}
+			if o.P99Millis > 0 && (n.P99Millis-o.P99Millis)/o.P99Millis*100 > gate {
+				failed = true
+			}
+		}
+	}
+	for _, n := range newRep.Phases {
+		if oldRep.Phase(n.Name) == nil {
+			rows = append(rows, []string{n.Name, "-", fmt.Sprintf("%.1f", n.QPS), "new",
+				"", "", "", "", "", "", ""})
+		}
+	}
+	printAligned(rows)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: load qps/p99 regression beyond %.0f%% gate\n", gate)
+		return 1
+	}
+	return 0
+}

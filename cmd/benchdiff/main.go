@@ -19,6 +19,10 @@
 // instead of text files, and the diff is per backend and worker count
 // (qps, p95, p99, speedup); -gate then fails on qps drops or p95/p99
 // rises beyond the percentage. Wired as `make bench-compare-parallel`.
+//
+// With -load, the arguments are BENCH_load.json artifacts (the nncload
+// serving-tier harness) and the diff is per phase (qps, p50, p99, cache
+// hit rate); -gate fails on qps drops or p99 rises. Wired as `make load`.
 package main
 
 import (
@@ -112,13 +116,17 @@ func main() {
 	threshold := flag.Float64("threshold", 10, "percent change below which a delta is reported as noise")
 	gate := flag.Float64("gate", 0, "fail (exit 1) if any ns/op regression exceeds this percent; 0 disables")
 	parallel := flag.Bool("parallel", false, "diff two BENCH_parallel.json artifacts (qps/p95/p99/speedup per worker count) instead of text benchmarks")
+	load := flag.Bool("load", false, "diff two BENCH_load.json artifacts (qps/p50/p99/hit-rate per phase) instead of text benchmarks")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold=pct] [-gate=pct] [-parallel] old new")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold=pct] [-gate=pct] [-parallel|-load] old new")
 		os.Exit(2)
 	}
 	if *parallel {
 		os.Exit(runParallelDiff(flag.Arg(0), flag.Arg(1), *threshold, *gate))
+	}
+	if *load {
+		os.Exit(runLoadDiff(flag.Arg(0), flag.Arg(1), *threshold, *gate))
 	}
 	oldM, oldOrder, err := parseFile(flag.Arg(0))
 	if err != nil {

@@ -3,7 +3,15 @@
 // Usage:
 //
 //	nncclient -addr=http://localhost:8080 -op=PSD -q="5000,5000,5000;5100,5050,4900"
+//	nncclient -addr=http://localhost:8080 -batch -q="1,2,3;4,5,6|7,8,9"
 //	nncclient -addr=http://localhost:8080 -health
+//
+// With -batch, -q holds several queries separated by "|" and the client
+// posts them as one POST /query/batch round trip.
+//
+// The client is a well-behaved citizen of a shedding server: a 429
+// answer is retried after the server's Retry-After delay (capped, at
+// most -retries times) instead of hammering a hot endpoint.
 package main
 
 import (
@@ -20,14 +28,20 @@ import (
 	"time"
 )
 
+// maxRetryAfter caps how long a single Retry-After is honored, so a
+// misconfigured server cannot park the client for minutes.
+const maxRetryAfter = 10 * time.Second
+
 func main() {
 	var (
-		addr   = flag.String("addr", "http://localhost:8080", "nncserver base URL")
-		op     = flag.String("op", "PSD", "operator: SSD, SSSD, PSD, FSD, F+SD")
-		k      = flag.Int("k", 1, "k-NN candidates")
-		metric = flag.String("metric", "", "metric: euclidean, manhattan, chebyshev")
-		q      = flag.String("q", "", "query instances, e.g. \"1,2,3;4,5,6\"")
-		health = flag.Bool("health", false, "just check /healthz")
+		addr    = flag.String("addr", "http://localhost:8080", "nncserver base URL")
+		op      = flag.String("op", "PSD", "operator: SSD, SSSD, PSD, FSD, F+SD")
+		k       = flag.Int("k", 1, "k-NN candidates")
+		metric  = flag.String("metric", "", "metric: euclidean, manhattan, chebyshev")
+		q       = flag.String("q", "", "query instances, e.g. \"1,2,3;4,5,6\" (with -batch, queries separated by \"|\")")
+		health  = flag.Bool("health", false, "just check /healthz")
+		batch   = flag.Bool("batch", false, "post all -q queries as one POST /query/batch")
+		retries = flag.Int("retries", 3, "max retries after a 429 (honoring Retry-After)")
 	)
 	flag.Parse()
 
@@ -40,6 +54,11 @@ func main() {
 		defer resp.Body.Close()
 		io.Copy(os.Stdout, resp.Body)
 		fmt.Println()
+		return
+	}
+
+	if *batch {
+		runBatch(client, *addr, *q, *op, *k, *metric, *retries)
 		return
 	}
 
@@ -56,41 +75,127 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	resp, err := client.Post(*addr+"/query", "application/json", bytes.NewReader(body))
+	raw, err := post(client, *addr+"/query", body, *retries)
 	if err != nil {
 		fatal(err)
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw))))
-	}
-	var out struct {
-		Operator   string `json:"operator"`
-		K          int    `json:"k"`
-		Candidates []struct {
-			ID         int     `json:"id"`
-			Label      string  `json:"label"`
-			MinDist    float64 `json:"min_dist"`
-			Dominators int     `json:"dominators"`
-		} `json:"candidates"`
-		Examined  int   `json:"examined"`
-		ElapsedUS int64 `json:"elapsed_us"`
-	}
+	var out queryResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s (k=%d): %d candidates, %d objects examined, %dµs server-side\n\n",
 		out.Operator, out.K, len(out.Candidates), out.Examined, out.ElapsedUS)
+	printCandidates(out.Candidates)
+}
+
+// queryResponse mirrors the server's single-query answer.
+type queryResponse struct {
+	Operator   string      `json:"operator"`
+	K          int         `json:"k"`
+	Candidates []candidate `json:"candidates"`
+	Examined   int         `json:"examined"`
+	ElapsedUS  int64       `json:"elapsed_us"`
+	Incomplete bool        `json:"incomplete,omitempty"`
+}
+
+type candidate struct {
+	ID         int     `json:"id"`
+	Label      string  `json:"label"`
+	MinDist    float64 `json:"min_dist"`
+	Dominators int     `json:"dominators"`
+}
+
+func printCandidates(cands []candidate) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "rank\tid\tlabel\tmin dist\tdominators")
-	for i, c := range out.Candidates {
+	for i, c := range cands {
 		fmt.Fprintf(tw, "%d\t%d\t%s\t%.2f\t%d\n", i+1, c.ID, c.Label, c.MinDist, c.Dominators)
 	}
 	tw.Flush()
+}
+
+// runBatch posts every "|"-separated query in one /query/batch request.
+func runBatch(client *http.Client, addr, q, op string, k int, metric string, retries int) {
+	var queries []map[string]interface{}
+	for _, part := range strings.Split(q, "|") {
+		instances, err := parseInstances(part)
+		if err != nil {
+			fatal(err)
+		}
+		queries = append(queries, map[string]interface{}{"instances": instances})
+	}
+	body, err := json.Marshal(map[string]interface{}{
+		"queries":  queries,
+		"operator": op,
+		"k":        k,
+		"metric":   metric,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := post(client, addr+"/query/batch", body, retries)
+	if err != nil {
+		fatal(err)
+	}
+	var out struct {
+		Operator        string          `json:"operator"`
+		K               int             `json:"k"`
+		Results         []queryResponse `json:"results"`
+		IncompleteSlots int             `json:"incomplete_slots,omitempty"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (k=%d): %d queries", out.Operator, out.K, len(out.Results))
+	if out.IncompleteSlots > 0 {
+		fmt.Printf(", %d incomplete", out.IncompleteSlots)
+	}
+	fmt.Println()
+	for i, r := range out.Results {
+		fmt.Printf("\nquery %d: %d candidates, %d examined, %dµs\n", i+1, len(r.Candidates), r.Examined, r.ElapsedUS)
+		printCandidates(r.Candidates)
+	}
+}
+
+// post sends the request, honoring 429 + Retry-After with capped backoff
+// up to retries attempts, and returns the response body on 2xx.
+func post(client *http.Client, url string, body []byte, retries int) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
+			wait := retryAfter(resp)
+			fmt.Fprintf(os.Stderr, "server shedding (%s), retrying in %v (%d/%d)\n",
+				strings.TrimSpace(string(raw)), wait, attempt+1, retries)
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			return nil, fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		return raw, nil
+	}
+}
+
+// retryAfter parses the Retry-After header (whole seconds), capped to
+// maxRetryAfter and floored at one second.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		return time.Second
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
 }
 
 // parseInstances parses "x1,x2,...;y1,y2,..." into rows.

@@ -1,0 +1,114 @@
+// Command nncload load-tests a front-doored nncserver and records
+// BENCH_load.json.
+//
+// Usage:
+//
+//	nncload -scale=small -gate -out=BENCH_load.json   # self-hosted smoke
+//	nncload -addr=http://localhost:8080 -conns=2000   # external target
+//
+// Without -addr it boots the full serving stack in-process (front door
+// over an in-memory backend, generated dataset) on a loopback listener
+// and drives that — the `make load` CI smoke. With -addr it drives a
+// running server; pass the same -n/-m/-dist/-seed the server was started
+// with so the generated query workload matches the served dataset.
+//
+// Three phases run back to back: uncached (every request a distinct
+// query), cached_hot (zipf-skewed draws over a small hot set), and
+// mutation_mix (the same skew with inserts/deletes blended in). With
+// -gate the exit status is 1 unless the cached hot set clears ≥ 3× the
+// uncached QPS with bounded p99 and zero errors — ratios within one run,
+// so the gate means the same thing on a laptop and a single-core CI box.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/harness"
+)
+
+var distNames = map[string]datagen.CenterDist{
+	"anti":  datagen.AntiCorrelated,
+	"indep": datagen.Independent,
+	"house": datagen.HouseLike,
+	"nba":   datagen.NBALike,
+	"gw":    datagen.GWLike,
+	"clust": datagen.Clustered,
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target base URL; empty self-hosts the stack in-process")
+		scale    = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		conns    = flag.Int("conns", 64, "concurrent connections")
+		requests = flag.Int("requests", 600, "measured requests per phase")
+		hot      = flag.Int("hot", 12, "hot query set size")
+		zipfS    = flag.Float64("zipf", 1.3, "zipf skew exponent (> 1)")
+		mutPct   = flag.Int("mutations", 10, "percent of mutation_mix requests that mutate")
+		op       = flag.String("op", "PSD", "operator: SSD, SSSD, PSD, FSD, F+SD")
+		k        = flag.Int("k", 4, "k-NN candidates")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		gate     = flag.Bool("gate", false, "exit 1 unless the cached/uncached thresholds hold")
+		out      = flag.String("out", "", "write the JSON artifact here (e.g. BENCH_load.json)")
+
+		// External-target dataset mirror (must match the server's flags).
+		n    = flag.Int("n", 2000, "external target: served dataset size")
+		m    = flag.Int("m", 10, "external target: instances per object")
+		dist = flag.String("dist", "anti", "external target: dataset distribution")
+	)
+	flag.Parse()
+
+	sc, err := harness.ParseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := *addr
+	var ds *datagen.Dataset
+	if base == "" {
+		ls, err := harness.StartLoadServer(sc, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ls.Close()
+		base = ls.URL
+		ds = ls.Dataset
+		log.Printf("self-hosting on %s", base)
+	} else {
+		centers, ok := distNames[*dist]
+		if !ok {
+			log.Fatalf("unknown -dist %q", *dist)
+		}
+		ds = datagen.Generate(datagen.Params{N: *n, M: *m, Centers: centers, Seed: *seed})
+	}
+
+	rep, err := harness.RunLoad(base, ds, sc, *scale, harness.LoadOptions{
+		Conns: *conns, Requests: *requests, HotSet: *hot, ZipfS: *zipfS,
+		MutationPct: *mutPct, Operator: *op, K: *k, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	if *gate {
+		if errs := rep.GateErrors(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "gate:", e)
+			}
+			os.Exit(1)
+		}
+		log.Printf("gate passed: cached_hot %.1f qps >= %.0fx uncached %.1f qps",
+			rep.Phase("cached_hot").QPS, harness.MinCachedSpeedup, rep.Phase("uncached").QPS)
+	}
+}

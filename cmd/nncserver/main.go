@@ -25,6 +25,15 @@
 // flight keep their snapshot, and a clean shutdown checkpoints so the
 // page file alone carries the index. Without -mutable those endpoints
 // answer 501.
+//
+// By default every backend serves behind the front door: request
+// coalescing, a semantic result cache with precise invalidation
+// (-cache-mb budget), optional per-client rate limiting (-rate, -burst),
+// a global in-flight ceiling (-max-inflight) and Prometheus-format
+// GET /metrics. Shed requests answer 429 with Retry-After. -no-front
+// serves the bare API. A -mutable boot comes up warming: the port
+// listens immediately, /readyz answers 503 until the WAL replay
+// finishes, then the index attaches and serving begins.
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -44,6 +54,7 @@ import (
 	"spatialdom/internal/diskindex"
 	"spatialdom/internal/pager"
 	"spatialdom/internal/server"
+	"spatialdom/internal/server/front"
 	"spatialdom/internal/uncertain"
 )
 
@@ -69,6 +80,12 @@ func main() {
 		frames  = flag.Int("frames", 256, "buffer pool frames for -disk")
 		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060)")
 		drain   = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+
+		noFront     = flag.Bool("no-front", false, "serve the bare API without the front door (no cache, no shedding, no /metrics)")
+		cacheMB     = flag.Int("cache-mb", 64, "semantic result cache budget in MiB; 0 disables the cache")
+		rate        = flag.Float64("rate", 0, "per-client requests/sec (token bucket); 0 disables rate limiting")
+		burst       = flag.Int("burst", 0, "per-client burst; 0 means 2x -rate")
+		maxInflight = flag.Int("max-inflight", 0, "global in-flight ceiling; 0 means 16x GOMAXPROCS, negative disables")
 	)
 	flag.Parse()
 
@@ -87,18 +104,66 @@ func main() {
 		}()
 	}
 
+	doorCfg := front.DoorConfig{CacheBytes: int64(*cacheMB) << 20}
+	if *cacheMB <= 0 {
+		doorCfg.CacheBytes = -1
+	}
+	frontCfg := front.Config{RatePerSec: *rate, Burst: *burst, MaxInFlight: *maxInflight}
+
+	// build wraps a ready backend in the front door (unless -no-front)
+	// and returns the HTTP entry point for it.
+	var fh *front.Handler
+	build := func(srv *server.Server, b server.Backend) http.Handler {
+		if *noFront {
+			srv.Attach(b)
+			return logging(srv)
+		}
+		door := front.NewDoor(b, doorCfg)
+		if fh == nil {
+			fh = front.NewHandler(srv, door, frontCfg)
+			srv.SetFront(fh)
+		} else {
+			fh.AttachDoor(door)
+		}
+		srv.Attach(door)
+		return logging(fh)
+	}
+
+	var handler http.Handler
 	var srv *server.Server
+	// mutIdx holds the mutable disk index once its (possibly async) WAL
+	// replay finishes, so shutdown can checkpoint it.
+	var mutIdx atomic.Pointer[diskindex.Index]
 	if *disk != "" && *mutable {
-		idx, err := diskindex.OpenFileMutable(*disk, &diskindex.MutableOptions{Frames: *frames})
-		if err != nil {
-			log.Fatal(err)
+		// Boot warming: the listener comes up immediately answering 503
+		// (readyz reports the replay), and Attach flips it live when the
+		// WAL replay finishes — a long replay no longer blanks the port.
+		srv = server.NewWarming("wal replay: " + *disk)
+		if *noFront {
+			handler = logging(srv)
+		} else {
+			fh = front.NewHandler(srv, nil, frontCfg)
+			srv.SetFront(fh)
+			handler = logging(fh)
 		}
-		defer idx.Close() // checkpoints, so a clean shutdown leaves an empty WAL
-		if rec := idx.WALRecovery(); rec != nil && rec.CommittedTxs > 0 {
-			log.Printf("recovered %d committed transaction(s) from the WAL", rec.CommittedTxs)
-		}
-		log.Printf("serving mutable disk index %s (epoch %d)", idx, idx.Epoch())
-		srv = server.NewBackend(idx)
+		go func() {
+			idx, err := diskindex.OpenFileMutable(*disk, &diskindex.MutableOptions{Frames: *frames})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rec := idx.WALRecovery(); rec != nil && rec.CommittedTxs > 0 {
+				log.Printf("recovered %d committed transaction(s) from the WAL", rec.CommittedTxs)
+			}
+			log.Printf("serving mutable disk index %s (epoch %d)", idx, idx.Epoch())
+			mutIdx.Store(idx)
+			if *noFront {
+				srv.Attach(idx)
+				return
+			}
+			door := front.NewDoor(idx, doorCfg)
+			fh.AttachDoor(door)
+			srv.Attach(door)
+		}()
 	} else if *disk != "" {
 		pf, err := pager.Open(*disk)
 		if err != nil {
@@ -111,7 +176,8 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("serving disk index %s", idx)
-		srv = server.NewBackend(idx)
+		srv = server.NewWarming("")
+		handler = build(srv, idx)
 	} else {
 		var objs []*uncertain.Object
 		if *input != "" {
@@ -130,15 +196,16 @@ func main() {
 			objs = ds.Objects
 			log.Printf("generated %d %s objects", len(objs), centers)
 		}
-		var err error
-		srv, err = server.New(objs)
+		store, err := front.NewMemStore(objs)
 		if err != nil {
 			log.Fatal(err)
 		}
+		srv = server.NewWarming("")
+		handler = build(srv, store)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(srv),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -165,6 +232,12 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("drain incomplete: %v", err)
+		}
+		if ix := mutIdx.Load(); ix != nil {
+			// Checkpoints, so a clean shutdown leaves an empty WAL.
+			if err := ix.Close(); err != nil {
+				log.Printf("closing mutable index: %v", err)
+			}
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)

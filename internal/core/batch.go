@@ -185,6 +185,24 @@ func (a *Admission) acquire(ctx context.Context) error {
 // release returns a token taken by acquire.
 func (a *Admission) release() { a.tokens <- struct{}{} }
 
+// TryAcquire claims a token without blocking. It exists for callers that
+// shed load instead of queueing — a serving tier that answers 429 when
+// the gate is full must never park a request goroutine here.
+func (a *Admission) TryAcquire() bool {
+	select {
+	case <-a.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token claimed by TryAcquire.
+func (a *Admission) Release() { a.release() }
+
+// InFlight reports how many tokens are currently held.
+func (a *Admission) InFlight() int { return cap(a.tokens) - len(a.tokens) }
+
 // --- pinned per-worker scratch -----------------------------------------------
 
 // pinnedScratchKey carries a batch worker's scratch through the context to

@@ -1,0 +1,166 @@
+package core
+
+// Answer shielding: the geometry behind the serving tier's precise cache
+// invalidation. A cached k-candidate answer for query Q survives a dataset
+// mutation exactly when the mutation provably cannot change the candidate
+// set or any candidate's dominator count:
+//
+// Insert of a new object O. Two conditions, both derived from the same
+// facts Algorithm 1's correctness rests on, jointly shield the answer:
+//
+//  1. O dominates no cached candidate. Statistic necessity (Theorem 11's
+//     min statistic, the property the engine orders its heap by) says any
+//     dominator U of V has min(U_Q) <= min(V_Q). Each candidate's exact
+//     key min(V_Q) is recorded in the answer, and min(O_Q) is lower-
+//     bounded by the metric's rect-rect distance between O's MBR and Q's
+//     MBR — so RectMinDist(O.MBR, Q.MBR) > max candidate key rules every
+//     domination out, leaving all dominator counts intact.
+//
+//  2. O is not itself a candidate. Theorem 4 (cover-based validation): if
+//     k cached candidates' MBRs strictly rect-dominate O's MBR w.r.t. the
+//     query instances, every object inside that MBR — O in particular —
+//     has at least k dominators and is outside the k-skyband. Candidates
+//     are precisely the band Algorithm 1 would have tested O against, so
+//     the test needs nothing beyond the cached answer.
+//
+// Since O neither joins the band nor dominates a band member, and
+// reported dominator counts only range over band members (every true
+// dominator of a candidate is itself a candidate — see the engine header:
+// a non-band dominator would carry k dominators of its own into V by
+// transitivity), the candidate list is bit-for-bit unchanged.
+//
+// Delete of an object X needs no geometry at all: by the same
+// transitivity argument, deleting a non-candidate X can neither promote
+// another object into the band (X's own >= k dominators keep dominating
+// anything X dominated) nor change a count (non-band objects are never
+// counted). So an answer is affected only when X is one of its result
+// IDs — the front door tests membership directly and nothing here is
+// needed beyond that rule, documented where the proof lives.
+
+import (
+	"spatialdom/internal/distr"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// AnswerShield is the per-answer invalidation decider, built once when a
+// result enters the cache and consulted on every subsequent insert. It
+// retains only rectangles and (hull) query points — no objects, no
+// checker arenas — so an entry's shield costs a few hundred bytes.
+type AnswerShield struct {
+	metric  geom.Metric
+	euclid  bool
+	qmbr    geom.Rect
+	hullPts []geom.Point
+	k       int
+	// maxKey is the largest exact candidate key min(V_Q); an inserted
+	// object whose MBR lower bound exceeds it cannot dominate anything in
+	// the answer.
+	maxKey float64
+	// band holds the candidates' MBRs for the Theorem 4 test.
+	band []geom.Rect
+}
+
+// shieldSlack mirrors the tolerances the checker decides dominance under
+// (distr.Eps on statistic comparisons, tieEps on heap-key ties): the
+// necessity bound must clear both before an insert is declared harmless.
+const shieldSlack = distr.Eps + tieEps
+
+// NewAnswerShield captures what a cached answer needs to survive
+// mutations: the query's MBR and hull instances, the candidate MBRs and
+// the largest exact candidate key. Under the Euclidean metric the point
+// set is reduced to the query's convex hull (the paper's geometric
+// restriction, exact for L2); other metrics keep every instance, exactly
+// as the checker does.
+func NewAnswerShield(q *uncertain.Object, m geom.Metric, k int, cands []Candidate) *AnswerShield {
+	if m == nil {
+		m = geom.Euclidean
+	}
+	s := &AnswerShield{
+		metric: m,
+		euclid: m == geom.Euclidean,
+		qmbr:   q.MBR(),
+		k:      k,
+	}
+	if s.euclid {
+		for _, j := range q.HullIndices() {
+			s.hullPts = append(s.hullPts, q.Instance(j))
+		}
+	} else {
+		for j := 0; j < q.Len(); j++ {
+			s.hullPts = append(s.hullPts, q.Instance(j))
+		}
+	}
+	s.band = make([]geom.Rect, len(cands))
+	for i, c := range cands {
+		s.band[i] = c.Object.MBR()
+		if c.MinDist > s.maxKey {
+			s.maxKey = c.MinDist
+		}
+	}
+	return s
+}
+
+// ShieldsInsert reports whether inserting an object bounded by r provably
+// leaves the shielded answer byte-identical: r is too far to dominate any
+// candidate (statistic necessity against the recorded keys) AND at least
+// k candidates strictly rect-dominate r (Theorem 4, so the new object is
+// outside the k-skyband). A false return means "could affect" — the
+// caller must drop the cached answer.
+func (s *AnswerShield) ShieldsInsert(r geom.Rect) bool {
+	if len(r.Lo) != len(s.qmbr.Lo) {
+		// Dimension mismatch should have been rejected upstream; treat it
+		// as unshielded so a bad insert can never preserve a stale answer.
+		return false
+	}
+	// Condition 1: min(O_Q) >= RectMinDist(r, qmbr) > maxKey + slack
+	// means O dominates nothing in the answer.
+	if s.metric.RectMinDist(r, s.qmbr) <= s.maxKey+shieldSlack*(1+s.maxKey) {
+		return false
+	}
+	// Condition 2: k strict MBR dominators among the candidates put O
+	// outside the band.
+	count := 0
+	for _, b := range s.band {
+		if le, strict := s.rectLE(b, r); le && strict {
+			count++
+			if count >= s.k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Candidates reports how many candidate rectangles the shield retains.
+func (s *AnswerShield) Candidates() int { return len(s.band) }
+
+// MaxKey reports the largest exact candidate key the shield guards.
+func (s *AnswerShield) MaxKey() float64 { return s.maxKey }
+
+// rectLE is the checker's MBR-level u ⪯Q v test (psd.go), restated over
+// the shield's retained hull points: every point of a at least as close
+// as every point of b to every hull query instance, with a strictness
+// witness. Strict MBR separation implies F-SD and, through the cover
+// chain (Theorem 2), dominance under every operator — which is why the
+// shield needs no record of which operator produced the answer.
+func (s *AnswerShield) rectLE(a, b geom.Rect) (le, strict bool) {
+	le = true
+	for _, q := range s.hullPts {
+		var maxA, minB float64
+		if s.euclid {
+			maxA = a.MaxSqDistPoint(q)
+			minB = b.MinSqDistPoint(q)
+		} else {
+			maxA = s.metric.MaxDistRect(q, a)
+			minB = s.metric.MinDistRect(q, b)
+		}
+		if maxA > minB {
+			return false, false
+		}
+		if maxA < minB {
+			strict = true
+		}
+	}
+	return le, strict
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// sameCandidates compares the stable part of two answers: IDs in rank
+// order, exact keys and dominator counts. Volatile fields (elapsed,
+// examined) are intentionally ignored — the cache stores encoded bodies,
+// but the invalidation contract is about the candidate list.
+func sameCandidates(a, b *Result) bool {
+	if len(a.Candidates) != len(b.Candidates) {
+		return false
+	}
+	for i := range a.Candidates {
+		ca, cb := a.Candidates[i], b.Candidates[i]
+		if ca.Object.ID() != cb.Object.ID() || ca.MinDist != cb.MinDist || ca.Dominators != cb.Dominators {
+			return false
+		}
+	}
+	return true
+}
+
+// Soundness: whenever the shield says an insert cannot affect a cached
+// answer, re-running the search on an index containing the new object
+// must reproduce the candidate list exactly — for every operator and for
+// both near and far insert positions, so the test exercises shielded and
+// unshielded geometry alike.
+func TestShieldInsertSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	objs := randDataset(rng, 50, 2, 4, 60)
+	idx, err := NewIndex(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	shielded, unshielded := 0, 0
+	nextID := 10000
+	for trial := 0; trial < 6; trial++ {
+		q := randObject(rng, 0, 2, 3, randCenter(rng, 2, 60), 5)
+		for _, op := range Operators {
+			base := idx.SearchK(q, op, k)
+			shield := NewAnswerShield(q, geom.Euclidean, k, base.Candidates)
+			for ins := 0; ins < 12; ins++ {
+				// Mix of placements: near the query (almost never
+				// shielded), mid-range, and far outside the hot region
+				// (usually shielded when the band is deep enough).
+				var center geom.Point
+				switch ins % 3 {
+				case 0:
+					center = randCenter(rng, 2, 60)
+				case 1:
+					center = geom.Point{rng.Float64()*40 + 100, rng.Float64()*40 + 100}
+				default:
+					center = geom.Point{rng.Float64()*200 + 400, rng.Float64()*200 + 400}
+				}
+				o := randObject(rng, nextID, 2, 3, center, 4)
+				nextID++
+				if !shield.ShieldsInsert(o.MBR()) {
+					unshielded++
+					continue
+				}
+				shielded++
+				grown, err := NewIndex(append(append([]*uncertain.Object{}, objs...), o))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh := grown.SearchK(q, op, k)
+				if !sameCandidates(base, fresh) {
+					t.Fatalf("op %v trial %d: shield approved insert id=%d at %v but answer changed:\nbase  %v\nfresh %v",
+						op, trial, o.ID(), center, base.IDs(), fresh.IDs())
+				}
+			}
+		}
+	}
+	if shielded == 0 {
+		t.Fatal("shield never fired — test exercised nothing")
+	}
+	t.Logf("shielded %d inserts, invalidated %d", shielded, unshielded)
+}
+
+// The shield must always fire for an insert far beyond the candidate keys
+// when the band is at least k deep — otherwise the cache would flush on
+// every unrelated mutation and the serving tier's hit rate collapses.
+func TestShieldInsertFarObjectShielded(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	objs := randDataset(rng, 40, 2, 4, 30)
+	idx, err := NewIndex(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randObject(rng, 0, 2, 3, geom.Point{15, 15}, 3)
+	res := idx.SearchK(q, SSD, 2)
+	if len(res.Candidates) < 2 {
+		t.Skip("band too shallow")
+	}
+	shield := NewAnswerShield(q, geom.Euclidean, 2, res.Candidates)
+	far := geom.NewRect(geom.Point{1e6, 1e6}, geom.Point{1e6 + 1, 1e6 + 1})
+	if !shield.ShieldsInsert(far) {
+		t.Fatal("distant insert not shielded")
+	}
+	// An insert landing right on the query must never be shielded.
+	near := geom.NewRect(geom.Point{14, 14}, geom.Point{16, 16})
+	if shield.ShieldsInsert(near) {
+		t.Fatal("insert on top of the query shielded")
+	}
+	// Dimension mismatch is conservatively unshielded.
+	if shield.ShieldsInsert(geom.NewRect(geom.Point{0, 0, 0}, geom.Point{1, 1, 1})) {
+		t.Fatal("dim-mismatched rect shielded")
+	}
+}
+
+// Deletion rule: removing an object that is not among the answer's result
+// IDs leaves the candidate list identical. This is the geometry-free half
+// of the invalidation contract the front door relies on (see shield.go's
+// header for the transitivity argument).
+func TestShieldDeleteNonCandidateHarmless(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	objs := randDataset(rng, 45, 2, 4, 50)
+	const k = 3
+	for trial := 0; trial < 4; trial++ {
+		q := randObject(rng, 0, 2, 3, randCenter(rng, 2, 50), 4)
+		for _, op := range Operators {
+			idx, err := NewIndex(objs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := idx.SearchK(q, op, k)
+			inAnswer := map[int]bool{}
+			for _, id := range base.IDs() {
+				inAnswer[id] = true
+			}
+			removed := 0
+			for _, o := range objs {
+				if inAnswer[o.ID()] {
+					continue
+				}
+				if !idx.Delete(o.ID()) {
+					t.Fatalf("delete %d failed", o.ID())
+				}
+				removed++
+				if removed == 10 {
+					break
+				}
+			}
+			fresh := idx.SearchK(q, op, k)
+			if !sameCandidates(base, fresh) {
+				t.Fatalf("op %v: deleting %d non-candidates changed the answer: %v -> %v",
+					op, removed, base.IDs(), fresh.IDs())
+			}
+		}
+	}
+}
+
+// Non-Euclidean shields fall back to the full instance set; soundness
+// must hold there too.
+func TestShieldInsertSoundnessManhattan(t *testing.T) {
+	rng := rand.New(rand.NewSource(904))
+	objs := randDataset(rng, 35, 2, 4, 40)
+	idx, err := NewIndex(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	opts := SearchOptions{Filters: AllFilters, Metric: geom.Manhattan}
+	shieldedTotal := 0
+	nextID := 20000
+	for trial := 0; trial < 4; trial++ {
+		q := randObject(rng, 0, 2, 3, randCenter(rng, 2, 40), 4)
+		base := idx.SearchKOpts(q, SSD, k, opts)
+		shield := NewAnswerShield(q, geom.Manhattan, k, base.Candidates)
+		for ins := 0; ins < 8; ins++ {
+			center := geom.Point{rng.Float64()*500 + 200, rng.Float64()*500 + 200}
+			if ins%2 == 0 {
+				center = randCenter(rng, 2, 40)
+			}
+			o := randObject(rng, nextID, 2, 3, center, 3)
+			nextID++
+			if !shield.ShieldsInsert(o.MBR()) {
+				continue
+			}
+			shieldedTotal++
+			grown, err := NewIndex(append(append([]*uncertain.Object{}, objs...), o))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := grown.SearchKOpts(q, SSD, k, opts)
+			if !sameCandidates(base, fresh) {
+				t.Fatalf("manhattan trial %d: shielded insert changed answer %v -> %v",
+					trial, base.IDs(), fresh.IDs())
+			}
+		}
+	}
+	if shieldedTotal == 0 {
+		t.Fatal("manhattan shield never fired")
+	}
+}
+
+func TestAdmissionTryAcquire(t *testing.T) {
+	a := NewAdmission(2)
+	if !a.TryAcquire() || !a.TryAcquire() {
+		t.Fatal("fresh gate refused tokens")
+	}
+	if a.TryAcquire() {
+		t.Fatal("over-admitted")
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	a.Release()
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("InFlight after release = %d, want 1", got)
+	}
+	if !a.TryAcquire() {
+		t.Fatal("released token not reusable")
+	}
+}

@@ -1,0 +1,496 @@
+package harness
+
+// HTTP load harness behind cmd/nncload → BENCH_load.json. Three phases
+// drive a serving stack over real TCP connections:
+//
+//	uncached      every request is a distinct query — each one pays for a
+//	              full engine search and establishes the baseline;
+//	cached_hot    a zipf-skewed draw over a small hot query set, warmed
+//	              first, so almost every request is a semantic-cache or
+//	              coalescer hit;
+//	mutation_mix  the same skewed draw with a slice of inserts/deletes
+//	              mixed in, exercising precise invalidation under load.
+//
+// The acceptance gate is relative, so it is meaningful on any machine
+// including a single-core CI box: the cached hot set must clear at least
+// MinCachedSpeedup× the uncached QPS (a cache hit skips the engine
+// entirely, so the ratio is hardware-independent), p99 must stay bounded
+// relative to the uncached baseline, and nothing may error.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/server"
+	"spatialdom/internal/server/front"
+	"spatialdom/internal/uncertain"
+)
+
+// MinCachedSpeedup is the gate's required cached-hot/uncached QPS ratio.
+const MinCachedSpeedup = 3.0
+
+// LoadOptions configures one load run. Zero fields take the documented
+// defaults.
+type LoadOptions struct {
+	Conns       int     // concurrent connections/workers (default 64)
+	Requests    int     // measured requests per phase (default 600)
+	HotSet      int     // hot query pool size (default 12)
+	ZipfS       float64 // zipf skew exponent, > 1 (default 1.3)
+	MutationPct int     // percent of mutation_mix requests that mutate (default 10)
+	Operator    string  // wire operator (default "PSD")
+	K           int     // k-NN candidates (default 4)
+	Seed        int64   // workload seed (default 1)
+}
+
+func (o *LoadOptions) defaults() {
+	if o.Conns <= 0 {
+		o.Conns = 64
+	}
+	if o.Requests <= 0 {
+		o.Requests = 600
+	}
+	if o.HotSet <= 0 {
+		o.HotSet = 12
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
+	}
+	if o.MutationPct <= 0 {
+		o.MutationPct = 10
+	}
+	if o.Operator == "" {
+		o.Operator = "PSD"
+	}
+	if o.K <= 0 {
+		o.K = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// LoadPhase is one phase's measured outcome.
+type LoadPhase struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`   // 429s (rate limit or ceiling)
+	Errors      int     `json:"errors"` // anything else non-2xx or transport
+	WallSeconds float64 `json:"wall_seconds"`
+	QPS         float64 `json:"qps"` // successful requests per second
+	P50Millis   float64 `json:"p50_ms"`
+	P95Millis   float64 `json:"p95_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	// CacheHitPct and CoalesceHits are deltas over the phase, read from
+	// the target's /healthz front block (zero when the target has no
+	// front door).
+	CacheHitPct  float64 `json:"cache_hit_pct"`
+	CoalesceHits int64   `json:"coalesce_hits"`
+}
+
+// LoadReport is the machine-readable outcome (BENCH_load.json).
+type LoadReport struct {
+	Scale      string `json:"scale"`
+	Seed       int64  `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// ForcedSingleProc marks a single-core recording; absolute QPS is not
+	// comparable across machines, but the gate's ratios still are.
+	ForcedSingleProc bool        `json:"forced_single_proc,omitempty"`
+	Conns            int         `json:"conns"`
+	HotSet           int         `json:"hot_set"`
+	ZipfS            float64     `json:"zipf_s"`
+	MutationPct      int         `json:"mutation_pct"`
+	Operator         string      `json:"operator"`
+	K                int         `json:"k"`
+	Phases           []LoadPhase `json:"phases"`
+}
+
+// Phase returns the named phase, or nil.
+func (r *LoadReport) Phase(name string) *LoadPhase {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// GateErrors applies the load acceptance thresholds. All thresholds are
+// ratios between phases of the same run, so the gate holds on one core.
+func (r *LoadReport) GateErrors() []error {
+	var errs []error
+	for _, p := range r.Phases {
+		if p.Errors > 0 {
+			errs = append(errs, fmt.Errorf("%s: %d errored requests", p.Name, p.Errors))
+		}
+	}
+	base := r.Phase("uncached")
+	hot := r.Phase("cached_hot")
+	if base == nil || hot == nil {
+		return append(errs, fmt.Errorf("report is missing the uncached/cached_hot phases"))
+	}
+	if hot.QPS < MinCachedSpeedup*base.QPS {
+		errs = append(errs, fmt.Errorf("cached_hot qps %.1f < %.0fx uncached qps %.1f",
+			hot.QPS, MinCachedSpeedup, base.QPS))
+	}
+	if base.P99Millis > 0 && hot.P99Millis > 2*base.P99Millis {
+		errs = append(errs, fmt.Errorf("cached_hot p99 %.3fms > 2x uncached p99 %.3fms",
+			hot.P99Millis, base.P99Millis))
+	}
+	if mix := r.Phase("mutation_mix"); mix != nil && base.P99Millis > 0 && mix.P99Millis > 3*base.P99Millis {
+		errs = append(errs, fmt.Errorf("mutation_mix p99 %.3fms > 3x uncached p99 %.3fms",
+			mix.P99Millis, base.P99Millis))
+	}
+	return errs
+}
+
+// WriteText renders the report as an aligned table.
+func (r *LoadReport) WriteText(w io.Writer) error {
+	t := Table{
+		Title: fmt.Sprintf("load %s k=%d (conns=%d, %d req/phase, hot=%d zipf=%.1f, mut=%d%%, GOMAXPROCS=%d)",
+			r.Operator, r.K, r.Conns, phaseRequests(r), r.HotSet, r.ZipfS, r.MutationPct, r.GOMAXPROCS),
+		Columns: []string{"phase", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "hit %", "coalesced", "shed", "errors"},
+	}
+	for _, p := range r.Phases {
+		t.AddRow(p.Name,
+			fmt.Sprintf("%.1f", p.QPS),
+			fmt.Sprintf("%.3f", p.P50Millis),
+			fmt.Sprintf("%.3f", p.P95Millis),
+			fmt.Sprintf("%.3f", p.P99Millis),
+			fmt.Sprintf("%.1f", p.CacheHitPct),
+			fmt.Sprint(p.CoalesceHits),
+			fmt.Sprint(p.Shed),
+			fmt.Sprint(p.Errors))
+	}
+	return t.WriteText(w)
+}
+
+func phaseRequests(r *LoadReport) int {
+	if len(r.Phases) == 0 {
+		return 0
+	}
+	return r.Phases[0].Requests
+}
+
+// WriteJSON writes the report to path with a trailing newline.
+func (r *LoadReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// --- self-hosted target -------------------------------------------------------
+
+// LoadServer is an in-process serving stack on a loopback listener, the
+// default nncload target when no -addr is given: Handler → Server → Door
+// → MemStore over a generated dataset.
+type LoadServer struct {
+	URL     string
+	Dataset *datagen.Dataset
+	hs      *http.Server
+	ln      net.Listener
+}
+
+// StartLoadServer builds and serves the stack. The in-flight ceiling is
+// disabled so the harness measures cache/coalesce behavior, not shedding
+// (shedding has its own unit tests); rate limiting is off for the same
+// reason.
+func StartLoadServer(sc Scale, seed int64) (*LoadServer, error) {
+	sp := specFor(sc)
+	ds := datagen.Generate(datagen.Params{
+		N: sp.N, M: sp.Md, EdgeLen: sp.Hd, Centers: datagen.AntiCorrelated, Seed: seed,
+	})
+	store, err := front.NewMemStore(ds.Objects)
+	if err != nil {
+		return nil, err
+	}
+	door := front.NewDoor(store, front.DoorConfig{})
+	srv := server.NewBackend(door)
+	h := front.NewHandler(srv, door, front.Config{MaxInFlight: -1})
+	srv.SetFront(h)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return &LoadServer{URL: "http://" + ln.Addr().String(), Dataset: ds, hs: hs, ln: ln}, nil
+}
+
+// Close stops the listener and drops in-flight connections.
+func (s *LoadServer) Close() error { return s.hs.Close() }
+
+// --- the run ------------------------------------------------------------------
+
+// wireReq is one scheduled HTTP request.
+type wireReq struct {
+	path string
+	body []byte
+}
+
+// RunLoad drives base with the three phases and returns the report. ds
+// supplies query geometry matching the served dataset (use the
+// LoadServer's dataset, or regenerate with the serving flags for an
+// external target). scaleName is recorded verbatim in the artifact.
+func RunLoad(base string, ds *datagen.Dataset, sc Scale, scaleName string, opts LoadOptions) (*LoadReport, error) {
+	opts.defaults()
+	sp := specFor(sc)
+	rep := &LoadReport{
+		Scale:            scaleName,
+		Seed:             opts.Seed,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		ForcedSingleProc: runtime.GOMAXPROCS(0) == 1,
+		Conns:            opts.Conns,
+		HotSet:           opts.HotSet,
+		ZipfS:            opts.ZipfS,
+		MutationPct:      opts.MutationPct,
+		Operator:         opts.Operator,
+		K:                opts.K,
+	}
+
+	client := &http.Client{
+		Timeout: 2 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Conns * 2,
+			MaxIdleConnsPerHost: opts.Conns * 2,
+		},
+	}
+
+	hot := ds.Queries(opts.HotSet, sp.Mq, sp.Hq, opts.Seed+101)
+	cold := ds.Queries(opts.Requests, sp.Mq, sp.Hq, opts.Seed+202)
+	hotBodies := make([][]byte, len(hot))
+	for i, q := range hot {
+		hotBodies[i] = queryJSON(q, opts.Operator, opts.K)
+	}
+
+	// Phase 1: uncached — every request a distinct query.
+	coldReqs := make([]wireReq, opts.Requests)
+	for i := range coldReqs {
+		coldReqs[i] = wireReq{"/query", queryJSON(cold[i%len(cold)], opts.Operator, opts.K)}
+	}
+	p, err := runPhase(client, base, "uncached", coldReqs, opts.Conns)
+	if err != nil {
+		return nil, err
+	}
+	rep.Phases = append(rep.Phases, p)
+
+	// Phase 2: cached hot set — warm each hot query once (unmeasured),
+	// then a zipf-skewed measured draw.
+	for _, b := range hotBodies {
+		if _, _, err := fire(client, base, wireReq{"/query", b}); err != nil {
+			return nil, fmt.Errorf("warming hot set: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 303))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(hotBodies)-1))
+	hotReqs := make([]wireReq, opts.Requests)
+	for i := range hotReqs {
+		hotReqs[i] = wireReq{"/query", hotBodies[zipf.Uint64()]}
+	}
+	p, err = runPhase(client, base, "cached_hot", hotReqs, opts.Conns)
+	if err != nil {
+		return nil, err
+	}
+	rep.Phases = append(rep.Phases, p)
+
+	// Phase 3: the same skew with mutations mixed in. Deletes target a
+	// pool inserted up front (sequentially, unmeasured) so no delete can
+	// race its own insert; inserts use fresh ids above the pool.
+	nMut := opts.Requests * opts.MutationPct / 100
+	pool := mutationObjects(ds, sp, opts.Seed+404, nMut)
+	for _, o := range pool[:nMut/2] {
+		if _, _, err := fire(client, base, wireReq{"/insert", objectJSON(o)}); err != nil {
+			return nil, fmt.Errorf("seeding mutation pool: %w", err)
+		}
+	}
+	mixReqs := make([]wireReq, opts.Requests)
+	mutEvery := opts.Requests / max(nMut, 1)
+	if mutEvery < 1 {
+		mutEvery = 1
+	}
+	del, ins := 0, nMut/2
+	for i := range mixReqs {
+		if nMut > 0 && i%mutEvery == mutEvery-1 {
+			if i/mutEvery%2 == 0 && del < nMut/2 {
+				mixReqs[i] = wireReq{"/delete", []byte(fmt.Sprintf(`{"id":%d}`, pool[del].ID()))}
+				del++
+				continue
+			}
+			if ins < len(pool) {
+				mixReqs[i] = wireReq{"/insert", objectJSON(pool[ins])}
+				ins++
+				continue
+			}
+		}
+		mixReqs[i] = wireReq{"/query", hotBodies[zipf.Uint64()]}
+	}
+	p, err = runPhase(client, base, "mutation_mix", mixReqs, opts.Conns)
+	if err != nil {
+		return nil, err
+	}
+	rep.Phases = append(rep.Phases, p)
+	return rep, nil
+}
+
+// mutationObjects synthesizes dataset-shaped objects with fresh positive
+// ids for the mutation phase.
+func mutationObjects(ds *datagen.Dataset, sp spec, seed int64, n int) []*uncertain.Object {
+	raw := ds.Queries(max(n, 1), sp.Md, sp.Hd, seed)
+	out := make([]*uncertain.Object, len(raw))
+	for i, q := range raw {
+		pts := make([]geom.Point, q.Len())
+		probs := make([]float64, q.Len())
+		for j := 0; j < q.Len(); j++ {
+			pts[j] = geom.Point(q.Instance(j))
+			probs[j] = q.Prob(j)
+		}
+		out[i] = uncertain.MustNew(10_000_000+i, pts, probs)
+	}
+	return out
+}
+
+// runPhase fires reqs through conns workers and aggregates the outcome,
+// bracketing the phase with /healthz front-stat snapshots for hit-rate
+// and coalesce deltas.
+func runPhase(client *http.Client, base, name string, reqs []wireReq, conns int) (LoadPhase, error) {
+	before := fetchFront(client, base)
+
+	var next atomic.Int64
+	var ok, shed, errs atomic.Int64
+	lats := make([][]float64, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]float64, 0, len(reqs)/conns+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					break
+				}
+				t0 := time.Now()
+				status, _, err := fire(client, base, reqs[i])
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				case status >= 200 && status < 300:
+					ok.Add(1)
+					mine = append(mine, ms)
+				default:
+					errs.Add(1)
+				}
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	after := fetchFront(client, base)
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	p := LoadPhase{
+		Name:         name,
+		Requests:     len(reqs),
+		OK:           int(ok.Load()),
+		Shed:         int(shed.Load()),
+		Errors:       int(errs.Load()),
+		WallSeconds:  wall,
+		CoalesceHits: after.coalesce - before.coalesce,
+	}
+	if wall > 0 {
+		p.QPS = float64(p.OK) / wall
+	}
+	if len(all) > 0 {
+		p.P50Millis = percentile(all, 50)
+		p.P95Millis = percentile(all, 95)
+		p.P99Millis = percentile(all, 99)
+	}
+	if lookups := (after.hits - before.hits) + (after.misses - before.misses); lookups > 0 {
+		p.CacheHitPct = 100 * float64(after.hits-before.hits) / float64(lookups)
+	}
+	return p, nil
+}
+
+// fire executes one request and returns (status, retryAfterHeader, err).
+func fire(client *http.Client, base string, r wireReq) (int, string, error) {
+	resp, err := client.Post(base+r.path, "application/json", bytes.NewReader(r.body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// frontSnap is the subset of /healthz front stats the harness deltas.
+type frontSnap struct{ hits, misses, coalesce int64 }
+
+// fetchFront reads the target's front stats; a target without a front
+// door (or an unreachable healthz) yields zeros, degrading the report's
+// hit-rate columns instead of failing the run.
+func fetchFront(client *http.Client, base string) frontSnap {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return frontSnap{}
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Front *server.FrontStats `json:"front"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) != nil || body.Front == nil {
+		return frontSnap{}
+	}
+	return frontSnap{
+		hits:     body.Front.CacheHits,
+		misses:   body.Front.CacheMisses,
+		coalesce: body.Front.CoalesceHits,
+	}
+}
+
+// queryJSON encodes one POST /query body.
+func queryJSON(q *uncertain.Object, op string, k int) []byte {
+	inst := make([][]float64, q.Len())
+	for i := 0; i < q.Len(); i++ {
+		inst[i] = q.Instance(i)
+	}
+	b, _ := json.Marshal(map[string]interface{}{"instances": inst, "operator": op, "k": k})
+	return b
+}
+
+// objectJSON encodes one POST /insert body.
+func objectJSON(o *uncertain.Object) []byte {
+	inst := make([][]float64, o.Len())
+	probs := make([]float64, o.Len())
+	for i := 0; i < o.Len(); i++ {
+		inst[i] = o.Instance(i)
+		probs[i] = o.Prob(i)
+	}
+	b, _ := json.Marshal(map[string]interface{}{"id": o.ID(), "instances": inst, "probs": probs})
+	return b
+}

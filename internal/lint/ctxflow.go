@@ -95,7 +95,8 @@ func checkCtxFlow(prog *Program, r *Reporter) {
 
 func ctxScopedPkg(path string) bool {
 	seg := path[strings.LastIndex(path, "/")+1:]
-	return seg == "core" || seg == "diskindex" || seg == "server" || strings.Contains(path, "ctxflow")
+	return seg == "core" || seg == "diskindex" || seg == "server" || seg == "front" ||
+		strings.Contains(path, "ctxflow")
 }
 
 // sleepScopedPkg widens the ctx-scoped set with the storage substrate,

@@ -11,9 +11,9 @@
 //   - scratch-escape: values carved out of internal/slab arenas or a
 //     core.CheckScratch must not outlive their search (no package-level
 //     stores, channel sends, or go-statement captures);
-//   - lock-balance: every Lock/RLock in the pager, diskindex and wal
-//     packages is released on all return paths, and no page-file I/O or
-//     WAL append runs while a shard lock is held;
+//   - lock-balance: every Lock/RLock in the pager, diskindex, wal and
+//     front packages is released on all return paths, and no page-file
+//     I/O, WAL append or engine search runs while a shard lock is held;
 //   - ctx-flow: exported engine/backend methods that reach storage I/O take
 //     a context.Context and actually forward it;
 //   - no-reflect-sort: the hot packages never regress to reflection-based

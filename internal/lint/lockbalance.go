@@ -43,7 +43,8 @@ func checkLockBalance(prog *Program, r *Reporter) {
 
 func lockScopedPkg(path string) bool {
 	seg := path[strings.LastIndex(path, "/")+1:]
-	return seg == "pager" || seg == "diskindex" || seg == "wal" || strings.Contains(path, "lockbalance") // testdata corpora
+	return seg == "pager" || seg == "diskindex" || seg == "wal" || seg == "front" ||
+		strings.Contains(path, "lockbalance") // testdata corpora
 }
 
 // ioMethods are the blocking storage primitives that must never run under
@@ -61,6 +62,17 @@ var ioMethods = map[string]bool{
 	"AppendPageImage":  true,
 	"AppendCommit":     true,
 	"AppendCheckpoint": true,
+}
+
+// lockIOMethods extends ioMethods for the I/O-under-lock scan only: an
+// engine search may walk the disk index, so the front door's cache and
+// coalescer shard locks must never be held across one, or a slow page
+// read serializes every request hashing to that shard. ctx-flow's
+// reachability keeps using ioMethods alone — Search/SearchK are the
+// documented nil-ctx compat wrappers around SearchKCtx and must not be
+// reclassified as direct storage I/O.
+var lockIOMethods = map[string]bool{
+	"SearchKCtx": true,
 }
 
 type heldLock struct {
@@ -295,7 +307,7 @@ func (w *lockWalker) scanIOUnderLock(n ast.Node) {
 			return true
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || !ioMethods[sel.Sel.Name] {
+		if !ok || (!ioMethods[sel.Sel.Name] && !lockIOMethods[sel.Sel.Name]) {
 			return true
 		}
 		selection, ok := w.pkg.Info.Selections[sel]
@@ -308,7 +320,8 @@ func (w *lockWalker) scanIOUnderLock(n ast.Node) {
 		}
 		path := fn.Pkg().Path()
 		if !strings.Contains(path, "/pager") && !strings.Contains(path, "/diskindex") &&
-			!strings.Contains(path, "/wal") && !strings.Contains(path, "lockbalance") {
+			!strings.Contains(path, "/wal") && !strings.Contains(path, "/server") &&
+			!strings.Contains(path, "lockbalance") {
 			return true
 		}
 		w.r.Report(call.Pos(), "lock-balance",

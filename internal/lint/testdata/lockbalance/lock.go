@@ -97,3 +97,47 @@ func (s *store) WALCheckpointAfterUnlock() error {
 	s.mu.Unlock()
 	return s.f.AppendCheckpoint(tx) // lock released before the fsync: clean
 }
+
+// The engine stand-in mirrors the front door's hazard: SearchKCtx may
+// walk the disk index, so a cache/coalescer shard lock held across it
+// serializes every request hashing to that shard behind a page read.
+type engine struct{}
+
+func (engine) SearchKCtx(q, op, k, opts int) (int, error) { return 0, nil }
+
+type cacheShard struct {
+	mu      sync.Mutex
+	eng     engine
+	entries map[string]int
+}
+
+func (c *cacheShard) SearchUnderShardLock(q int) (int, error) {
+	c.mu.Lock()
+	res, err := c.eng.SearchKCtx(q, 0, 1, 0) //wantlint lock-balance: while c.mu is held
+	c.mu.Unlock()
+	return res, err
+}
+
+func (c *cacheShard) LookupThenSearch(key string, q int) (int, error) {
+	c.mu.Lock()
+	if v, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	res, err := c.eng.SearchKCtx(q, 0, 1, 0) // miss path searches outside the lock: clean
+	c.mu.Lock()
+	c.entries[key] = res
+	c.mu.Unlock()
+	return res, err
+}
+
+func (c *cacheShard) LeakOnMiss(key string) (int, bool) {
+	c.mu.Lock()
+	v, ok := c.entries[key]
+	if !ok {
+		return 0, false //wantlint lock-balance: still locked
+	}
+	c.mu.Unlock()
+	return v, true
+}

@@ -82,6 +82,10 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	b := s.serving(w)
+	if b == nil {
+		return
+	}
 	if len(req.Queries) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
@@ -105,7 +109,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = 1
 	}
-	if k < 1 || k > s.b.Len() {
+	if k < 1 || k > b.Len() {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range", k))
 		return
 	}
@@ -120,9 +124,9 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
 			return
 		}
-		if q.Dim() != s.b.Dim() {
+		if q.Dim() != b.Dim() {
 			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("query %d: dim %d != dataset dim %d", i, q.Dim(), s.b.Dim()))
+				fmt.Errorf("query %d: dim %d != dataset dim %d", i, q.Dim(), b.Dim()))
 			return
 		}
 		queries[i] = q
@@ -134,7 +138,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Degraded slots never surface as a batch error (the engine stores the
 	// flagged result and keeps going), so any error here is hard.
-	results, err := core.SearchParallelOpts(r.Context(), s.b, queries, op, k,
+	results, err := core.SearchParallelOpts(r.Context(), b, queries, op, k,
 		core.SearchOptions{Filters: core.AllFilters, Metric: metric},
 		core.BatchOptions{Workers: workers, Admission: s.adm})
 	if err != nil {

@@ -1,0 +1,73 @@
+package front
+
+// Request coalescing: when N identical searches are in flight at once,
+// exactly one (the leader) runs the engine; the other N-1 (waiters)
+// block on the leader's completion frame and share its result. This is
+// the buffer pool's loading-frame protocol lifted from pages to whole
+// queries — same shape, same rules: registration is the only critical
+// section, the search itself runs unlocked, and waiters honor their own
+// context instead of being chained to the leader's.
+//
+// The flight key is the canonical query Key *plus the Door epoch*: a
+// search admitted after a mutation must not join a flight started before
+// it, or it could observe the pre-mutation snapshot. (The cache handles
+// this with tags; flights handle it by keying.)
+//
+// Leader failure does not fan out: a waiter whose leader returned an
+// error falls back to running its own search. The common failure there
+// is the leader's client disconnecting — its context dies with it, and
+// punishing the surviving waiters for that would turn one flaky client
+// into N failed requests.
+
+import (
+	"sync"
+
+	"spatialdom/internal/core"
+)
+
+// flight is one in-progress search execution.
+type flight struct {
+	done chan struct{} // closed by the leader when res/err are set
+	res  *core.Result
+	err  error
+}
+
+// coalescer tracks in-flight searches by (key, epoch).
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[flightKey]*flight
+}
+
+type flightKey struct {
+	key   Key
+	epoch uint64
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[flightKey]*flight)}
+}
+
+// join returns the flight for fk and whether the caller is its leader.
+// The leader must eventually call land; waiters select on f.done against
+// their own context.
+func (c *coalescer) join(fk flightKey) (f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[fk]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[fk] = f
+	return f, true
+}
+
+// land publishes the leader's outcome and retires the flight. Requests
+// arriving after this start a fresh flight (and will usually hit the
+// cache instead).
+func (c *coalescer) land(fk flightKey, f *flight, res *core.Result, err error) {
+	f.res, f.err = res, err
+	c.mu.Lock()
+	delete(c.flights, fk)
+	c.mu.Unlock()
+	close(f.done)
+}

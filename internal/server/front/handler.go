@@ -1,0 +1,291 @@
+package front
+
+// Handler is the HTTP face of the front door: per-client rate limiting,
+// a global in-flight ceiling, request metrics and GET /metrics — wrapped
+// around the API server (or any http.Handler). Overload policy: shed
+// early, shed cheap. A shed request costs one map lookup and one atomic;
+// it never touches the engine, never queues, and always carries
+// Retry-After so well-behaved clients (cmd/nncclient) back off instead
+// of retrying hot.
+
+import (
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/server"
+)
+
+// Config tunes a Handler. The zero value enables the global ceiling at
+// its default and disables per-client limiting.
+type Config struct {
+	// RatePerSec grants each client this many requests per second
+	// (token bucket); <= 0 disables per-client limiting.
+	RatePerSec float64
+	// Burst is the per-client bucket capacity; < 1 means 2×RatePerSec
+	// (min 1).
+	Burst int
+	// MaxInFlight caps concurrently served gated requests process-wide;
+	// 0 means DefaultMaxInFlight(), negative disables the ceiling.
+	MaxInFlight int
+	// ClientHeader names the header identifying a client for rate
+	// limiting; empty means "X-Client-ID", falling back to the remote
+	// address host when the header is absent.
+	ClientHeader string
+}
+
+// DefaultMaxInFlight is the default global ceiling: generous enough that
+// only genuine overload trips it, bounded so overload sheds instead of
+// stacking goroutines behind the engine.
+func DefaultMaxInFlight() int {
+	n := 16 * runtime.GOMAXPROCS(0)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Handler wraps an API handler with shedding and metrics. Build with
+// NewHandler; it implements http.Handler and server.FrontReporter.
+type Handler struct {
+	inner        http.Handler
+	door         atomic.Pointer[Door] // nil until attached: shedding/metrics only
+	limiter      *rateLimiter
+	gate         *core.Admission // nil when ceiling disabled
+	clientHeader string
+
+	reg          *Registry
+	shedRate     *Counter
+	shedCapacity *Counter
+	inFlight     atomic.Int64
+	latency      map[string]*Histogram // by endpoint class
+	responses    map[int]*Counter      // by status bucket (2xx..5xx)
+}
+
+// endpointClasses are the latency-histogram label values; request paths
+// map onto them in classify.
+var endpointClasses = []string{"query", "query_batch", "query_stream", "insert", "delete", "objects", "other"}
+
+func classify(path string) string {
+	switch path {
+	case "/query":
+		return "query"
+	case "/query/batch":
+		return "query_batch"
+	case "/query/stream":
+		return "query_stream"
+	case "/insert":
+		return "insert"
+	case "/delete":
+		return "delete"
+	}
+	if len(path) >= len("/objects") && path[:len("/objects")] == "/objects" {
+		return "objects"
+	}
+	return "other"
+}
+
+// NewHandler wraps inner. door may be nil (no cache layer to report);
+// when present its counters are exported on /metrics and /healthz.
+func NewHandler(inner http.Handler, door *Door, cfg Config) *Handler {
+	h := &Handler{
+		inner:        inner,
+		clientHeader: cfg.ClientHeader,
+		reg:          NewRegistry(),
+		latency:      map[string]*Histogram{},
+		responses:    map[int]*Counter{},
+	}
+	if h.clientHeader == "" {
+		h.clientHeader = "X-Client-ID"
+	}
+	burst := cfg.Burst
+	if burst < 1 {
+		burst = int(2 * cfg.RatePerSec)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	h.limiter = newRateLimiter(cfg.RatePerSec, burst)
+	switch {
+	case cfg.MaxInFlight == 0:
+		h.gate = core.NewAdmission(DefaultMaxInFlight())
+	case cfg.MaxInFlight > 0:
+		h.gate = core.NewAdmission(cfg.MaxInFlight)
+	}
+
+	r := h.reg
+	h.shedRate = r.Counter("sd_shed_rate_limited_total", "Requests shed by per-client rate limiting.")
+	h.shedCapacity = r.Counter("sd_shed_capacity_total", "Requests shed by the global in-flight ceiling.")
+	r.GaugeFunc("sd_inflight_requests", "Gated requests currently being served.", nil,
+		func() float64 { return float64(h.inFlight.Load()) })
+	r.GaugeFunc("sd_rate_limited_clients", "Client token buckets currently tracked.", nil,
+		func() float64 { return float64(h.limiter.clients()) })
+	for _, class := range endpointClasses {
+		h.latency[class] = r.Histogram("sd_request_duration_seconds",
+			"Wall time per served request.", map[string]string{"op": class}, DefBuckets)
+	}
+	for _, code := range []int{200, 300, 400, 500} {
+		h.responses[code] = r.Counter("sd_responses_total_"+strconv.Itoa(code/100)+"xx",
+			"Responses by status class.")
+	}
+	h.AttachDoor(door)
+	return h
+}
+
+// AttachDoor wires a Door created after the Handler — the warming-boot
+// path, where the mutable index (and hence the Door over it) exists only
+// once WAL replay finishes. The first attach wins and registers the
+// door's counters on /metrics; later calls are no-ops.
+func (h *Handler) AttachDoor(door *Door) {
+	if door == nil || !h.door.CompareAndSwap(nil, door) {
+		return
+	}
+	r := h.reg
+	r.CounterFunc("sd_cache_hits_total", "Semantic result cache hits.", nil,
+		func() float64 { return float64(door.Stats().Cache.Hits) })
+	r.CounterFunc("sd_cache_misses_total", "Semantic result cache misses.", nil,
+		func() float64 { return float64(door.Stats().Cache.Misses) })
+	r.CounterFunc("sd_cache_evictions_total", "Cache entries evicted by the byte budget.", nil,
+		func() float64 { return float64(door.Stats().Cache.Evictions) })
+	r.CounterFunc("sd_cache_invalidations_total", "Cache entries invalidated by mutations.", nil,
+		func() float64 { return float64(door.Stats().Cache.Invalidations) })
+	r.GaugeFunc("sd_cache_bytes", "Bytes held by the result cache.", nil,
+		func() float64 { return float64(door.Stats().Cache.Bytes) })
+	r.GaugeFunc("sd_cache_entries", "Entries held by the result cache.", nil,
+		func() float64 { return float64(door.Stats().Cache.Entries) })
+	r.CounterFunc("sd_coalesce_hits_total", "Searches answered by joining an in-flight identical search.", nil,
+		func() float64 { return float64(door.Stats().CoalesceHits) })
+	r.CounterFunc("sd_mutation_epoch", "Door mutation clock.", nil,
+		func() float64 { return float64(door.Stats().Epoch) })
+}
+
+// Registry exposes the metrics registry so the process can register
+// additional collectors (backend fault counters, server panic counts)
+// before serving.
+func (h *Handler) Registry() *Registry { return h.reg }
+
+// exempt paths bypass shedding entirely: health probes and scrapes must
+// work during the exact overloads shedding exists for.
+func exempt(path string) bool {
+	return path == "/healthz" || path == "/readyz" || path == "/metrics"
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if path == "/metrics" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		h.reg.ServeHTTP(w, r)
+		return
+	}
+	if exempt(path) {
+		h.inner.ServeHTTP(w, r)
+		return
+	}
+
+	if ok, retry := h.limiter.allow(h.clientKey(r)); !ok {
+		h.shedRate.Inc()
+		h.shed(w, retry, "rate_limited", "per-client rate limit exceeded")
+		return
+	}
+	if h.gate != nil {
+		if !h.gate.TryAcquire() {
+			h.shedCapacity.Inc()
+			h.shed(w, time.Second, "overloaded", "server at concurrency ceiling")
+			return
+		}
+		defer h.gate.Release()
+	}
+
+	h.inFlight.Add(1)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	h.inner.ServeHTTP(sw, r)
+	h.inFlight.Add(-1)
+	h.latency[classify(path)].Observe(time.Since(start).Seconds())
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	if c, ok := h.responses[(status/100)*100]; ok {
+		c.Inc()
+	}
+}
+
+// clientKey identifies the caller for rate limiting: the client header
+// when present, else the remote host (ignoring the ephemeral port, so
+// one machine's connections share a bucket).
+func (h *Handler) clientKey(r *http.Request) string {
+	if v := r.Header.Get(h.clientHeader); v != "" {
+		return v
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// shed answers 429 with Retry-After (whole seconds, min 1) and the API's
+// JSON error shape.
+func (h *Handler) shed(w http.ResponseWriter, retry time.Duration, code, msg string) {
+	secs := int(retry / time.Second)
+	if retry%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	w.Write([]byte(`{"error":"` + msg + `","code":"` + code + `"}` + "\n"))
+}
+
+// statusWriter records the status code for the response counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher when the underlying writer supports it —
+// /query/stream needs it through the middleware.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// --- healthz integration ------------------------------------------------------
+
+// FrontStats implements server.FrontReporter: the serving-tier counters
+// /healthz folds into its report.
+func (h *Handler) FrontStats() server.FrontStats {
+	fs := server.FrontStats{
+		ShedRateLimited: h.shedRate.Value(),
+		ShedCapacity:    h.shedCapacity.Value(),
+		InFlight:        h.inFlight.Load(),
+	}
+	if d := h.door.Load(); d != nil {
+		ds := d.Stats()
+		fs.CacheHits = ds.Cache.Hits
+		fs.CacheMisses = ds.Cache.Misses
+		fs.CacheEvictions = ds.Cache.Evictions
+		fs.CacheInvalidations = ds.Cache.Invalidations
+		fs.CacheBytes = ds.Cache.Bytes
+		fs.CacheEntries = ds.Cache.Entries
+		fs.CoalesceHits = ds.CoalesceHits
+		fs.Epoch = ds.Epoch
+	}
+	return fs
+}

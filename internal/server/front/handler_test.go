@@ -1,0 +1,249 @@
+package front
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialdom/internal/server"
+)
+
+// newStack builds the full serving stack: Handler → Server → Door →
+// MemStore, returning the pieces.
+func newStack(t *testing.T, seed int64, n int, cfg Config) (*Handler, *server.Server, *Door, *MemStore) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	store, err := NewMemStore(testObjects(rng, n, 4, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	door := NewDoor(store, DoorConfig{})
+	srv := server.NewBackend(door)
+	h := NewHandler(srv, door, cfg)
+	srv.SetFront(h)
+	return h, srv, door, store
+}
+
+func postQuery(t *testing.T, h http.Handler, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+const simpleQuery = `{"instances":[[10,10],[11,11]],"operator":"PSD","k":1}`
+
+func TestHandlerRateLimitSheds(t *testing.T) {
+	h, _, _, _ := newStack(t, 20, 30, Config{RatePerSec: 0.5, Burst: 1, MaxInFlight: -1})
+	hdr := map[string]string{"X-Client-ID": "alice"}
+	if w := postQuery(t, h, simpleQuery, hdr); w.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", w.Code, w.Body)
+	}
+	w := postQuery(t, h, simpleQuery, hdr)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request not shed: %d", w.Code)
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q", w.Header().Get("Retry-After"))
+	}
+	var body struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body.Code != "rate_limited" {
+		t.Fatalf("shed body %s (err %v)", w.Body, err)
+	}
+	// A different client is unaffected.
+	if w := postQuery(t, h, simpleQuery, map[string]string{"X-Client-ID": "bob"}); w.Code != http.StatusOK {
+		t.Fatalf("other client shed: %d", w.Code)
+	}
+	if h.shedRate.Value() != 1 {
+		t.Fatalf("shed counter = %d", h.shedRate.Value())
+	}
+}
+
+func TestHandlerExemptPathsNeverShed(t *testing.T) {
+	h, _, _, _ := newStack(t, 21, 30, Config{RatePerSec: 0.0001, Burst: 1, MaxInFlight: 1})
+	hdr := map[string]string{"X-Client-ID": "alice"}
+	postQuery(t, h, simpleQuery, hdr) // drain the bucket
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.Header.Set("X-Client-ID", "alice")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s answered %d under exhausted bucket", path, w.Code)
+		}
+	}
+}
+
+func TestHandlerCapacityCeiling(t *testing.T) {
+	h, _, _, _ := newStack(t, 22, 30, Config{MaxInFlight: 1})
+	// Occupy the only slot with a slow request through a stub inner.
+	block := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.WriteHeader(http.StatusOK)
+	})
+	h2 := NewHandler(inner, nil, Config{MaxInFlight: 1})
+	_ = h
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(simpleQuery))
+		h2.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	// Wait until the slot is held.
+	deadline := time.After(2 * time.Second)
+	for h2.inFlight.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("first request never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	w := postQuery(t, h2, simpleQuery, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-ceiling request answered %d", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on capacity shed")
+	}
+	if h2.shedCapacity.Value() != 1 {
+		t.Fatalf("capacity shed counter = %d", h2.shedCapacity.Value())
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestMetricsEndpointExposition(t *testing.T) {
+	h, _, _, _ := newStack(t, 23, 30, Config{})
+	// Generate one served query and one cache hit.
+	postQuery(t, h, simpleQuery, nil)
+	postQuery(t, h, simpleQuery, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(w.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE sd_request_duration_seconds histogram",
+		`sd_request_duration_seconds_bucket{op="query",le="+Inf"}`,
+		`sd_request_duration_seconds_count{op="query"} 2`,
+		"# TYPE sd_cache_hits_total counter",
+		"sd_cache_hits_total 1",
+		"sd_cache_misses_total 1",
+		"sd_shed_rate_limited_total 0",
+		"sd_inflight_requests 0",
+		"sd_coalesce_hits_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	// One HELP/TYPE header per family even with 7 labeled histograms.
+	if n := strings.Count(text, "# TYPE sd_request_duration_seconds histogram"); n != 1 {
+		t.Fatalf("histogram family header rendered %d times", n)
+	}
+}
+
+func TestHealthzCarriesFrontStats(t *testing.T) {
+	h, _, _, _ := newStack(t, 24, 30, Config{})
+	postQuery(t, h, simpleQuery, nil)
+	postQuery(t, h, simpleQuery, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var body struct {
+		Status string             `json:"status"`
+		Front  *server.FrontStats `json:"front"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Front == nil {
+		t.Fatalf("healthz: %s", w.Body)
+	}
+	if body.Front.CacheHits != 1 || body.Front.CacheMisses != 1 {
+		t.Fatalf("front stats: %+v", body.Front)
+	}
+}
+
+func TestWarmingServerAnswers503ThenServes(t *testing.T) {
+	srv := server.NewWarming("wal replay")
+	h := NewHandler(srv, nil, Config{})
+
+	// Queries answer 503 warming; readyz 503 with the reason; healthz
+	// 200 degraded.
+	w := postQuery(t, h, simpleQuery, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query during warmup: %d", w.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != http.StatusServiceUnavailable || !strings.Contains(rw.Body.String(), "wal replay") {
+		t.Fatalf("readyz during warmup: %d %s", rw.Code, rw.Body)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK || !strings.Contains(rw.Body.String(), "degraded") {
+		t.Fatalf("healthz during warmup: %d %s", rw.Code, rw.Body)
+	}
+
+	// Attach flips it live.
+	rng := rand.New(rand.NewSource(25))
+	store, err := NewMemStore(testObjects(rng, 20, 3, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Attach(NewDoor(store, DoorConfig{}))
+	if w := postQuery(t, h, simpleQuery, nil); w.Code != http.StatusOK {
+		t.Fatalf("query after attach: %d %s", w.Code, w.Body)
+	}
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("readyz after attach: %d", rw.Code)
+	}
+}
+
+// Capability unwrap: a Door over a MemStore must still serve /objects.
+func TestCapabilityUnwrapThroughDoor(t *testing.T) {
+	h, _, _, _ := newStack(t, 26, 25, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/objects", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/objects through the door: %d %s", w.Code, w.Body)
+	}
+	var sum struct {
+		Objects int `json:"objects"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &sum); err != nil || sum.Objects != 25 {
+		t.Fatalf("objects summary %s (err %v)", w.Body, err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package front is the serving tier's front door: a composable layer
+// between the HTTP handlers and the search backend that makes a skewed
+// query stream cheap without ever changing an answer.
+//
+// Three mechanisms stack, each usable alone:
+//
+//   - request coalescing (coalesce.go): identical in-flight searches
+//     share one engine execution via a leader/waiter protocol — the same
+//     loading-frame idea the buffer pool uses one level down for page
+//     reads, lifted to whole queries;
+//
+//   - a semantic result cache (cache.go): a sharded, byte-bounded LRU of
+//     finished answers keyed by the canonical query key, invalidated
+//     *precisely* on mutation using the dominance geometry captured in
+//     core.AnswerShield — an insert or delete evicts exactly the entries
+//     whose answer could change, and an epoch tag protocol guarantees a
+//     stale answer is structurally unservable (door.go);
+//
+//   - admission control (ratelimit.go, handler.go): per-client token
+//     buckets and a global concurrency ceiling that shed overload with
+//     429 + Retry-After instead of convoying it, plus a Prometheus-format
+//     /metrics endpoint (metrics.go) unifying the serving counters.
+//
+// The Door type composes the first two as a server.Backend decorator;
+// Handler composes the rest as HTTP middleware. Everything is stdlib.
+package front
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// Key is a canonical, collision-free identity for one search: two
+// requests get the same Key if and only if the engine would be handed
+// equivalent inputs (operator, k, metric, filter configuration, query
+// instances with normalized weights). It is the full canonical byte
+// string, not a hash — equal keys are compared bytewise by Go's map, so
+// a hash collision can never alias two different queries onto one cached
+// answer. Shard selection hashes the key separately.
+type Key string
+
+// canonicalKey serializes the search inputs into a Key. Weights are
+// canonicalized through the object's normalized probabilities, so two
+// requests whose weights differ only by a positive scale factor coincide
+// (uncertain.New normalizes mass to 1 either way). Floats are encoded as
+// raw IEEE bits: the cache deliberately distinguishes 0.3 from
+// 0.30000000000000004 — byte-identical answers require bit-identical
+// inputs.
+func canonicalKey(q *uncertain.Object, op core.Operator, k int, m geom.Metric, f core.FilterConfig) Key {
+	n, d := q.Len(), q.Dim()
+	buf := make([]byte, 0, 16+len(m.Name())+8*n*(d+1))
+	buf = append(buf, byte(op), filterByte(f))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(k))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, byte(len(m.Name())))
+	buf = append(buf, m.Name()...)
+	buf = append(buf, byte(d))
+	binary.LittleEndian.PutUint64(tmp[:], uint64(n))
+	buf = append(buf, tmp[:]...)
+	for i := 0; i < n; i++ {
+		p := q.Instance(i)
+		for j := 0; j < d; j++ {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(p[j]))
+			buf = append(buf, tmp[:]...)
+		}
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(q.Prob(i)))
+		buf = append(buf, tmp[:]...)
+	}
+	return Key(buf)
+}
+
+// filterByte packs the pruning configuration into one key byte. Filters
+// change which candidates are *proved* cheaply, never which are emitted,
+// but they do change the reported statistics — and a cached body must be
+// byte-identical to what a fresh search would produce.
+func filterByte(f core.FilterConfig) byte {
+	var b byte
+	if f.LevelByLevel {
+		b |= 1
+	}
+	if f.StatPruning {
+		b |= 2
+	}
+	if f.Geometric {
+		b |= 4
+	}
+	if f.SphereValidation {
+		b |= 8
+	}
+	return b
+}
+
+// shardOf hashes a Key onto one of n cache/flight shards (FNV-1a; the
+// map's own bytewise comparison makes collisions harmless here).
+func shardOf(k Key, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	return int(h.Sum64() % uint64(n))
+}

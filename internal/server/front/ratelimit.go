@@ -1,0 +1,126 @@
+package front
+
+// Per-client rate limiting: classic token buckets, refilled lazily at
+// read time (no background goroutine, no timers — a bucket's level is a
+// pure function of its last-take timestamp). Buckets live in a sharded
+// map keyed by client identity; an idle client's bucket is reclaimed by
+// a bounded sweep piggybacked on inserts, so the table can't grow
+// without bound under address churn.
+
+import (
+	"sync"
+	"time"
+)
+
+// rateShards stripes the bucket table; client identity hashes are
+// well-distributed (remote addresses / header values).
+const rateShards = 16
+
+// bucket is one client's token bucket. Levels are in tokens scaled by
+// nanosecond fixed point: level is "tokens × 1e9" so refill math stays
+// in integers.
+type bucket struct {
+	mu    sync.Mutex
+	level int64 // current tokens × 1e9
+	last  int64 // UnixNano of the last refill
+}
+
+// rateLimiter admits or sheds by client key.
+type rateLimiter struct {
+	ratePerSec float64 // tokens added per second
+	burst      int64   // bucket capacity in tokens
+	maxIdle    time.Duration
+	now        func() time.Time // injectable clock for tests
+
+	shards [rateShards]struct {
+		mu      sync.Mutex
+		buckets map[string]*bucket
+	}
+}
+
+// newRateLimiter builds a limiter granting ratePerSec requests/second
+// with the given burst per client key. rate <= 0 disables limiting
+// (allow always returns true).
+func newRateLimiter(ratePerSec float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	rl := &rateLimiter{
+		ratePerSec: ratePerSec,
+		burst:      int64(burst),
+		maxIdle:    time.Minute,
+		now:        time.Now,
+	}
+	for i := range rl.shards {
+		rl.shards[i].buckets = make(map[string]*bucket)
+	}
+	return rl
+}
+
+const tokenScale = int64(time.Second) // 1 token == 1e9 fixed-point units
+
+// allow takes one token from key's bucket if available. The second
+// return is the suggested wait until a token will exist — the
+// Retry-After the shed response carries.
+func (rl *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if rl.ratePerSec <= 0 {
+		return true, 0
+	}
+	b := rl.bucketFor(key)
+	now := rl.now().UnixNano()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Lazy refill since the last observation, capped at burst.
+	elapsed := now - b.last
+	if elapsed > 0 {
+		b.level += int64(float64(elapsed) * rl.ratePerSec)
+		if max := rl.burst * tokenScale; b.level > max {
+			b.level = max
+		}
+		b.last = now
+	}
+	if b.level >= tokenScale {
+		b.level -= tokenScale
+		return true, 0
+	}
+	deficit := tokenScale - b.level
+	wait := time.Duration(float64(deficit) / rl.ratePerSec)
+	return false, wait
+}
+
+// bucketFor returns (creating if needed) key's bucket. New clients start
+// with a full burst. Creation also sweeps a few idle buckets from the
+// shard — O(1) amortized table hygiene with no background work.
+func (rl *rateLimiter) bucketFor(key string) *bucket {
+	sh := &rl.shards[shardOf(Key(key), rateShards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if b, ok := sh.buckets[key]; ok {
+		return b
+	}
+	cutoff := rl.now().Add(-rl.maxIdle).UnixNano()
+	scanned := 0
+	for k, b := range sh.buckets {
+		if b.last < cutoff {
+			delete(sh.buckets, k)
+		}
+		if scanned++; scanned >= 8 {
+			break
+		}
+	}
+	b := &bucket{level: rl.burst * tokenScale, last: rl.now().UnixNano()}
+	sh.buckets[key] = b
+	return b
+}
+
+// clients reports the tracked client count (for /metrics).
+func (rl *rateLimiter) clients() int {
+	n := 0
+	for i := range rl.shards {
+		sh := &rl.shards[i]
+		sh.mu.Lock()
+		n += len(sh.buckets)
+		sh.mu.Unlock()
+	}
+	return n
+}

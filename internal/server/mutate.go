@@ -46,13 +46,21 @@ type MutationResponse struct {
 }
 
 // mutator returns the backend's mutation capability, or nil with the
-// error already written when the backend cannot mutate.
+// error already written when the backend cannot mutate. Unlike the
+// read-side capability probes this does NOT unwrap decorators: a
+// mutation must enter through the outermost layer so a caching front
+// door observes it and invalidates — reaching past it to the raw index
+// would be exactly the stale-answer bug the door exists to prevent.
 func (s *Server) mutator(w http.ResponseWriter, r *http.Request) Mutator {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return nil
 	}
-	m, ok := s.b.(Mutator)
+	b := s.serving(w)
+	if b == nil {
+		return nil
+	}
+	m, ok := b.(Mutator)
 	if !ok || !m.Mutable() {
 		writeError(w, http.StatusNotImplemented, errors.New("backend is read-only"))
 		return nil
@@ -84,9 +92,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if req.Label != "" {
 		o.SetLabel(req.Label)
 	}
-	if s.b.Len() > 0 && o.Dim() != s.b.Dim() {
+	if b := s.backend(); b.Len() > 0 && o.Dim() != b.Dim() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("object dim %d != dataset dim %d", o.Dim(), s.b.Dim()))
+			fmt.Errorf("object dim %d != dataset dim %d", o.Dim(), b.Dim()))
 		return
 	}
 	if err := m.Insert(o); err != nil {
@@ -100,7 +108,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, MutationResponse{ID: o.ID(), Objects: s.b.Len()})
+	writeJSON(w, http.StatusOK, MutationResponse{ID: o.ID(), Objects: s.backend().Len()})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -124,5 +132,5 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("object %d not found", req.ID))
 		return
 	}
-	writeJSON(w, http.StatusOK, MutationResponse{ID: req.ID, Deleted: true, Objects: s.b.Len()})
+	writeJSON(w, http.StatusOK, MutationResponse{ID: req.ID, Deleted: true, Objects: s.backend().Len()})
 }

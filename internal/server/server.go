@@ -99,11 +99,68 @@ type (
 	}
 )
 
+// BackendWrapper is implemented by decorating backends (the front
+// door's cache/coalescing layer) that forward searches to an inner
+// backend. Capability probes walk the chain so a decorator never masks
+// what the real backend can do — a Door over the disk index still
+// reports fault counters, and a Door over the in-memory index still
+// serves /objects.
+type BackendWrapper interface {
+	Inner() Backend
+}
+
+// capability resolves an optional backend capability, unwrapping
+// decorators until a layer implements it. Mutations deliberately do NOT
+// use this: they must dispatch through the outermost layer so cache
+// invalidation can intercept them (see mutate.go).
+func capability[T any](b Backend) (T, bool) {
+	for b != nil {
+		if c, ok := b.(T); ok {
+			return c, true
+		}
+		w, ok := b.(BackendWrapper)
+		if !ok {
+			break
+		}
+		b = w.Inner()
+	}
+	var zero T
+	return zero, false
+}
+
+// FrontStats is the serving-tier counter block a front door reports into
+// /healthz (the same numbers /metrics exposes individually).
+type FrontStats struct {
+	CacheHits          int64  `json:"cache_hits"`
+	CacheMisses        int64  `json:"cache_misses"`
+	CacheEvictions     int64  `json:"cache_evictions"`
+	CacheInvalidations int64  `json:"cache_invalidations"`
+	CacheBytes         int64  `json:"cache_bytes"`
+	CacheEntries       int64  `json:"cache_entries"`
+	CoalesceHits       int64  `json:"coalesce_hits"`
+	ShedRateLimited    int64  `json:"shed_rate_limited"`
+	ShedCapacity       int64  `json:"shed_capacity"`
+	InFlight           int64  `json:"in_flight"`
+	Epoch              uint64 `json:"epoch"`
+}
+
+// FrontReporter is implemented by the front-door HTTP middleware; wire
+// it with SetFront so /healthz can fold the serving stats in.
+type FrontReporter interface {
+	FrontStats() FrontStats
+}
+
 // Server is the HTTP handler set over one backend. Search endpoints work
 // on every backend; the mutation endpoints require the Mutator
 // capability (the mutable disk index) and answer 501 otherwise.
+//
+// The backend is published atomically: a server built with NewWarming
+// starts answering health probes (and 503s on everything else)
+// immediately, and Attach flips it to serving once the backend — e.g. a
+// mutable disk index mid WAL replay — is ready. /readyz reports 503 with
+// the warming reason until then.
 type Server struct {
-	b   Backend
+	bv  atomic.Value // of backendBox; empty box while warming
 	mux *http.ServeMux
 	// adm gates every /query/batch search: all batch requests share this
 	// token bucket, so their combined executing-query parallelism never
@@ -113,7 +170,16 @@ type Server struct {
 	maxBatch int
 	// panics counts handler panics recovered into 500 responses.
 	panics atomic.Int64
+	// warmReason names what boot is waiting on while no backend is
+	// attached ("wal replay"); fixed at construction.
+	warmReason string
+	// front, when set, contributes serving-tier stats to /healthz.
+	front atomic.Value // of frontBox
 }
+
+type backendBox struct{ b Backend }
+
+type frontBox struct{ f FrontReporter }
 
 // New builds a server over the objects with the in-memory index as its
 // backend.
@@ -128,6 +194,24 @@ func New(objs []*uncertain.Object) (*Server, error) {
 // NewBackend builds a server over an existing backend (in-memory or
 // disk-resident).
 func NewBackend(b Backend) *Server {
+	s := newServer("")
+	s.Attach(b)
+	return s
+}
+
+// NewWarming builds a server with no backend yet: health endpoints work
+// immediately ( /readyz answers 503 citing reason), every other endpoint
+// answers 503 service-warming, and Attach brings the server live. This
+// is how a mutable boot serves probes during WAL replay instead of
+// refusing connections.
+func NewWarming(reason string) *Server {
+	if reason == "" {
+		reason = "backend warming"
+	}
+	return newServer(reason)
+}
+
+func newServer(warmReason string) *Server {
 	// Batch admission is provisioned one token below GOMAXPROCS (min 1):
 	// batches can saturate all but one processor, and that last one stays
 	// schedulable for single /query requests and health probes even while
@@ -136,7 +220,7 @@ func NewBackend(b Backend) *Server {
 	if limit < 1 {
 		limit = 1
 	}
-	s := &Server{b: b, mux: http.NewServeMux(), adm: core.NewAdmission(limit), maxBatch: defaultMaxBatch}
+	s := &Server{mux: http.NewServeMux(), adm: core.NewAdmission(limit), maxBatch: defaultMaxBatch, warmReason: warmReason}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/objects", s.handleObjects)
@@ -147,6 +231,37 @@ func NewBackend(b Backend) *Server {
 	s.mux.HandleFunc("/insert", s.handleInsert)
 	s.mux.HandleFunc("/delete", s.handleDelete)
 	return s
+}
+
+// Attach publishes the backend, flipping a warming server live. Safe to
+// call from a boot goroutine while requests are already arriving;
+// requests racing the attach see either the 503 or the backend, never a
+// partial state.
+func (s *Server) Attach(b Backend) { s.bv.Store(backendBox{b: b}) }
+
+// SetFront wires the front-door middleware's stats into /healthz.
+func (s *Server) SetFront(f FrontReporter) { s.front.Store(frontBox{f: f}) }
+
+// backend returns the attached backend, or nil while warming.
+func (s *Server) backend() Backend {
+	if bb, ok := s.bv.Load().(backendBox); ok {
+		return bb.b
+	}
+	return nil
+}
+
+// serving returns the backend, answering 503 (and returning nil) while
+// no backend is attached. Handlers call it first.
+func (s *Server) serving(w http.ResponseWriter) Backend {
+	b := s.backend()
+	if b == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{
+			Error: "service warming: " + s.warmReason,
+			Code:  "warming",
+		})
+		return nil
+	}
+	return b
 }
 
 // Panics reports how many handler panics have been recovered into 500
@@ -250,30 +365,39 @@ func errorCode(status int) string {
 
 // handleHealth is the liveness report: always 200 while the process
 // serves, with "status" flipping from "ok" to "degraded" once the backend
-// has quarantined pages or recovered panics have occurred. Whatever the
-// backend can report (fault counters, pool/cache stats) is included.
+// has quarantined pages, recovered panics have occurred, or the boot is
+// still warming — and "reason" spelling out why, so an operator reads
+// the cause without diffing counters. Whatever the backend can report
+// (fault counters, pool/cache stats, front-door serving stats) is
+// included; a decorating backend is unwrapped for the probes.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	b := s.backend()
 	body := map[string]interface{}{
-		"status":  "ok",
-		"objects": s.b.Len(),
-		"dim":     s.b.Dim(),
-		"time":    time.Now().UTC().Format(time.RFC3339),
+		"status": "ok",
+		"time":   time.Now().UTC().Format(time.RFC3339),
+	}
+	if b == nil {
+		reasons = append(reasons, "warming: "+s.warmReason)
+	} else {
+		body["objects"] = b.Len()
+		body["dim"] = b.Dim()
 	}
 	if n := s.panics.Load(); n > 0 {
-		body["status"] = "degraded"
+		reasons = append(reasons, "recovered_panics")
 		body["panics"] = n
 	}
-	if qr, ok := s.b.(QuarantineReporter); ok {
+	if qr, ok := capability[QuarantineReporter](b); ok {
 		n := qr.Quarantined()
 		body["quarantined_pages"] = n
 		if n > 0 {
-			body["status"] = "degraded"
+			reasons = append(reasons, "quarantined_pages")
 		}
 	}
-	if fr, ok := s.b.(FaultReporter); ok {
+	if fr, ok := capability[FaultReporter](b); ok {
 		body["faults"] = fr.FaultStats()
 	}
-	if ar, ok := s.b.(AccessReporter); ok {
+	if ar, ok := capability[AccessReporter](b); ok {
 		st := ar.AccessStats()
 		body["io"] = map[string]int64{
 			"pool_hits":       st.Hits,
@@ -284,15 +408,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"cache_evictions": st.CacheEvictions,
 		}
 	}
+	if fb, ok := s.front.Load().(frontBox); ok {
+		body["front"] = fb.f.FrontStats()
+	}
+	if len(reasons) > 0 {
+		body["status"] = "degraded"
+		body["reason"] = strings.Join(reasons, ", ")
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReady is the readiness probe: 200 when the backend can serve
-// queries, 503 otherwise. Backends that implement HealthChecker (the disk
-// index re-reads and re-validates its super page) get the final say;
-// backends that don't are ready by construction.
+// queries, 503 otherwise — including the whole warming window while a
+// mutable boot replays its WAL. Backends that implement HealthChecker
+// (the disk index re-reads and re-validates its super page) get the
+// final say; backends that don't are ready by construction.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	if hc, ok := s.b.(HealthChecker); ok {
+	b := s.backend()
+	if b == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"ready":  false,
+			"reason": "warming: " + s.warmReason,
+		})
+		return
+	}
+	if hc, ok := capability[HealthChecker](b); ok {
 		if err := hc.Healthy(r.Context()); err != nil {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
 				"ready": false,
@@ -309,7 +449,11 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	lister, ok := s.b.(ObjectLister)
+	b := s.serving(w)
+	if b == nil {
+		return
+	}
+	lister, ok := capability[ObjectLister](b)
 	if !ok {
 		writeError(w, http.StatusNotImplemented, errors.New("backend cannot enumerate objects"))
 		return
@@ -320,7 +464,7 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		MinID   int `json:"min_id"`
 		MaxID   int `json:"max_id"`
 	}
-	sum := summary{Objects: s.b.Len(), Dim: s.b.Dim()}
+	sum := summary{Objects: b.Len(), Dim: b.Dim()}
 	for i, o := range lister.Objects() {
 		if i == 0 || o.ID() < sum.MinID {
 			sum.MinID = o.ID()
@@ -337,7 +481,11 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	lister, ok := s.b.(ObjectLister)
+	b := s.serving(w)
+	if b == nil {
+		return
+	}
+	lister, ok := capability[ObjectLister](b)
 	if !ok {
 		writeError(w, http.StatusNotImplemented, errors.New("backend cannot enumerate objects"))
 		return
@@ -361,6 +509,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	b := s.serving(w)
+	if b == nil {
+		return
+	}
 	var req QueryRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -382,7 +534,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = 1
 	}
-	if k < 1 || k > s.b.Len() {
+	if k < 1 || k > b.Len() {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range", k))
 		return
 	}
@@ -395,12 +547,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("building query object: %w", err))
 		return
 	}
-	if q.Dim() != s.b.Dim() {
+	if q.Dim() != b.Dim() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.b.Dim()))
+			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), b.Dim()))
 		return
 	}
-	res, err := s.b.SearchKCtx(r.Context(), q, op, k, core.SearchOptions{Filters: core.AllFilters, Metric: metric})
+	res, err := b.SearchKCtx(r.Context(), q, op, k, core.SearchOptions{Filters: core.AllFilters, Metric: metric})
 	status := http.StatusOK
 	partial, isPartial := core.AsPartial(err)
 	if err != nil && !isPartial {
@@ -449,6 +601,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	b := s.serving(w)
+	if b == nil {
+		return
+	}
 	var req QueryRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -475,9 +631,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("building query object: %w", err))
 		return
 	}
-	if q.Dim() != s.b.Dim() {
+	if q.Dim() != b.Dim() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), s.b.Dim()))
+			fmt.Errorf("query dim %d != dataset dim %d", q.Dim(), b.Dim()))
 		return
 	}
 
@@ -485,7 +641,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	res, err := s.b.SearchKCtx(r.Context(), q, op, 1, core.SearchOptions{
+	res, err := b.SearchKCtx(r.Context(), q, op, 1, core.SearchOptions{
 		Filters: core.AllFilters,
 		Metric:  metric,
 		OnCandidate: func(c core.Candidate) {
