@@ -19,9 +19,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs nnclint, the repo's own static-analysis suite (hotpath-alloc,
-# scratch-escape, lock-balance, ctx-flow, no-reflect-sort, bench-hygiene).
-# Zero findings is the bar; suppress only with an explained //nnc:allow.
+# lint runs nnclint, the repo's own static-analysis suite: hotpath-alloc,
+# scratch-escape, lock-balance, ctx-flow, no-reflect-sort, bench-hygiene,
+# wal-order, snapshot-lifecycle, goroutine-lifecycle, error-taxonomy and
+# atomic-publish, all from one type-checked pass over the module
+# (internal/lint included — the linter lints itself). Zero findings is
+# the bar; suppress only with an explained //nnc:allow.
 lint:
 	$(GO) run ./cmd/nnclint -root .
 

@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	nnclint [-root dir] [-checks name,name,...]
+//	nnclint [-root dir] [-checks name,name,...] [-json file] [-annotate]
+//
+// -json writes the findings as a machine-readable array (empty array when
+// clean — the file is always written, so CI can upload it unconditionally).
+// -annotate additionally prints GitHub workflow commands
+// (::error file=...) so findings surface inline on the pull request diff.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,10 +23,48 @@ import (
 	"spatialdom/internal/lint"
 )
 
+// jsonFinding is the -json wire shape: one object per finding, stable
+// field names for the CI annotation step and any later tooling.
+type jsonFinding struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+func writeJSON(path string, diags []lint.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Check: d.Check, Msg: d.Msg,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// annotate prints one GitHub workflow command per finding. Newlines and
+// the %-escapes GitHub assigns meaning to are escaped per the workflow
+// command spec so a multi-line message cannot smuggle a second command.
+func annotate(diags []lint.Diagnostic) {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	for _, d := range diags {
+		fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, esc.Replace(d.Msg))
+	}
+}
+
 func main() {
 	root := flag.String("root", ".", "module root (directory containing go.mod)")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.String("json", "", "write findings as JSON to this file (always written, [] when clean)")
+	annotations := flag.Bool("annotate", false, "also print GitHub ::error workflow commands per finding")
 	flag.Parse()
 
 	if *list {
@@ -64,6 +108,15 @@ func main() {
 
 	for _, d := range diags {
 		fmt.Println(d)
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "nnclint: writing -json:", err)
+			os.Exit(2)
+		}
+	}
+	if *annotations {
+		annotate(diags)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "nnclint: %d finding(s)\n", len(diags))

@@ -98,6 +98,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//nnc:detached debug listener lives for the whole process; the OS reaps it at exit
 		go func() {
 			log.Printf("serving pprof on %s", *pprofOn)
 			log.Println(http.ListenAndServe(*pprofOn, mux))
@@ -146,6 +147,7 @@ func main() {
 			srv.SetFront(fh)
 			handler = logging(fh)
 		}
+		//nnc:detached warming boot: Attach flips the server live and the goroutine ends; log.Fatal covers the failure path
 		go func() {
 			idx, err := diskindex.OpenFileMutable(*disk, &diskindex.MutableOptions{Frames: *frames})
 			if err != nil {

@@ -105,6 +105,10 @@ var _ core.Backend = (*Index)(nil)
 // ErrBadSuper is returned by Open when the super page is not an index.
 var ErrBadSuper = errors.New("diskindex: bad super page")
 
+// ErrNoObjects is returned by Build on an empty object set: an index needs
+// at least one object to define its R-tree root.
+var ErrNoObjects = errors.New("diskindex: no objects")
+
 // SuperPageID is the fixed page a Build's super block lands on: the first
 // page allocated after the file header.
 const SuperPageID = pager.PageID(1)
@@ -130,7 +134,7 @@ func ParseSuper(buf []byte) (storeMeta, treeMeta pager.PageID, span int, err err
 //nnc:allow ctx-flow: Build is an offline bulk-load, not a query; nothing upstream has a ctx to thread
 func Build(pool *pager.Pool, objs []*uncertain.Object) (*Index, error) {
 	if len(objs) == 0 {
-		return nil, errors.New("diskindex: no objects")
+		return nil, ErrNoObjects
 	}
 	super, _, err := pool.Allocate(pager.PageSuper)
 	if err != nil {
@@ -214,6 +218,7 @@ func Open(pool *pager.Pool, super pager.PageID) (*Index, error) {
 
 func newIndex(pool *pager.Pool, super pager.PageID, store *diskstore.Store, tree *diskrtree.Tree, span int) *Index {
 	ix := &Index{pool: pool, super: super, store: store, tree: tree, denseSpan: span}
+	//nnc:publish first store before the Index escapes the constructor; no reader exists yet
 	ix.objCache.Store(newObjLRU(DefaultObjCacheCap, &ix.cacheHits, &ix.cacheEvictions))
 	return ix
 }
@@ -228,6 +233,7 @@ func (ix *Index) SuperPage() pager.PageID { return ix.super }
 // the old instance; searches started afterwards see the empty one.
 func (ix *Index) ResetCache() {
 	cap := ix.objCache.Load().capacity
+	//nnc:publish swap-on-reset: in-flight searches keep the instance they loaded
 	ix.objCache.Store(newObjLRU(cap, &ix.cacheHits, &ix.cacheEvictions))
 }
 
@@ -237,6 +243,7 @@ func (ix *Index) ResetCache() {
 // searches finish against the instance they started with, and the
 // cumulative counters (shared across instances) lose nothing.
 func (ix *Index) SetObjCacheCap(n int) {
+	//nnc:publish swap-on-rebound: racing searches finish against the old instance
 	ix.objCache.Store(newObjLRU(n, &ix.cacheHits, &ix.cacheEvictions))
 }
 

@@ -398,6 +398,7 @@ func attachMutable(pf *pager.PageFile, pool *pager.Pool, super pager.PageID,
 		spanNeg:   spanNeg,
 		recovered: rec,
 	}
+	//nnc:publish first store before the Index escapes the constructor; no reader exists yet
 	ix.snap.Store(&snapshot{
 		epoch: sb.Epoch, root: tree.Root(), height: tree.Height(),
 		size: tree.Len(), span: sb.Span, store: store.Clone(),
@@ -451,7 +452,7 @@ func (m *mutState) writeGate() error {
 		return ErrClosed
 	}
 	if m.poisoned != nil {
-		return fmt.Errorf("%w: %v", ErrPoisoned, m.poisoned)
+		return fmt.Errorf("%w: %w", ErrPoisoned, m.poisoned)
 	}
 	return nil
 }
@@ -643,7 +644,7 @@ func (ix *Index) stageSuper(tx *Tx, epoch uint64) error {
 
 func (ix *Index) poison(err error) error {
 	ix.mut.poisoned = err
-	return fmt.Errorf("%w: %v", ErrPoisoned, err)
+	return fmt.Errorf("%w: %w", ErrPoisoned, err)
 }
 
 // commitTx makes the transaction durable and publishes the new snapshot.
@@ -683,7 +684,9 @@ func (ix *Index) commitTx(tx *Tx) error {
 		epoch: newEpoch, root: ix.tree.Root(), height: ix.tree.Height(),
 		size: ix.tree.Len(), span: m.spanValue(), store: ix.store.Clone(),
 	}
+	//nnc:publish the commit point: readers acquire either cur or ns, both complete
 	ix.snap.Store(ns)
+	//nnc:allow snapshot-lifecycle: retired snapshots park here until every reader of their epoch drains; reclaim() is the release
 	m.retired = append(m.retired, cur)
 	for _, id := range tx.freed {
 		m.pending = append(m.pending, pendingFree{id: id, epoch: cur.epoch})

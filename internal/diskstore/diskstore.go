@@ -64,6 +64,14 @@ var ErrBadMeta = errors.New("diskstore: bad meta page")
 // decode is bounds-checked and errors.Is(err, ErrCorrupt) identifies it.
 var ErrCorrupt = errors.New("diskstore: corrupt record")
 
+// ErrDirBacked is returned by bulk appends on a directory-backed store,
+// whose data pages are chained rather than contiguous.
+var ErrDirBacked = errors.New("diskstore: bulk append on a directory-backed store")
+
+// ErrNotContiguous is returned when interleaved allocation breaks the
+// bulk-build invariant that data pages come out back-to-back.
+var ErrNotContiguous = errors.New("diskstore: data pages not contiguous (interleaved allocation)")
+
 // Structural plausibility bounds for decoded records. Anything beyond these
 // is treated as corruption rather than allocated.
 const (
@@ -284,7 +292,7 @@ func DecodeRecord(data []byte) (*uncertain.Object, int, error) {
 	off += labelLen
 	o, err := uncertain.New(id, pts, probs)
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if label != "" {
 		o.SetLabel(label)
@@ -349,7 +357,7 @@ func (s *Store) page(off uint64, extend bool) (pager.PageID, int, error) {
 	idx := int(off / ps)
 	for extend && idx >= s.pages {
 		if s.dir != nil {
-			return pager.InvalidPage, 0, errors.New("diskstore: bulk append on a directory-backed store")
+			return pager.InvalidPage, 0, ErrDirBacked
 		}
 		id, _, err := s.pool.Allocate(pager.PageStoreData)
 		if err != nil {
@@ -359,7 +367,7 @@ func (s *Store) page(off uint64, extend bool) (pager.PageID, int, error) {
 		if s.pages == 0 {
 			s.first = id
 		} else if id != s.first+pager.PageID(s.pages) {
-			return pager.InvalidPage, 0, errors.New("diskstore: data pages not contiguous (interleaved allocation)")
+			return pager.InvalidPage, 0, ErrNotContiguous
 		}
 		s.pages++
 	}

@@ -229,6 +229,7 @@ func StartLoadServer(sc Scale, seed int64) (*LoadServer, error) {
 		return nil, err
 	}
 	hs := &http.Server{Handler: h}
+	//nnc:detached Serve returns when LoadServer.Close shuts the listener down
 	go hs.Serve(ln)
 	return &LoadServer{URL: "http://" + ln.Addr().String(), Dataset: ds, hs: hs, ln: ln}, nil
 }

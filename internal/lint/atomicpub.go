@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkAtomicPublish guards the single-publication-point discipline of
+// every atomic.Pointer field in the module (the mutable index's snapshot
+// pointer, the front door's AttachDoor CAS, the caches' swap-on-rebuild
+// pointers):
+//
+//   - Load is always legal — that is what readers do;
+//   - Store, Swap and CompareAndSwap are publication events: each site
+//     must carry //nnc:publish <reason> on its line or the line above, so
+//     every place a new version of shared state becomes visible is
+//     enumerated and reviewed. An unblessed store is a finding; a stale
+//     or reason-less //nnc:publish is too (the stale-allow machinery).
+//   - any other mention of the field — copying it, taking its address,
+//     passing it by value — aliases the pointer cell and bypasses the
+//     atomic protocol entirely.
+//
+// Local variables of atomic.Pointer type are out of scope: they are not
+// shared state until stored in a field, at which point the field rules
+// apply.
+func checkAtomicPublish(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			// Pass 1: bless the x.f receivers of x.f.Method(...) calls and
+			// vet the publication sites.
+			blessed := map[*ast.SelectorExpr]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+				if !ok || !atomicPointerField(info, field) {
+					return true
+				}
+				blessed[field] = true
+				switch sel.Sel.Name {
+				case "Load":
+				case "Store", "Swap", "CompareAndSwap":
+					if !r.SiteAllowed(call.Pos(), "publish") {
+						r.Report(call.Pos(), "atomic-publish",
+							fmt.Sprintf("unannotated %s on atomic.Pointer field %s; every publication site must carry //nnc:publish <reason>",
+								sel.Sel.Name, exprString(field)))
+					}
+				default:
+					r.Report(call.Pos(), "atomic-publish",
+						fmt.Sprintf("unexpected method %s on atomic.Pointer field %s; only Load and annotated Store/Swap/CompareAndSwap are part of the publication protocol",
+							sel.Sel.Name, exprString(field)))
+				}
+				return true
+			})
+			// Pass 2: any other mention of an atomic.Pointer field aliases
+			// the cell outside the protocol.
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || blessed[sel] || !atomicPointerField(info, sel) {
+					return true
+				}
+				r.Report(sel.Pos(), "atomic-publish",
+					fmt.Sprintf("atomic.Pointer field %s used without Load/Store; copying or aliasing the cell bypasses the publication protocol", exprString(sel)))
+				return true
+			})
+		}
+	}
+}
+
+// atomicPointerField reports whether sel resolves to a struct field whose
+// type is sync/atomic.Pointer[T].
+func atomicPointerField(info *types.Info, sel *ast.SelectorExpr) bool {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	named, ok := selection.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}

@@ -20,6 +20,15 @@ var corpusCases = []struct {
 	{"ctxflow", "ctx-flow"},
 	{"reflectsort", "no-reflect-sort"},
 	{"benchhygiene", "bench-hygiene"},
+	{"walorder", "wal-order"},
+	{"snapshotlifecycle", "snapshot-lifecycle"},
+	{"goroutinelifecycle", "goroutine-lifecycle"},
+	{"errtaxonomy", "error-taxonomy"},
+	{"atomicpublish", "atomic-publish"},
+	// multifile re-runs hotpath-alloc over a package whose root,
+	// violation and suppression live in different files, with a
+	// build-tag-excluded file the loader must skip.
+	{"multifile", "hotpath-alloc"},
 }
 
 // wantFinding is one parsed //wantlint expectation. line == 0 means the

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkGoroutineLifecycle requires every go statement in the module's
+// non-test code to have a teardown story. A spawn is compliant when:
+//
+//   - its body (or the body of a statically resolvable module callee)
+//     selects on a ctx.Done channel, so cancellation reaches it;
+//   - the enclosing function joins it — a sync.WaitGroup Wait call, or a
+//     receive from a channel the goroutine sends on or closes;
+//   - the spawn line carries //nnc:detached <reason>, declaring the
+//     goroutine deliberately unjoined (a process-lifetime listener, a
+//     fire-and-forget warmup) with the why on record.
+//
+// Anything else is a goroutine nothing can stop: it outlives deadlines,
+// leaks under test churn, and turns shutdown into a race. Test files are
+// exempt (they are parse-only and t.Cleanup patterns differ).
+func checkGoroutineLifecycle(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if goStmtCompliant(prog, pkg, fd, g) {
+						return true
+					}
+					if r.SiteAllowed(g.Pos(), "detached") {
+						return true
+					}
+					r.Report(g.Pos(), "goroutine-lifecycle",
+						"goroutine has no teardown path: select on ctx.Done in its body, join it with a WaitGroup or channel, or annotate the spawn //nnc:detached <reason>")
+					return true
+				})
+			}
+		}
+	}
+}
+
+func goStmtCompliant(prog *Program, pkg *Package, enclosing *ast.FuncDecl, g *ast.GoStmt) bool {
+	info := pkg.Info
+
+	// The spawned body: a func literal inline, or a module function we can
+	// resolve statically.
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := CalleeOf(info, g.Call); fn != nil && fn.Pkg() != nil &&
+		strings.HasPrefix(fn.Pkg().Path(), prog.Module) {
+		if target := prog.ByPath[fn.Pkg().Path()]; target != nil {
+			body = declBodyOf(target, fn)
+		}
+	}
+	if body != nil && referencesCtxDone(info, body) {
+		return true
+	}
+	if waitsOnWaitGroup(info, enclosing.Body) {
+		return true
+	}
+	if body != nil && channelJoined(enclosing.Body, body) {
+		return true
+	}
+	return false
+}
+
+// declBodyOf finds the declaration body of fn inside pkg.
+func declBodyOf(pkg *Package, fn *types.Func) *ast.BlockStmt {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && obj == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// referencesCtxDone reports whether the body calls Done() on a
+// context.Context anywhere (including nested closures — a handler wired
+// into the goroutine's machinery counts).
+func referencesCtxDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if t := info.TypeOf(sel.X); t != nil && isContextType(t) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// waitsOnWaitGroup reports whether the enclosing body contains a
+// sync.WaitGroup Wait call — the classic fan-out join.
+func waitsOnWaitGroup(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok {
+			return true
+		}
+		fn, ok := selection.Obj().(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// channelJoined reports whether a channel the goroutine sends on (or
+// closes) is also received from in the enclosing function — the
+// completion-signal join (errCh <- run(); ...; <-errCh). Channels are
+// matched by printed expression, which is exact for the local-variable
+// shape this idiom takes.
+func channelJoined(enclosing, spawned *ast.BlockStmt) bool {
+	sent := map[string]bool{}
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			sent[exprString(ast.Unparen(s.Chan))] = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "close" && len(s.Args) == 1 {
+				sent[exprString(ast.Unparen(s.Args[0]))] = true
+			}
+		}
+		return true
+	})
+	if len(sent) == 0 {
+		return false
+	}
+	joined := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" && sent[exprString(ast.Unparen(s.X))] {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if sent[exprString(ast.Unparen(s.X))] {
+				joined = true
+			}
+		}
+		return true
+	})
+	return joined
+}

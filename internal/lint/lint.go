@@ -19,7 +19,24 @@
 //   - no-reflect-sort: the hot packages never regress to reflection-based
 //     sort.Slice or fmt formatting;
 //   - bench-hygiene: every Benchmark* function reports allocations, so
-//     alloc regressions stay visible in every benchmark run.
+//     alloc regressions stay visible in every benchmark run;
+//   - wal-order: commit paths in the wal and diskindex packages append
+//     page images before the commit record and sync the log before a
+//     success return; checkpoint or truncation never precedes the commit
+//     sync while images are pending;
+//   - snapshot-lifecycle: every epoch snapshot acquire is balanced by a
+//     release on all paths (deferred or explicit), and no snapshot
+//     reference escapes its acquire scope (package-level stores, channel
+//     sends, go-statement captures, fields of long-lived structs);
+//   - goroutine-lifecycle: every go statement selects on ctx.Done in its
+//     body, is joined by a WaitGroup or channel, or carries an explained
+//     //nnc:detached annotation;
+//   - error-taxonomy: the storage and server packages wrap underlying
+//     errors with %w (so errors.Is quarantine routing keeps working), and
+//     the storage packages never mint one-off errors.New values inside
+//     function bodies;
+//   - atomic-publish: atomic.Pointer fields are stored only at annotated
+//     //nnc:publish sites and never aliased or copied around Load/Store.
 //
 // Findings print as "file:line:col: [check] message" and are suppressible
 // only by an explained annotation:
@@ -31,9 +48,16 @@
 //	                                hot-path walk does not descend into it
 //	//nnc:hotpath                   on a function declaration: the function
 //	                                is a steady-state hot-path root
+//	//nnc:detached <reason>         on a go statement: the goroutine is
+//	                                deliberately unjoined (process-lifetime
+//	                                listener, fire-and-forget warmup)
+//	//nnc:publish <reason>          on an atomic.Pointer store: this line is
+//	                                a sanctioned publication site
 //
-// A reason is mandatory; an allow that suppresses nothing is itself a
-// finding, so stale suppressions cannot linger.
+// A reason is mandatory everywhere; an annotation that suppresses or
+// blesses nothing is itself a finding, so stale suppressions cannot
+// linger, and an //nnc:allow naming a check the registry doesn't know is
+// flagged rather than silently ignored.
 package lint
 
 import (
@@ -68,22 +92,52 @@ type allowDirective struct {
 	used   bool
 }
 
+// siteDirective is one //nnc:publish or //nnc:detached annotation: an
+// explained declaration that a specific line is a sanctioned exception (an
+// atomic publication site, a deliberately detached goroutine). The
+// stale-allow machinery applies unchanged — a reason is mandatory, and a
+// directive that blesses nothing is itself a finding, scoped to the check
+// that owns the directive kind so partial runs stay quiet.
+type siteDirective struct {
+	pos    token.Position
+	kind   string // "publish" or "detached"
+	owner  string // check that validates this directive kind
+	reason string
+	used   bool
+}
+
 // Reporter collects diagnostics and applies allow-directive suppression.
 type Reporter struct {
 	fset   *token.FileSet
 	diags  []Diagnostic
 	allows map[allowKey][]*allowDirective
+	sites  map[allowKey][]*siteDirective
+	known  map[string]bool // registered check names; validates allow targets
 	ran    map[string]bool // checks that executed; scopes unused-allow findings
 }
 
 // NewReporter builds a reporter over the program's allow directives.
 func NewReporter(prog *Program) *Reporter {
-	r := &Reporter{fset: prog.Fset, allows: map[allowKey][]*allowDirective{}, ran: map[string]bool{}}
+	r := &Reporter{
+		fset:   prog.Fset,
+		allows: map[allowKey][]*allowDirective{},
+		sites:  map[allowKey][]*siteDirective{},
+		known:  map[string]bool{},
+		ran:    map[string]bool{},
+	}
+	// The allow grammar validates check names against the live registry,
+	// so a typo'd //nnc:allow for any check — current or future — is a
+	// finding instead of a silent no-op.
+	for _, c := range Checks() {
+		r.known[c.Name] = true
+	}
 	for _, pkg := range prog.Pkgs {
 		r.collectAllows(pkg)
+		r.collectSites(pkg)
 	}
 	for _, pkg := range prog.TestASTs {
 		r.collectAllows(pkg)
+		r.collectSites(pkg)
 	}
 	return r
 }
@@ -94,7 +148,21 @@ const (
 	// named here so the directive grammar lives in one place.
 	hotpathDirective  = "//nnc:hotpath"
 	coldpathDirective = "//nnc:coldpath"
+	// Site directives bless a single line for the check that owns them.
+	detachedDirective = "//nnc:detached"
+	publishDirective  = "//nnc:publish"
 )
+
+// siteDirectiveKinds maps each site-directive spelling to its kind tag and
+// the check whose findings it blesses.
+var siteDirectiveKinds = []struct {
+	directive string
+	kind      string
+	owner     string
+}{
+	{detachedDirective, "detached", "goroutine-lifecycle"},
+	{publishDirective, "publish", "atomic-publish"},
+}
 
 func (r *Reporter) collectAllows(pkg *Package) {
 	for _, f := range pkg.Files {
@@ -119,11 +187,61 @@ func (r *Reporter) collectAllows(pkg *Package) {
 					})
 					continue
 				}
+				if !r.known[d.check] {
+					r.diags = append(r.diags, Diagnostic{
+						Pos:   pos,
+						Check: "allow",
+						Msg:   fmt.Sprintf("//nnc:allow names unknown check %q; it would suppress nothing (see nnclint -list)", d.check),
+					})
+					continue
+				}
 				key := allowKey{file: pos.Filename, line: pos.Line}
 				r.allows[key] = append(r.allows[key], d)
 			}
 		}
 	}
+}
+
+// collectSites indexes //nnc:publish and //nnc:detached annotations by the
+// line they sit on, mirroring collectAllows. Validation (mandatory reason,
+// must bless something) is deferred to Finish so it only fires when the
+// owning check ran.
+func (r *Reporter) collectSites(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				for _, sk := range siteDirectiveKinds {
+					rest, ok := strings.CutPrefix(text, sk.directive)
+					if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+						continue
+					}
+					pos := r.fset.Position(c.Pos())
+					d := &siteDirective{pos: pos, kind: sk.kind, owner: sk.owner, reason: strings.TrimSpace(rest)}
+					key := allowKey{file: pos.Filename, line: pos.Line}
+					r.sites[key] = append(r.sites[key], d)
+				}
+			}
+		}
+	}
+}
+
+// SiteAllowed reports whether a site directive of the given kind blesses
+// pos (same line or the line immediately above), marking it used. A
+// directive with a missing reason still blesses the site — the malformed
+// directive itself becomes the finding in Finish, so each mistake surfaces
+// exactly once.
+func (r *Reporter) SiteAllowed(pos token.Pos, kind string) bool {
+	p := r.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range r.sites[allowKey{file: p.Filename, line: line}] {
+			if d.kind == kind {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Report files a finding at pos unless an //nnc:allow for the same check
@@ -152,6 +270,27 @@ func (r *Reporter) Finish() []Diagnostic {
 					Pos:   d.pos,
 					Check: "allow",
 					Msg:   fmt.Sprintf("unused //nnc:allow %s: nothing on this or the next line triggers that check; delete the stale suppression", d.check),
+				})
+			}
+		}
+	}
+	for _, ds := range r.sites {
+		for _, d := range ds {
+			if !r.ran[d.owner] {
+				continue
+			}
+			switch {
+			case d.reason == "":
+				r.diags = append(r.diags, Diagnostic{
+					Pos:   d.pos,
+					Check: d.owner,
+					Msg:   fmt.Sprintf("malformed //nnc:%s: want \"//nnc:%s <reason>\" with a non-empty reason", d.kind, d.kind),
+				})
+			case !d.used:
+				r.diags = append(r.diags, Diagnostic{
+					Pos:   d.pos,
+					Check: d.owner,
+					Msg:   fmt.Sprintf("unused //nnc:%s: nothing on this or the next line needs blessing; delete the stale annotation", d.kind),
 				})
 			}
 		}
@@ -187,6 +326,11 @@ func Checks() []Check {
 		{Name: "ctx-flow", Run: checkCtxFlow},
 		{Name: "no-reflect-sort", Run: checkNoReflectSort},
 		{Name: "bench-hygiene", Run: checkBenchHygiene},
+		{Name: "wal-order", Run: checkWALOrder},
+		{Name: "snapshot-lifecycle", Run: checkSnapshotLifecycle},
+		{Name: "goroutine-lifecycle", Run: checkGoroutineLifecycle},
+		{Name: "error-taxonomy", Run: checkErrorTaxonomy},
+		{Name: "atomic-publish", Run: checkAtomicPublish},
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked module package.
@@ -39,12 +40,55 @@ type Program struct {
 // resolved through the source importer (importer.ForCompiler "source"), so
 // the tool needs nothing beyond GOROOT sources and the module tree itself.
 type Loader struct {
-	fset    *token.FileSet
-	module  string
-	rootDir string
-	std     types.ImporterFrom
-	pkgs    map[string]*Package
-	loading map[string]bool
+	fset       *token.FileSet
+	module     string
+	rootDir    string
+	std        types.ImporterFrom
+	pkgs       map[string]*Package
+	testASTs   map[string]*Package // parse-only test packages, by directory
+	loading    map[string]bool
+	mu         sync.Mutex // serializes loads through the shared cache
+	typeChecks int        // module packages actually type-checked (cache misses)
+}
+
+// loaderCache memoizes Loaders by absolute module root, so every
+// LoadModule/LoadDirs call in one process shares a single FileSet and
+// type-checked package set. One full lint run — the golden corpora plus
+// the repo-clean gate plus nnclint itself — type-checks each module
+// package at most once; the load-cache test asserts exactly that.
+var loaderCache = struct {
+	sync.Mutex
+	byRoot map[string]*Loader
+}{byRoot: map[string]*Loader{}}
+
+// sharedLoader returns the process-wide Loader for rootDir, creating it on
+// first use. The cache key is the resolved absolute path, so "../.." and
+// "." reach the same loader when they name the same module; the loader
+// keeps the caller's original spelling for position rendering.
+func sharedLoader(rootDir string) (*Loader, error) {
+	abs, err := filepath.Abs(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	loaderCache.Lock()
+	defer loaderCache.Unlock()
+	if l, ok := loaderCache.byRoot[abs]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	loaderCache.byRoot[abs] = l
+	return l, nil
+}
+
+// TypeChecks reports how many package type-check passes this loader has
+// run so far. Repeat loads through the shared cache must not move it.
+func (l *Loader) TypeChecks() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.typeChecks
 }
 
 // NewLoader returns a loader rooted at the module directory containing
@@ -72,12 +116,13 @@ func NewLoader(rootDir string) (*Loader, error) {
 		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
 	}
 	return &Loader{
-		fset:    fset,
-		module:  module,
-		rootDir: rootDir,
-		std:     std,
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
+		fset:     fset,
+		module:   module,
+		rootDir:  rootDir,
+		std:      std,
+		pkgs:     map[string]*Package{},
+		testASTs: map[string]*Package{},
+		loading:  map[string]bool{},
 	}, nil
 }
 
@@ -164,6 +209,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Implicits:  map[ast.Node]types.Object{},
 	}
 	cfg := types.Config{Importer: l}
+	l.typeChecks++
 	tpkg, err := cfg.Check(importPath, l.fset, pkg.Files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
@@ -174,11 +220,19 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseTestASTs parses (without type-checking) the test files of dir.
+// parseTestASTs parses (without type-checking) the test files of dir,
+// memoized by directory like LoadDir.
 func (l *Loader) parseTestASTs(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.testASTs[dir]; ok {
+		return pkg, nil
+	}
 	_, tests, err := l.goFilesIn(dir)
-	if err != nil || len(tests) == 0 {
+	if err != nil {
 		return nil, err
+	}
+	if len(tests) == 0 {
+		l.testASTs[dir] = nil
+		return nil, nil
 	}
 	pkg := &Package{ImportPath: importPath, Dir: dir}
 	for _, name := range tests {
@@ -190,6 +244,7 @@ func (l *Loader) parseTestASTs(dir, importPath string) (*Package, error) {
 		pkg.Files = append(pkg.Files, f)
 		pkg.FileNames = append(pkg.FileNames, full)
 	}
+	l.testASTs[dir] = pkg
 	return pkg, nil
 }
 
@@ -241,12 +296,16 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 }
 
 // LoadModule loads every package in the module (type-checked, non-test
-// files) plus parse-only ASTs of all test files.
+// files) plus parse-only ASTs of all test files. Loads go through the
+// process-wide loader cache: a second LoadModule for the same root reuses
+// every previously type-checked package.
 func LoadModule(rootDir string) (*Program, error) {
-	l, err := NewLoader(rootDir)
+	l, err := sharedLoader(rootDir)
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	dirs, err := l.moduleDirs()
 	if err != nil {
 		return nil, err
@@ -289,10 +348,12 @@ func LoadModule(rootDir string) (*Program, error) {
 // directory at a time. Import paths for directories outside the module tree
 // are synthesized from the root-relative path.
 func LoadDirs(rootDir string, dirs []string) (*Program, error) {
-	l, err := NewLoader(rootDir)
+	l, err := sharedLoader(rootDir)
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	prog := &Program{Fset: l.fset, Module: l.module, RootDir: l.rootDir, ByPath: map[string]*Package{}}
 	for _, dir := range dirs {
 		abs := dir

@@ -1,0 +1,64 @@
+// Package atomcase is the seeded-violation corpus for the atomic-publish
+// check: atomic.Pointer fields may be Loaded freely, Stored/Swapped only
+// at //nnc:publish-annotated sites, and never aliased or copied around
+// the protocol.
+package atomcase
+
+import "sync/atomic"
+
+type state struct {
+	n int
+}
+
+type holder struct {
+	cur atomic.Pointer[state]
+}
+
+// ReadPath: Load is what readers do.
+func (h *holder) ReadPath() int {
+	if s := h.cur.Load(); s != nil {
+		return s.n
+	}
+	return 0
+}
+
+// PublishAnnotated is a sanctioned publication site.
+func (h *holder) PublishAnnotated(s *state) {
+	h.cur.Store(s) //nnc:publish corpus demo: swap-on-rebuild publication point
+}
+
+// PublishCASAnnotated: CompareAndSwap is a publication event too.
+func (h *holder) PublishCASAnnotated(s *state) bool {
+	//nnc:publish corpus demo: first-wins attach
+	return h.cur.CompareAndSwap(nil, s)
+}
+
+// UnannotatedStore publishes without review.
+func (h *holder) UnannotatedStore(s *state) {
+	h.cur.Store(s) //wantlint atomic-publish: unannotated Store
+}
+
+// UnannotatedSwap: Swap publishes and reads in one step; still a
+// publication site.
+func (h *holder) UnannotatedSwap(s *state) *state {
+	return h.cur.Swap(s) //wantlint atomic-publish: unannotated Swap
+}
+
+// AliasedField copies the pointer cell, bypassing the protocol.
+func (h *holder) AliasedField() *atomic.Pointer[state] {
+	return &h.cur //wantlint atomic-publish: aliasing the cell
+}
+
+// StalePublish blesses a line that publishes nothing.
+func (h *holder) StalePublish() int {
+	n := h.ReadPath() //nnc:publish nothing on this line stores
+	_ = n             // wantlint-file atomic-publish: unused //nnc:publish
+	return n
+}
+
+// MalformedPublish blesses its store but records no reason: the missing
+// review is the finding.
+func (h *holder) MalformedPublish(s *state) {
+	h.cur.Store(s) //nnc:publish
+	_ = s          // wantlint-file atomic-publish: malformed //nnc:publish
+}

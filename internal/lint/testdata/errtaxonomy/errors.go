@@ -1,0 +1,88 @@
+// Package errcase is the seeded-violation corpus for the error-taxonomy
+// check: storage-path errors must stay routable through errors.Is, so
+// fmt.Errorf carries error values through %w and one-off errors.New
+// inside function bodies is banned in favor of package-level sentinels.
+// Regression notes: the %w-colon-%v shape is exactly what the pager and
+// mutable index used before PR 9 fixed them to double-%w wrapping.
+package errcase
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel shape the check wants: package-level, so
+// callers can errors.Is against it.
+var ErrCorrupt = errors.New("errcase: corrupt page")
+
+func readPage(ok bool) error {
+	if ok {
+		return nil
+	}
+	return ErrCorrupt
+}
+
+// WrapClean carries the underlying error through %w.
+func WrapClean(id int) error {
+	if err := readPage(false); err != nil {
+		return fmt.Errorf("errcase: page %d: %w", id, err)
+	}
+	return nil
+}
+
+// DoubleWrapClean: Go 1.20+ multi-%w keeps both causes routable.
+func DoubleWrapClean(id int) error {
+	if err := readPage(false); err != nil {
+		return fmt.Errorf("%w: page %d: %w", ErrCorrupt, id, err)
+	}
+	return nil
+}
+
+// FlattenedWrap formats the error with %v, stripping its identity.
+func FlattenedWrap(id int) error {
+	if err := readPage(false); err != nil {
+		return fmt.Errorf("errcase: page %d: %v", id, err) //wantlint error-taxonomy: wrap it with %w
+	}
+	return nil
+}
+
+// HalfWrapped wraps the sentinel but flattens the cause — the shape the
+// real storage packages were fixed out of.
+func HalfWrapped() error {
+	if err := readPage(false); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err) //wantlint error-taxonomy: wrap it with %w
+	}
+	return nil
+}
+
+// InlineSentinel mints a fresh error value per call: nothing can
+// errors.Is against it.
+func InlineSentinel(ok bool) error {
+	if !ok {
+		return errors.New("errcase: bad magic") //wantlint error-taxonomy: package-level sentinel
+	}
+	return nil
+}
+
+// AllowedInline carries a reviewed suppression.
+func AllowedInline(ok bool) error {
+	if !ok {
+		//nnc:allow error-taxonomy: corpus demo of a reviewed one-off error
+		return errors.New("errcase: reviewed one-off")
+	}
+	return nil
+}
+
+// NoErrorArgs: fmt.Errorf without error arguments owes no %w.
+func NoErrorArgs(id int, name string) error {
+	return fmt.Errorf("errcase: page %d (%s): unreadable", id, name)
+}
+
+// EscapedPercent: %%w is a literal, not a verb, and the error arg is
+// still unwrapped.
+func EscapedPercent() error {
+	if err := readPage(false); err != nil {
+		return fmt.Errorf("errcase: 100%%wrong: %s", err) //wantlint error-taxonomy: wrap it with %w
+	}
+	return nil
+}

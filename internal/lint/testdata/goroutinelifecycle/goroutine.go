@@ -1,0 +1,104 @@
+// Package gorocase is the seeded-violation corpus for the
+// goroutine-lifecycle check: every go statement needs a ctx.Done select,
+// a WaitGroup/channel join, or an explained //nnc:detached annotation.
+package gorocase
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// NakedSpawn has no teardown path at all.
+func NakedSpawn() {
+	go work() //wantlint goroutine-lifecycle: no teardown path
+}
+
+// NakedClosure is the same with an inline body.
+func NakedClosure() {
+	go func() { //wantlint goroutine-lifecycle: no teardown path
+		work()
+	}()
+}
+
+// CtxDoneBody is compliant: cancellation reaches the goroutine.
+func CtxDoneBody(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// WaitGroupJoin is the fan-out shape: the enclosing function waits.
+func WaitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelJoin signals completion on a channel the spawner receives from.
+func ChannelJoin() error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- nil
+	}()
+	return <-errCh
+}
+
+// CloseJoin: closing the channel is the completion signal too.
+func CloseJoin() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// DetachedExplained is a sanctioned process-lifetime spawn.
+func DetachedExplained() {
+	go work() //nnc:detached corpus demo: process-lifetime stand-in listener
+}
+
+// DetachedNoReason: the annotation blesses the spawn but is itself a
+// finding — a detachment without a recorded why is not reviewed.
+func DetachedNoReason() {
+	go work() //nnc:detached
+	_ = 0     // wantlint-file goroutine-lifecycle: malformed //nnc:detached
+}
+
+// StaleDetached sits on a line that spawns nothing.
+func StaleDetached() {
+	work() //nnc:detached nothing here spawns
+	_ = 0  // wantlint-file goroutine-lifecycle: unused //nnc:detached
+}
+
+// ResolvedCalleeDone: the spawned function is resolvable in-module and
+// selects on ctx.Done itself.
+func pump(ctx context.Context, in chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+func ResolvedCalleeDone(ctx context.Context, in chan int) {
+	go pump(ctx, in)
+}

@@ -1,0 +1,12 @@
+//go:build neverbuilt
+
+// excluded.go is fenced off by an unsatisfiable build constraint. The
+// loader honors constraints via build.Default.MatchFile, so the seeded
+// violation below must never produce a finding — if it does, the golden
+// test reports it as unexpected.
+package multicase
+
+//nnc:hotpath
+func ExcludedRoot(b *buf, n int) []int {
+	return make([]int, n) // would be a hotpath-alloc finding if loaded
+}

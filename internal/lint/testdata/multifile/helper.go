@@ -1,0 +1,14 @@
+package multicase
+
+// crossFileAlloc is reached from the //nnc:hotpath root in root.go: the
+// walk crosses file boundaries within the package.
+func crossFileAlloc(b *buf, n int) {
+	b.xs = make([]int, n) //wantlint hotpath-alloc: make allocates
+}
+
+// crossFileSuppressed carries the suppression in this file while the root
+// that reaches it lives in root.go.
+func crossFileSuppressed(b *buf, n int) {
+	//nnc:allow hotpath-alloc: corpus demo — suppression and root live in different files
+	b.xs = make([]int, n)
+}

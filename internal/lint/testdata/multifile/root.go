@@ -1,0 +1,24 @@
+// Package multicase exercises lint over a multi-file, build-tagged
+// package: the hot-path root lives here, the violation and its
+// suppression live in helper.go, and excluded.go is fenced off by a build
+// constraint the loader must honor (its seeded violation must never
+// surface). It also seeds a typo'd //nnc:allow, which the registry-driven
+// validation flags instead of silently ignoring.
+package multicase
+
+type buf struct {
+	xs []int
+}
+
+//nnc:hotpath
+func Root(b *buf, n int) int {
+	crossFileAlloc(b, n)
+	crossFileSuppressed(b, n)
+	return len(b.xs)
+}
+
+// TypoAllow shows an allow naming a check the registry doesn't know.
+func TypoAllow(b *buf) int {
+	//nnc:allow hotpath-aloc: typo'd check name never suppresses anything
+	return len(b.xs) // wantlint-file allow: unknown check "hotpath-aloc"
+}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkWALOrder verifies the commit protocol of DESIGN.md §2d on every
+// function in the wal and diskindex packages: a transaction's page images
+// are all appended before its commit record, a commit or checkpoint record
+// is fsynced before any success return, and the log is never checkpointed
+// or truncated while appended images still await their commit. The
+// analysis mirrors lock-balance's branch-local walk — entering a nested
+// block snapshots the protocol state and leaving restores it — so the
+// early-error-return shape (append; if err { return err }; commit) checks
+// cleanly while a success path that skips a step is still caught.
+//
+// Tracked events, in the source order the walk encounters them:
+//
+//   - AppendPageImage marks images pending; pending images after the
+//     commit record mean the image belongs to no transaction;
+//   - AppendCommit consumes the pending images (the wal-package method
+//     syncs internally, so callers are done);
+//   - AppendCheckpoint / Reset / Truncate while images are pending would
+//     silently discard the transaction;
+//   - inside the wal package itself, appendRecord(RecCommit|RecCheckpoint)
+//     arms a sync obligation that only an explicit Sync call (or a
+//     "return f.Sync()" tail) discharges — error-aborting returns are
+//     exempt, because a failed append never promised durability.
+func checkWALOrder(prog *Program, r *Reporter) {
+	for _, pkg := range prog.Pkgs {
+		if !walScopedPkg(pkg.ImportPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &walWalker{pkg: pkg, r: r, fnName: fd.Name.Name}
+				w.walkBlock(fd.Body)
+				w.checkExit(fd.Body.Rbrace, nil)
+			}
+		}
+	}
+}
+
+func walScopedPkg(path string) bool {
+	seg := path[strings.LastIndex(path, "/")+1:]
+	return seg == "wal" || seg == "diskindex" ||
+		strings.Contains(path, "walorder") // testdata corpora
+}
+
+// walState is the branch-local protocol state.
+type walState struct {
+	images    bool // page images appended, commit record not yet seen
+	committed bool // commit record appended on this path
+	needSync  bool // raw commit/checkpoint record appended, log not synced
+	imagePos  ast.Node
+	syncPos   ast.Node
+}
+
+type walWalker struct {
+	pkg    *Package
+	r      *Reporter
+	fnName string
+	st     walState
+}
+
+func (w *walWalker) snapshot() walState { return w.st }
+func (w *walWalker) restore(s walState) { w.st = s }
+func (w *walWalker) walkBlock(b *ast.BlockStmt) {
+	for _, stmt := range b.List {
+		w.walkStmt(stmt)
+	}
+}
+
+// protoCall classifies a call as a WAL-protocol event. Append*, Reset and
+// appendRecord must resolve to the wal/diskindex packages (or a corpus);
+// Sync and Truncate match any receiver, because the log's backing file is
+// an os.File (or a faultfile wrapper) and a spurious state clear is merely
+// conservative.
+func (w *walWalker) protoCall(call *ast.CallExpr) (name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		// appendRecord is a plain method call in the corpus too; plain
+		// ident calls only matter for the corpus's free-function form.
+		if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && id.Name == "appendRecord" {
+			return id.Name, true
+		}
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Sync", "Truncate":
+		return sel.Sel.Name, true
+	case "AppendPageImage", "AppendCommit", "AppendCheckpoint", "Reset", "appendRecord":
+	default:
+		return "", false
+	}
+	selection, okSel := w.pkg.Info.Selections[sel]
+	if !okSel {
+		return "", false
+	}
+	fn, okFn := selection.Obj().(*types.Func)
+	if !okFn || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if !strings.Contains(path, "/wal") && !strings.Contains(path, "/diskindex") &&
+		!strings.Contains(path, "walorder") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// recordTypeArmsSync reports whether an appendRecord call writes a commit
+// or checkpoint record — the two record types whose append promises an
+// fsync before the caller may report success.
+func recordTypeArmsSync(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	var name string
+	switch a := arg.(type) {
+	case *ast.Ident:
+		name = a.Name
+	case *ast.SelectorExpr:
+		name = a.Sel.Name
+	default:
+		return false
+	}
+	return name == "RecCommit" || name == "RecCheckpoint"
+}
+
+func (w *walWalker) handleCall(call *ast.CallExpr) {
+	name, ok := w.protoCall(call)
+	if !ok {
+		return
+	}
+	switch name {
+	case "AppendPageImage":
+		if w.st.committed {
+			w.r.Report(call.Pos(), "wal-order",
+				fmt.Sprintf("%s: page image appended after the transaction's commit record; all images must precede AppendCommit", w.fnName))
+		}
+		w.st.images = true
+		w.st.imagePos = call
+	case "AppendCommit":
+		w.st.committed = true
+		w.st.images = false
+	case "AppendCheckpoint":
+		if w.st.images {
+			w.r.Report(call.Pos(), "wal-order",
+				fmt.Sprintf("%s: checkpoint record appended while page images await their commit; checkpoint may not precede the commit sync", w.fnName))
+		}
+	case "Reset", "Truncate":
+		if w.st.images {
+			w.r.Report(call.Pos(), "wal-order",
+				fmt.Sprintf("%s: log truncated while page images await their commit; the transaction would be silently discarded", w.fnName))
+		}
+	case "Sync":
+		w.st.needSync = false
+	case "appendRecord":
+		if recordTypeArmsSync(call) {
+			w.st.needSync = true
+			w.st.syncPos = call
+		}
+	}
+}
+
+// scanCalls visits every call in n in pre-order (skipping closures, which
+// run on their own schedule) and feeds each to handleCall.
+func (w *walWalker) scanCalls(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, isCall := m.(*ast.CallExpr); isCall {
+			w.handleCall(call)
+		}
+		return true
+	})
+}
+
+// checkExit reports protocol obligations still pending at a function exit.
+// ret is nil for the fall-off-the-end case.
+func (w *walWalker) checkExit(pos token.Pos, ret *ast.ReturnStmt) {
+	if ret != nil {
+		// A tail that performs the sync itself (return l.f.Sync())
+		// discharges the obligation before the abort test below.
+		if returnContainsSync(ret) {
+			w.st.needSync = false
+		}
+		if w.returnAborts(ret) {
+			return // error path: a failed append never promised durability
+		}
+	}
+	if w.st.needSync {
+		line := 0
+		if w.st.syncPos != nil {
+			line = w.r.fset.Position(w.st.syncPos.Pos()).Line
+		}
+		w.r.Report(pos, "wal-order",
+			fmt.Sprintf("%s: commit/checkpoint record appended (line %d) but the log is not synced on this success path; append must reach Sync before returning", w.fnName, line))
+	}
+	if w.st.images && !w.st.committed {
+		line := 0
+		if w.st.imagePos != nil {
+			line = w.r.fset.Position(w.st.imagePos.Pos()).Line
+		}
+		w.r.Report(pos, "wal-order",
+			fmt.Sprintf("%s: page images appended (line %d) but no commit record on this success path; the transaction is never durable", w.fnName, line))
+	}
+}
+
+// returnContainsSync reports whether any result expression performs the
+// log sync inline.
+func returnContainsSync(ret *ast.ReturnStmt) bool {
+	found := false
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// returnAborts reports whether the return carries a non-nil error value —
+// the abort shape (return err / return fmt.Errorf(...)) that exempts a
+// path from the protocol's success obligations.
+func (w *walWalker) returnAborts(ret *ast.ReturnStmt) bool {
+	info := w.pkg.Info
+	for _, res := range ret.Results {
+		e := ast.Unparen(res)
+		if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		t := info.TypeOf(e)
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errorInterface()) {
+			return true
+		}
+	}
+	return false
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+func (w *walWalker) walkStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.scanCalls(res)
+		}
+		w.checkExit(s.Pos(), s)
+		// Control never continues past a return: clear the state so a
+		// top-level return isn't re-reported at the closing brace.
+		w.st = walState{}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scanCalls(s.Cond)
+		snap := w.snapshot()
+		w.walkBlock(s.Body)
+		w.restore(snap)
+		if s.Else != nil {
+			snap = w.snapshot()
+			w.walkStmt(s.Else)
+			w.restore(snap)
+		}
+	case *ast.BlockStmt:
+		w.walkBlock(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		snap := w.snapshot()
+		w.walkBlock(s.Body)
+		w.restore(snap)
+	case *ast.RangeStmt:
+		w.scanCalls(s.X)
+		snap := w.snapshot()
+		w.walkBlock(s.Body)
+		w.restore(snap)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			snap := w.snapshot()
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+			w.restore(snap)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			snap := w.snapshot()
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+			w.restore(snap)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			snap := w.snapshot()
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+			w.restore(snap)
+		}
+	case *ast.DeferStmt:
+		// Deferred work runs at exit in unwound order; modelling it
+		// path-sensitively is out of scope, and no commit path in the
+		// repo defers protocol calls.
+	default:
+		w.scanCalls(stmt)
+	}
+}

@@ -67,7 +67,7 @@ func Fsck(path string) (*FsckReport, error) {
 		return nil, fmt.Errorf("pager: fsck: reading header: %w", err)
 	}
 	if string(hdr[:4]) != magic {
-		return nil, errors.New("pager: fsck: bad magic")
+		return nil, fmt.Errorf("fsck: %w", ErrBadMagic)
 	}
 	ps := int(le32(hdr[4:8]))
 	pages := int(le32(hdr[8:12]))
@@ -77,7 +77,7 @@ func Fsck(path string) (*FsckReport, error) {
 		return nil, fmt.Errorf("pager: fsck: implausible page size %d", ps)
 	}
 	if pages < 1 {
-		return nil, errors.New("pager: fsck: implausible page count")
+		return nil, fmt.Errorf("fsck: %w: page count %d", ErrBadGeometry, pages)
 	}
 	if version > FormatVersion {
 		return nil, fmt.Errorf("pager: fsck: format version %d is newer than supported %d", version, FormatVersion)

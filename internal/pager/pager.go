@@ -119,6 +119,12 @@ var (
 	ErrPageRange = errors.New("pager: page id out of range")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("pager: file closed")
+	// ErrBadMagic is returned by Open (and Fsck) on a file that is not a
+	// page file, so callers can distinguish "wrong file" from I/O failure.
+	ErrBadMagic = errors.New("pager: bad magic")
+	// ErrBadGeometry is returned when a header's declared geometry fails
+	// plausibility checks before any of it is trusted for allocation.
+	ErrBadGeometry = errors.New("pager: implausible geometry in header")
 )
 
 // castagnoli is the CRC32C table shared by every checksum computation.
@@ -262,7 +268,7 @@ func Open(path string, opts ...Option) (*PageFile, error) {
 	}
 	if string(hdr[:4]) != magic {
 		f.Close()
-		return nil, errors.New("pager: bad magic")
+		return nil, ErrBadMagic
 	}
 	ps := int(le32(hdr[4:8]))
 	pages := PageID(le32(hdr[8:12]))
@@ -277,7 +283,7 @@ func Open(path string, opts ...Option) (*PageFile, error) {
 	}
 	if pages < 1 {
 		f.Close()
-		return nil, errors.New("pager: implausible page count in header")
+		return nil, fmt.Errorf("%w: page count %d", ErrBadGeometry, pages)
 	}
 	if version > FormatVersion {
 		f.Close()
@@ -589,7 +595,7 @@ func (pf *PageFile) ReadPageCtx(ctx context.Context, id PageID, buf []byte) (Pag
 				continue
 			}
 			return PageUnknown, pf.quarantinePage(id, "read",
-				fmt.Errorf("%w: %v", faults.ErrShortRead, rerr))
+				fmt.Errorf("%w: %w", faults.ErrShortRead, rerr))
 		case faults.ClassTransient:
 			failed = true
 			if transient < pf.retry.Max {
@@ -602,7 +608,7 @@ func (pf *PageFile) ReadPageCtx(ctx context.Context, id PageID, buf []byte) (Pag
 				continue
 			}
 			return PageUnknown, &faults.PageError{Op: "read", Page: uint32(id),
-				Err: fmt.Errorf("%w: %v (gave up after %d retries)", faults.ErrTransientIO, rerr, transient)}
+				Err: fmt.Errorf("%w: %w (gave up after %d retries)", faults.ErrTransientIO, rerr, transient)}
 		default:
 			return PageUnknown, &faults.PageError{Op: "read", Page: uint32(id), Err: rerr}
 		}

@@ -253,6 +253,7 @@ func (t *Tree) NodesAtLevel(level int) []*Node {
 		pyramid := t.buildLevels()
 		// Concurrent readers may race to build; the CAS keeps one winner
 		// and every built pyramid is identical.
+		//nnc:publish lazy-build CAS: losers discard their pyramid and load the winner's
 		if !t.levelCache.CompareAndSwap(nil, &pyramid) {
 			lc = t.levelCache.Load()
 		} else {

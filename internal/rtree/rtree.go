@@ -304,6 +304,7 @@ func pow(b, e int) int {
 // Insert adds an entry to the tree (Guttman's algorithm with quadratic
 // split).
 func (t *Tree) Insert(e Entry) {
+	//nnc:publish invalidation: nil forces the next reader to rebuild the pyramid
 	t.levelCache.Store(nil)
 	t.size++
 	split := t.insert(t.root, e)
@@ -487,6 +488,7 @@ func (t *Tree) splitInternal(n *Node) *Node {
 // Delete removes the entry with the given ID whose rectangle equals r.
 // It reports whether an entry was removed.
 func (t *Tree) Delete(r geom.Rect, id int) bool {
+	//nnc:publish invalidation: nil forces the next reader to rebuild the pyramid
 	t.levelCache.Store(nil)
 	leaf, pos, path := t.findLeaf(t.root, r, id, nil)
 	if leaf == nil {

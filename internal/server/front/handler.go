@@ -64,6 +64,15 @@ type Handler struct {
 	inFlight     atomic.Int64
 	latency      map[string]*Histogram // by endpoint class
 	responses    map[int]*Counter      // by status bucket (2xx..5xx)
+
+	// Capacity-shed Retry-After derivation: while the gate is full the
+	// in-flight count is pinned at the ceiling, so the demand beyond
+	// capacity is only observable as the sheds landing in the current
+	// one-second window. winStart/winSheds track that window; now is the
+	// clock, swappable by tests.
+	winStart atomic.Int64 // unix second the window covers
+	winSheds atomic.Int64 // capacity sheds observed in that window
+	now      func() time.Time
 }
 
 // endpointClasses are the latency-histogram label values; request paths
@@ -98,6 +107,7 @@ func NewHandler(inner http.Handler, door *Door, cfg Config) *Handler {
 		reg:          NewRegistry(),
 		latency:      map[string]*Histogram{},
 		responses:    map[int]*Counter{},
+		now:          time.Now,
 	}
 	if h.clientHeader == "" {
 		h.clientHeader = "X-Client-ID"
@@ -141,6 +151,7 @@ func NewHandler(inner http.Handler, door *Door, cfg Config) *Handler {
 // once WAL replay finishes. The first attach wins and registers the
 // door's counters on /metrics; later calls are no-ops.
 func (h *Handler) AttachDoor(door *Door) {
+	//nnc:publish first-attach CAS: requests either shed on nil or see the wired door
 	if door == nil || !h.door.CompareAndSwap(nil, door) {
 		return
 	}
@@ -197,7 +208,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if h.gate != nil {
 		if !h.gate.TryAcquire() {
 			h.shedCapacity.Inc()
-			h.shed(w, time.Second, "overloaded", "server at concurrency ceiling")
+			h.shed(w, h.capacityRetry(), "overloaded", "server at concurrency ceiling")
 			return
 		}
 		defer h.gate.Release()
@@ -231,6 +242,36 @@ func (h *Handler) clientKey(r *http.Request) string {
 	}
 	return host
 }
+
+// capacityRetry derives the Retry-After for a capacity shed from the
+// current queue-depth estimate instead of a constant second: the requests
+// being served (pinned at the ceiling while shedding) plus the demand shed
+// in the current one-second window, measured against the ceiling. Every
+// ceiling's worth of excess demand pushes the advice out another second,
+// so a thundering herd is told to spread out proportionally to its size.
+// The window counters race benignly — a reset may drop a few sheds, which
+// only rounds the estimate down — and the advice is capped so a burst
+// never tells clients to go away for minutes.
+func (h *Handler) capacityRetry() time.Duration {
+	sec := h.now().Unix()
+	if h.winStart.Load() != sec {
+		h.winStart.Store(sec)
+		h.winSheds.Store(0)
+	}
+	limit := h.gate.Limit()
+	depth := h.gate.InFlight() + int(h.winSheds.Add(1))
+	secs := 1 + (depth-limit)/limit
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// maxRetryAfter caps capacity-shed backoff advice in seconds.
+const maxRetryAfter = 30
 
 // shed answers 429 with Retry-After (whole seconds, min 1) and the API's
 // JSON error shape.

@@ -130,6 +130,64 @@ func TestHandlerCapacityCeiling(t *testing.T) {
 	wg.Wait()
 }
 
+// TestCapacityRetryAfterScalesWithDepth pins the clock and the gate and
+// walks the queue-depth estimate: each ceiling's worth of sheds within the
+// window pushes Retry-After out another second, a new window resets the
+// advice, and the cap bounds a thundering herd's backoff.
+func TestCapacityRetryAfterScalesWithDepth(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := NewHandler(inner, nil, Config{MaxInFlight: 2})
+	clock := time.Unix(1_000_000, 0)
+	h.now = func() time.Time { return clock }
+	// Hold both slots so every gated request sheds at the ceiling.
+	for i := 0; i < 2; i++ {
+		if !h.gate.TryAcquire() {
+			t.Fatalf("slot %d not acquirable", i)
+		}
+	}
+	defer func() {
+		h.gate.Release()
+		h.gate.Release()
+	}()
+
+	shedRetry := func() int {
+		t.Helper()
+		w := postQuery(t, h, simpleQuery, nil)
+		if w.Code != http.StatusTooManyRequests {
+			t.Fatalf("over-ceiling request answered %d", w.Code)
+		}
+		ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After = %q: %v", w.Header().Get("Retry-After"), err)
+		}
+		return ra
+	}
+
+	// limit=2, in-flight pinned at 2: depth grows by one per shed, and the
+	// advice steps up every two sheds.
+	for i, want := range []int{1, 2, 2, 3, 3} {
+		if got := shedRetry(); got != want {
+			t.Fatalf("shed %d: Retry-After = %d, want %d", i+1, got, want)
+		}
+	}
+
+	// A new one-second window forgets the old herd.
+	clock = clock.Add(time.Second)
+	if got := shedRetry(); got != 1 {
+		t.Fatalf("fresh window: Retry-After = %d, want 1", got)
+	}
+
+	// The advice is capped no matter how deep the herd gets.
+	for i := 0; i < 2*maxRetryAfter; i++ {
+		shedRetry()
+	}
+	if got := shedRetry(); got != maxRetryAfter {
+		t.Fatalf("deep herd: Retry-After = %d, want cap %d", got, maxRetryAfter)
+	}
+}
+
 func TestMetricsEndpointExposition(t *testing.T) {
 	h, _, _, _ := newStack(t, 23, 30, Config{})
 	// Generate one served query and one cache hit.

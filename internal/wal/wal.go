@@ -65,6 +65,9 @@ var (
 	// ErrCrash is returned by a CrashFile once its write budget is spent —
 	// the injected "process died here" signal of the kill-point sweep.
 	ErrCrash = errors.New("wal: injected crash")
+	// ErrBadMagic is returned by Open on a file that is not a WAL, so
+	// callers can distinguish "wrong file" from I/O failure.
+	ErrBadMagic = errors.New("wal: bad magic")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -152,7 +155,7 @@ func Open(path string, payload int, wrap func(*os.File) File) (*Log, error) {
 	}
 	if string(hdr[:4]) != walMagic {
 		f.Close()
-		return nil, errors.New("wal: bad magic")
+		return nil, ErrBadMagic
 	}
 	if hdr[4] > Version {
 		f.Close()
