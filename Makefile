@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults wal parallel bench-compare-parallel load load-baseline conformance
+.PHONY: all build test vet lint fmt-check bench bench-baseline bench-compare hotpath cover figures examples clean check fuzz fuzz-smoke faults wal parallel bench-compare-parallel load load-baseline conformance cluster
 
 # The hot-path benchmark set and flags; bench-baseline and bench-compare
 # must agree so the committed BENCH_baseline.txt stays comparable. The
@@ -123,7 +123,7 @@ examples:
 	$(GO) run ./examples/nncore
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_new.txt bench_parallel_new.json bench_load_new.json mutex.prof block.prof
+	rm -f cover.out test_output.txt bench_output.txt bench_new.txt bench_parallel_new.json bench_load_new.json bench_cluster_new.json mutex.prof block.prof
 
 verify:
 	$(GO) run ./cmd/nncbench -verify -scale=small
@@ -152,6 +152,17 @@ fuzz-smoke:
 wal:
 	$(GO) test -race -run 'WAL|Crash|Snapshot|Mutable|Mutation|FsckStruct|Recover|Scan|Append|Truncated|Dump|Checkpoint' \
 		./internal/wal ./internal/diskindex ./internal/server
+
+# cluster runs the scatter-gather tier under the race detector: the
+# merge-invariant property sweep (sharded == single node, byte for byte,
+# shard counts 1–8 × every operator and filter configuration), the
+# breaker state machine, and the seeded chaos suite (drop/delay/5xx/
+# half-response/flap injection, replica kill → failover, shard kill →
+# flagged 206 degradation, restore → probe-driven recovery), then the
+# nncload failover drill with its qualitative gate armed.
+cluster:
+	$(GO) test -race ./internal/cluster ./internal/clusterfault
+	$(GO) run ./cmd/nncload -cluster -gate -out=bench_cluster_new.json
 
 # faults runs the end-to-end fault-injection suite under the race
 # detector: engine degradation, quarantine, retry, fsck, legacy compat.

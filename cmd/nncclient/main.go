@@ -9,9 +9,20 @@
 // With -batch, -q holds several queries separated by "|" and the client
 // posts them as one POST /query/batch round trip.
 //
-// The client is a well-behaved citizen of a shedding server: a 429
-// answer is retried after the server's Retry-After delay (capped, at
-// most -retries times) instead of hammering a hot endpoint.
+// The client is a well-behaved citizen of a shedding or degraded server:
+// 429 and 503 answers are retried after the server's Retry-After delay
+// (capped, at most -retries times) instead of hammering a hot endpoint,
+// and a 206 partial answer from a degraded cluster is retried the same
+// way in the hope a breaker probe readmits the dead shard — if retries
+// run out, the partial answer is printed with a warning rather than
+// discarded. When the server sends no usable Retry-After, the client
+// falls back to its own capped exponential schedule instead of a
+// fixed 1s.
+//
+// Against a scatter-gather deployment, -smoke -shards="a,b;c,d" probes
+// the router and every shard replica's /healthz and prints a liveness
+// table (';' separates shards, ',' separates replicas — the same grammar
+// nncserver -shards takes).
 package main
 
 import (
@@ -41,11 +52,19 @@ func main() {
 		q       = flag.String("q", "", "query instances, e.g. \"1,2,3;4,5,6\" (with -batch, queries separated by \"|\")")
 		health  = flag.Bool("health", false, "just check /healthz")
 		batch   = flag.Bool("batch", false, "post all -q queries as one POST /query/batch")
-		retries = flag.Int("retries", 3, "max retries after a 429 (honoring Retry-After)")
+		retries = flag.Int("retries", 3, "max retries after a 429/503/206 (honoring Retry-After)")
+		smoke   = flag.Bool("smoke", false, "probe /healthz on -addr (and every -shards replica) and print a liveness table")
+		shards  = flag.String("shards", "", "shard replicas for -smoke: ';' separates shards, ',' separates replicas")
 	)
 	flag.Parse()
 
 	client := &http.Client{Timeout: 30 * time.Second}
+	if *smoke {
+		if !runSmoke(client, *addr, *shards) {
+			os.Exit(1)
+		}
+		return
+	}
 	if *health {
 		resp, err := client.Get(*addr + "/healthz")
 		if err != nil {
@@ -83,8 +102,16 @@ func main() {
 	if err := json.Unmarshal(raw, &out); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s (k=%d): %d candidates, %d objects examined, %dµs server-side\n\n",
+	fmt.Printf("%s (k=%d): %d candidates, %d objects examined, %dµs server-side\n",
 		out.Operator, out.K, len(out.Candidates), out.Examined, out.ElapsedUS)
+	if out.Incomplete {
+		if out.UnreachableShards > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: partial answer — %d shard(s) unreachable\n", out.UnreachableShards)
+		} else {
+			fmt.Fprintln(os.Stderr, "WARNING: partial answer — parts of the index were unreadable")
+		}
+	}
+	fmt.Println()
 	printCandidates(out.Candidates)
 }
 
@@ -96,6 +123,8 @@ type queryResponse struct {
 	Examined   int         `json:"examined"`
 	ElapsedUS  int64       `json:"elapsed_us"`
 	Incomplete bool        `json:"incomplete,omitempty"`
+
+	UnreachableShards int `json:"unreachable_shards,omitempty"`
 }
 
 type candidate struct {
@@ -157,8 +186,12 @@ func runBatch(client *http.Client, addr, q, op string, k int, metric string, ret
 	}
 }
 
-// post sends the request, honoring 429 + Retry-After with capped backoff
-// up to retries attempts, and returns the response body on 2xx.
+// post sends the request, honoring Retry-After with capped backoff up to
+// retries attempts, and returns the response body on 2xx. Three statuses
+// are retried: 429 (shedding), 503 (warming/unavailable), and 206 — a
+// degraded cluster's partial answer, retried in the hope a breaker probe
+// readmits the dead shard. A 206 that survives every retry is still a
+// valid (flagged) answer, so it is returned, not failed.
 func post(client *http.Client, url string, body []byte, retries int) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
@@ -170,12 +203,24 @@ func post(client *http.Client, url string, body []byte, retries int) ([]byte, er
 		if err != nil {
 			return nil, err
 		}
-		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
-			wait := retryAfter(resp)
-			fmt.Fprintf(os.Stderr, "server shedding (%s), retrying in %v (%d/%d)\n",
-				strings.TrimSpace(string(raw)), wait, attempt+1, retries)
-			time.Sleep(wait)
-			continue
+		if attempt < retries {
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				wait := retryAfter(resp, attempt)
+				fmt.Fprintf(os.Stderr, "server unavailable (%s), retrying in %v (%d/%d)\n",
+					strings.TrimSpace(string(raw)), wait, attempt+1, retries)
+				time.Sleep(wait)
+				continue
+			case http.StatusPartialContent:
+				wait := retryAfter(resp, attempt)
+				fmt.Fprintf(os.Stderr, "partial answer (degraded cluster), retrying in %v (%d/%d)\n",
+					wait, attempt+1, retries)
+				time.Sleep(wait)
+				continue
+			}
+		}
+		if resp.StatusCode == http.StatusPartialContent {
+			return raw, nil
 		}
 		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 			return nil, fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
@@ -185,17 +230,106 @@ func post(client *http.Client, url string, body []byte, retries int) ([]byte, er
 }
 
 // retryAfter parses the Retry-After header (whole seconds), capped to
-// maxRetryAfter and floored at one second.
-func retryAfter(resp *http.Response) time.Duration {
+// maxRetryAfter. When the header is absent, zero, or unparsable, the
+// client falls back to its own capped exponential schedule (250ms, 500ms,
+// 1s, ...) rather than a fixed 1s — an absent header means the server has
+// no recovery estimate, and hammering it every second helps nobody.
+func retryAfter(resp *http.Response, attempt int) time.Duration {
 	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
 	if err != nil || secs < 1 {
-		return time.Second
+		if attempt > 6 { // 250ms << 6 already exceeds the cap
+			return maxRetryAfter
+		}
+		d := 250 * time.Millisecond << attempt
+		if d > maxRetryAfter {
+			d = maxRetryAfter
+		}
+		return d
 	}
 	d := time.Duration(secs) * time.Second
 	if d > maxRetryAfter {
 		return maxRetryAfter
 	}
 	return d
+}
+
+// runSmoke probes /healthz on the router and every shard replica and
+// prints a liveness table. Returns false when anything is down or
+// degraded, so scripts can gate a deployment on the exit code.
+func runSmoke(client *http.Client, addr, shardsSpec string) bool {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "target\trole\tstatus\tdetail")
+	ok := smokeOne(tw, client, addr, "router")
+	if shardsSpec != "" {
+		for si, group := range strings.Split(shardsSpec, ";") {
+			for _, u := range strings.Split(group, ",") {
+				u = strings.TrimSpace(u)
+				if u == "" {
+					continue
+				}
+				if !strings.Contains(u, "://") {
+					u = "http://" + u
+				}
+				if !smokeOne(tw, client, u, fmt.Sprintf("shard %d", si)) {
+					ok = false
+				}
+			}
+		}
+	}
+	tw.Flush()
+	return ok
+}
+
+// smokeOne probes one /healthz and prints its row.
+func smokeOne(tw *tabwriter.Writer, client *http.Client, base, role string) bool {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		fmt.Fprintf(tw, "%s\t%s\tDOWN\t%v\n", base, role, err)
+		return false
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status  string `json:"status"`
+		Objects int    `json:"objects"`
+		Reason  string `json:"reason"`
+		Cluster *struct {
+			Shards []struct {
+				Shard    int `json:"shard"`
+				Replicas []struct {
+					URL     string `json:"url"`
+					Breaker string `json:"breaker"`
+				} `json:"replicas"`
+			} `json:"shards"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		fmt.Fprintf(tw, "%s\t%s\tBAD\tunparsable healthz: %v\n", base, role, err)
+		return false
+	}
+	detail := fmt.Sprintf("%d objects", body.Objects)
+	if body.Reason != "" {
+		detail += ", " + body.Reason
+	}
+	if body.Cluster != nil {
+		open := 0
+		total := 0
+		for _, sh := range body.Cluster.Shards {
+			for _, r := range sh.Replicas {
+				total++
+				if r.Breaker != "closed" {
+					open++
+				}
+			}
+		}
+		detail += fmt.Sprintf(", %d/%d replica breakers closed", total-open, total)
+	}
+	healthy := resp.StatusCode == http.StatusOK && body.Status == "ok"
+	state := strings.ToUpper(body.Status)
+	if state == "" {
+		state = resp.Status
+	}
+	fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", base, role, state, detail)
+	return healthy
 }
 
 // parseInstances parses "x1,x2,...;y1,y2,..." into rows.

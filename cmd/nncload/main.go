@@ -18,6 +18,15 @@
 // -gate the exit status is 1 unless the cached hot set clears ≥ 3× the
 // uncached QPS with bounded p99 and zero errors — ratios within one run,
 // so the gate means the same thing on a laptop and a single-core CI box.
+//
+// With -cluster the tool instead boots an in-process scatter-gather
+// fleet (-cluster-shards × -cluster-replicas) and runs the failover
+// drill: steady load, then one replica killed (200s must continue via
+// failover), then the whole shard killed (answers must degrade to
+// flagged 206s, never 5xx), then restoration (the breaker's half-open
+// probe must readmit the shard and return the cluster to 200s). The
+// -gate is qualitative — right status codes per phase, a probe recorded,
+// recovery inside the deadline — and the artifact is BENCH_cluster.json.
 package main
 
 import (
@@ -58,8 +67,17 @@ func main() {
 		n    = flag.Int("n", 2000, "external target: served dataset size")
 		m    = flag.Int("m", 10, "external target: instances per object")
 		dist = flag.String("dist", "anti", "external target: dataset distribution")
+
+		clusterDrill = flag.Bool("cluster", false, "run the scatter-gather failover drill instead of the load phases")
+		clShards     = flag.Int("cluster-shards", 3, "cluster drill: shard count")
+		clReplicas   = flag.Int("cluster-replicas", 2, "cluster drill: replicas per shard")
 	)
 	flag.Parse()
+
+	if *clusterDrill {
+		runClusterDrill(*clShards, *clReplicas, *conns, *requests, *op, *k, *seed, *gate, *out)
+		return
+	}
 
 	sc, err := harness.ParseScale(*scale)
 	if err != nil {
@@ -110,5 +128,35 @@ func main() {
 		}
 		log.Printf("gate passed: cached_hot %.1f qps >= %.0fx uncached %.1f qps",
 			rep.Phase("cached_hot").QPS, harness.MinCachedSpeedup, rep.Phase("uncached").QPS)
+	}
+}
+
+// runClusterDrill boots the in-process fleet and runs the failover drill.
+func runClusterDrill(shards, replicas, conns, requests int, op string, k int, seed int64, gate bool, out string) {
+	ds := datagen.Generate(datagen.Params{N: 600, M: 5, Centers: datagen.AntiCorrelated, Seed: seed})
+	rep, err := harness.RunClusterDrill(ds, harness.ClusterDrillOptions{
+		Shards: shards, Replicas: replicas, Conns: conns, Requests: requests,
+		Operator: op, K: k, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if out != "" {
+		if err := rep.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", out)
+	}
+	if gate {
+		if errs := rep.GateErrors(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "gate:", e)
+			}
+			os.Exit(1)
+		}
+		log.Printf("gate passed: failover held 200s, degradation flagged, probe-driven recovery in %.2fs", rep.RecoverySeconds)
 	}
 }

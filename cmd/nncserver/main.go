@@ -6,6 +6,7 @@
 //	nncserver -input=objects.csv -addr=:8080     # CSV dataset
 //	nncserver -disk=objects.pg -frames=256       # disk-resident index file
 //	nncserver -disk=objects.pg -mutable          # + POST /insert, POST /delete
+//	nncserver -router -shards="http://s0a:8080,http://s0b:8080;http://s1a:8080"
 //
 // Then:
 //
@@ -26,6 +27,18 @@
 // page file alone carries the index. Without -mutable those endpoints
 // answer 501.
 //
+// With -router the process serves no data itself: it scatters each query
+// to every shard listed in -shards (';' separates shards, ',' separates
+// replicas of one shard), gathers the per-shard k-skybands and merges
+// them through the core dominance checker — bit-identical to a single
+// node over the union. Each shard call runs inside a fault envelope
+// (per-shard deadline, capped jittered retries, a hedged duplicate after
+// the shard's p95, replica failover behind a consecutive-failure circuit
+// breaker with half-open /healthz probes); dead shards degrade the answer
+// to HTTP 206 with an unreachable_shards count and Retry-After advice
+// instead of failing the query. Router health appears under "cluster" in
+// /healthz and sd_router_* series in /metrics.
+//
 // By default every backend serves behind the front door: request
 // coalescing, a semantic result cache with precise invalidation
 // (-cache-mb budget), optional per-client rate limiting (-rate, -burst),
@@ -45,10 +58,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"spatialdom/internal/cluster"
 	"spatialdom/internal/datagen"
 	"spatialdom/internal/dataio"
 	"spatialdom/internal/diskindex"
@@ -80,6 +95,13 @@ func main() {
 		frames  = flag.Int("frames", 256, "buffer pool frames for -disk")
 		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060)")
 		drain   = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+
+		router       = flag.Bool("router", false, "serve as a scatter-gather router over -shards instead of local data")
+		shardsSpec   = flag.String("shards", "", "router shard replicas: ';' separates shards, ',' separates replicas (e.g. \"http://a,http://b;http://c\")")
+		shardTimeout = flag.Duration("shard-timeout", 2*time.Second, "router: per-shard attempt deadline")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "router: fixed hedge delay; 0 adapts to the shard's p95, negative disables hedging")
+		brThreshold  = flag.Int("breaker-threshold", 3, "router: consecutive failures that open a replica's circuit breaker")
+		brCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "router: open-breaker cooldown before a half-open probe")
 
 		noFront     = flag.Bool("no-front", false, "serve the bare API without the front door (no cache, no shedding, no /metrics)")
 		cacheMB     = flag.Int("cache-mb", 64, "semantic result cache budget in MiB; 0 disables the cache")
@@ -135,7 +157,34 @@ func main() {
 	// mutIdx holds the mutable disk index once its (possibly async) WAL
 	// replay finishes, so shutdown can checkpoint it.
 	var mutIdx atomic.Pointer[diskindex.Index]
-	if *disk != "" && *mutable {
+	if *router {
+		shardURLs, err := parseShards(*shardsSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := cluster.New(cluster.Config{
+			Shards:           shardURLs,
+			ShardTimeout:     *shardTimeout,
+			HedgeAfter:       *hedgeAfter,
+			BreakerThreshold: *brThreshold,
+			BreakerCooldown:  *brCooldown,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		refreshCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = rt.Refresh(refreshCtx)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("routing %d objects across %d shard(s)", rt.Len(), len(shardURLs))
+		srv = server.NewWarming("")
+		handler = build(srv, rt)
+		if fh != nil {
+			rt.RegisterMetrics(fh.Registry())
+		}
+	} else if *disk != "" && *mutable {
 		// Boot warming: the listener comes up immediately answering 503
 		// (readyz reports the replay), and Attach flips it live when the
 		// WAL replay finishes — a long replay no longer blanks the port.
@@ -246,6 +295,33 @@ func main() {
 		}
 		log.Printf("bye")
 	}
+}
+
+// parseShards parses the -shards grammar: ';' separates shards, ','
+// separates replicas of one shard.
+func parseShards(spec string) ([][]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("-router requires -shards (';' separates shards, ',' separates replicas)")
+	}
+	var out [][]string
+	for si, group := range strings.Split(spec, ";") {
+		var replicas []string
+		for _, u := range strings.Split(group, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			replicas = append(replicas, u)
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("-shards: shard %d has no replica URLs", si)
+		}
+		out = append(out, replicas)
+	}
+	return out, nil
 }
 
 // logging is a minimal request logger.

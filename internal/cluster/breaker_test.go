@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+
+	if !b.allow() {
+		t.Fatal("new breaker must be closed")
+	}
+	if b.failure(t0) {
+		t.Fatal("first failure must not trip")
+	}
+	if b.failure(t0) {
+		t.Fatal("second failure must not trip")
+	}
+	if !b.failure(t0) {
+		t.Fatal("third failure must trip (threshold 3)")
+	}
+	if b.allow() {
+		t.Fatal("open breaker must fail fast")
+	}
+	if b.tryProbe(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("probe before cooldown must be refused")
+	}
+	if !b.tryProbe(t0.Add(time.Second)) {
+		t.Fatal("probe after cooldown must be granted")
+	}
+	if b.tryProbe(t0.Add(time.Second)) {
+		t.Fatal("second concurrent probe must be refused while one is in flight")
+	}
+	// Failed probe reopens and restarts the cooldown clock.
+	b.probeResult(false, t0.Add(time.Second))
+	if b.allow() {
+		t.Fatal("breaker must stay open after a failed probe")
+	}
+	if b.tryProbe(t0.Add(1500 * time.Millisecond)) {
+		t.Fatal("cooldown must restart after the failed probe")
+	}
+	if !b.tryProbe(t0.Add(2 * time.Second)) {
+		t.Fatal("probe after restarted cooldown must be granted")
+	}
+	b.probeResult(true, t0.Add(2*time.Second))
+	if !b.allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+
+	// The failure streak must have been reset by recovery.
+	if b.failure(t0.Add(3 * time.Second)) {
+		t.Fatal("first failure after recovery must not trip")
+	}
+	b.success()
+	if b.failure(t0.Add(4*time.Second)) || b.failure(t0.Add(4*time.Second)) {
+		t.Fatal("success must reset the consecutive-failure streak")
+	}
+}
+
+func TestBreakerSuccessWhileHalfOpen(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := newBreaker(1, time.Second)
+	b.failure(t0)
+	if !b.tryProbe(t0.Add(time.Second)) {
+		t.Fatal("probe must be granted")
+	}
+	// A hedged request succeeding against this replica while the probe is
+	// in flight must not close the breaker out from under the probe owner.
+	b.success()
+	if b.allow() {
+		t.Fatal("probe in flight: breaker must not close on side-channel success")
+	}
+	b.probeResult(true, t0.Add(time.Second))
+	if !b.allow() {
+		t.Fatal("probe success must close")
+	}
+}

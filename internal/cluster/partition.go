@@ -1,0 +1,70 @@
+// Package cluster implements the scatter-gather tier of the system: a
+// spatial partitioner that cuts a dataset into N coherent shards along the
+// R-tree's own Sort-Tile-Recursive order, and a Router that fans a query
+// out to every shard, wraps each call in a fault envelope (per-shard
+// deadline → capped jittered retry → hedged second request → replica
+// failover → circuit breaker), and merges the per-shard k-skybands into
+// the global answer through core.MergeShardBands.
+//
+// The correctness contract is the merge invariant documented and proved
+// in internal/core/merge.go: with every shard reachable, the routed
+// answer equals the single-node answer candidate-for-candidate. Failures
+// never produce a silently short answer — a shard whose every replica is
+// down is *counted*, the remaining candidates are served, and the result
+// travels as core.PartialResultError / HTTP 206 exactly like a
+// quarantined page does on a single node.
+package cluster
+
+import (
+	"spatialdom/internal/geom"
+	"spatialdom/internal/rtree"
+	"spatialdom/internal/uncertain"
+)
+
+// Partition cuts objs into at most n spatially coherent shards: objects
+// are ordered by the same Sort-Tile-Recursive pass rtree.Bulk packs
+// leaves with, and the order is sliced into n contiguous runs of
+// near-equal size. Spatial coherence is what makes scatter-gather cheap —
+// a query's expanding search sphere intersects few shard MBRs, so most
+// shards prune early instead of deep-traversing.
+//
+// Fewer than n shards come back when len(objs) < n (one object per shard,
+// no empties): every returned shard is non-empty, which the per-shard
+// store constructors require. The input slice is not modified.
+func Partition(objs []*uncertain.Object, n int) [][]*uncertain.Object {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(objs) {
+		n = len(objs)
+	}
+	if n == 0 {
+		return nil
+	}
+	rects := make([]geom.Rect, len(objs))
+	for i, o := range objs {
+		rects[i] = o.MBR()
+	}
+	// Tile capacity = shard size, so STR tile boundaries line up with
+	// shard boundaries.
+	capacity := (len(objs) + n - 1) / n
+	order := rtree.STROrder(rects, capacity)
+
+	shards := make([][]*uncertain.Object, 0, n)
+	// Near-equal contiguous runs: the first len%n shards get one extra.
+	base, extra := len(objs)/n, len(objs)%n
+	at := 0
+	for s := 0; s < n; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		shard := make([]*uncertain.Object, 0, size)
+		for _, j := range order[at : at+size] {
+			shard = append(shard, objs[j])
+		}
+		shards = append(shards, shard)
+		at += size
+	}
+	return shards
+}

@@ -1,0 +1,178 @@
+package core
+
+// Cross-shard merge for the scatter-gather router (internal/cluster).
+//
+// Merge invariant. Partition the dataset D into shards D_1..D_N. For any
+// query Q, operator, and k, let band_i be the k-skyband of D_i (the
+// objects of D_i with fewer than k dominators within D_i) and let
+// U = band_1 ∪ .. ∪ band_N. Then
+//
+//	k-skyband(D) = k-skyband(U),
+//
+// and every emitted candidate's dominator count over U equals its count
+// over D. Proof sketch, resting on the same transitivity chain that makes
+// Algorithm 1 correct (Section 5.2 / Theorem 4 of the paper):
+//
+//  1. Containment. If V ∈ k-skyband(D) then V has < k dominators in all
+//     of D, hence < k within its own shard, so V ∈ U. Conversely an
+//     object with ≥ k dominators in D cannot enter k-skyband(U) —
+//     order V's dominator poset by any linear extension; its first k
+//     elements each have < k dominators themselves (a dominator of a
+//     dominator of X dominates X by transitivity, so anything dominating
+//     one of the first k would precede it), hence all k are global — and
+//     therefore per-shard — skyband members, i.e. they are all in U.
+//  2. Exact counts. The same argument shows every dominator of an
+//     emitted candidate is itself in U: a dominator W of V satisfies
+//     min(W_Q) ≤ min(V_Q) (statistic necessity) and, were W outside U,
+//     W would have ≥ k dominators in its shard, which by transitivity
+//     all dominate V too — contradicting V's < k count. So counting
+//     over U counts exactly the dominators counted over D.
+//
+// Determinism. MergeShardBands orders U by the same exact
+// min-pair-distance key the engine re-keys objects with, drains key ties
+// into one batch under the same tieEps, and counts dominators over
+// pre-batch band ∪ batch exactly like the engine — so the merged Result
+// is equal to the single-node Result candidate-for-candidate: same IDs,
+// same ranks, same MinDist bits, same Dominators. The one permitted
+// difference is emission order *within* an exact-key tie batch (single
+// node follows heap pop order, the merge sorts ties by object ID);
+// dominator counts are batch-order-independent by construction, and on
+// continuous workloads exact-key ties between distinct objects have
+// measure zero. The conformance suite asserts full byte-equality on such
+// workloads and tie-set equality otherwise.
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"spatialdom/internal/uncertain"
+)
+
+// mergeItem is one union member keyed by its exact min pair distance.
+type mergeItem struct {
+	obj *uncertain.Object
+	key float64
+}
+
+// byKeyThenID is the merge's typed sort (the hot packages ban
+// reflection-based sort.Slice): ascending key, object ID breaking ties.
+type byKeyThenID []mergeItem
+
+func (s byKeyThenID) Len() int { return len(s) }
+func (s byKeyThenID) Less(i, j int) bool {
+	if s[i].key != s[j].key {
+		return s[i].key < s[j].key
+	}
+	return s[i].obj.ID() < s[j].obj.ID()
+}
+func (s byKeyThenID) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// MergeShardBands computes the global k-skyband from per-shard k-skyband
+// candidate sets, replicating the single-node engine's evaluation order
+// and dominator accounting (see the file header for the invariant and its
+// proof sketch). bands holds one slice per responding shard; objects are
+// deduplicated by ID, so hedged duplicate answers are harmless. The
+// context is checked once per candidate evaluation; opts.Limit and
+// opts.OnCandidate behave as in SearchBackend. Examined reports the size
+// of the deduplicated union.
+func MergeShardBands(ctx context.Context, q *uncertain.Object, op Operator, k int, opts SearchOptions, bands [][]*uncertain.Object) (*Result, error) {
+	if k < 1 {
+		panic("core: MergeShardBands requires k >= 1")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	res := &Result{Operator: op}
+	checker := NewCheckerMetric(q, op, opts.Filters, opts.metric())
+
+	seen := make(map[int]bool)
+	union := make([]mergeItem, 0, 64)
+	for _, band := range bands {
+		for _, o := range band {
+			if o == nil || seen[o.ID()] {
+				continue
+			}
+			seen[o.ID()] = true
+			union = append(union, mergeItem{obj: o, key: checker.MinPairDist(o)})
+		}
+	}
+	// Ascending exact key — the engine's evaluation order. ID breaks exact
+	// ties deterministically; within a batch the tie order does not affect
+	// dominator counts (they are counted over band ∪ batch).
+	sort.Sort(byKeyThenID(union))
+
+	finish := func() {
+		res.Elapsed = time.Since(start)
+		res.Stats = checker.Stats
+	}
+
+	band := make([]*uncertain.Object, 0, k)
+	for lo := 0; lo < len(union); {
+		// Drain the tie batch exactly like the engine: everything whose key
+		// lies within tieEps of the batch head.
+		hi := lo + 1
+		limit := union[lo].key + tieEps
+		for hi < len(union) && union[hi].key <= limit {
+			hi++
+		}
+		batch := union[lo:hi]
+		preBand := len(band)
+		for _, bi := range batch {
+			if ctx.Err() != nil {
+				finish()
+				return res, ctx.Err()
+			}
+			obj := bi.obj
+			res.Examined++
+			dominators := 0
+			for i, u := range band[:preBand] {
+				if checker.Dominates(u, obj) {
+					dominators++
+					if dominators == 1 && i > 0 {
+						// Move-to-front, as in the engine: a dominator tends
+						// to dominate the following objects too.
+						copy(band[1:i+1], band[:i])
+						band[0] = u
+					}
+					if dominators >= k {
+						break
+					}
+				}
+			}
+			if dominators < k {
+				for _, other := range batch {
+					if other.obj != obj && checker.Dominates(other.obj, obj) {
+						dominators++
+						if dominators >= k {
+							break
+						}
+					}
+				}
+			}
+			if dominators >= k {
+				continue
+			}
+			band = append(band, obj)
+			cand := Candidate{
+				Object:     obj,
+				Rank:       len(res.Candidates),
+				MinDist:    bi.key,
+				Elapsed:    time.Since(start),
+				Dominators: dominators,
+			}
+			res.Candidates = append(res.Candidates, cand)
+			if opts.OnCandidate != nil {
+				opts.OnCandidate(cand)
+			}
+			if opts.Limit > 0 && len(res.Candidates) >= opts.Limit {
+				finish()
+				return res, nil
+			}
+		}
+		lo = hi
+	}
+	finish()
+	return res, nil
+}

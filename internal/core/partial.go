@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // maxPartialErrs caps the representative storage errors retained on a
@@ -31,12 +32,27 @@ type PartialResultError struct {
 	// expansions and skipped object resolutions.
 	UnreadableNodes   int
 	UnreadableObjects int
+	// UnreachableShards counts whole cluster shards (every replica dead,
+	// retries and failover exhausted) whose candidates are missing from
+	// Result. Zero on single-node searches. A scatter-gather router also
+	// folds the per-shard skip counts reported by degraded-but-reachable
+	// shards into the two fields above, so the triple says exactly how
+	// much of the fleet's data the answer could not see.
+	UnreachableShards int
+	// RetryAfterHint, when positive, is the earliest time the producer
+	// expects the missing capacity back (e.g. a shard breaker's half-open
+	// probe time). Servers surface it as a Retry-After header on the 206.
+	RetryAfterHint time.Duration
 	// Errs holds up to maxPartialErrs representative causes.
 	Errs []error
 }
 
 // Error implements error.
 func (e *PartialResultError) Error() string {
+	if e.UnreachableShards > 0 {
+		return fmt.Sprintf("core: partial result: %d shards unreachable, %d subtrees and %d objects unreadable",
+			e.UnreachableShards, e.UnreadableNodes, e.UnreadableObjects)
+	}
 	return fmt.Sprintf("core: partial result: %d subtrees and %d objects unreadable",
 		e.UnreadableNodes, e.UnreadableObjects)
 }
@@ -54,6 +70,16 @@ func (e *PartialResultError) note(err error, node bool) {
 	}
 	if len(e.Errs) < maxPartialErrs {
 		e.Errs = append(e.Errs, err)
+	}
+}
+
+// AddShard records one unreachable cluster shard (every replica down,
+// retries exhausted), retaining cause as a representative error subject to
+// the same cap as storage faults.
+func (e *PartialResultError) AddShard(cause error) {
+	e.UnreachableShards++
+	if cause != nil && len(e.Errs) < maxPartialErrs {
+		e.Errs = append(e.Errs, cause)
 	}
 }
 

@@ -1,0 +1,260 @@
+package harness
+
+// Cluster failover drill behind cmd/nncload -cluster → BENCH_cluster.json.
+// Four phases drive an in-process scatter-gather fleet (real TCP, real
+// router) through the fault envelope's whole state machine:
+//
+//	steady        every shard healthy — all answers must be 200;
+//	replica_down  one replica of one shard killed mid-load — failover
+//	              must keep every answer at 200;
+//	shard_down    both replicas killed — answers must degrade to flagged
+//	              206 partials (never 5xx, never unflagged);
+//	recovery      replicas restored — the breaker's half-open probe must
+//	              readmit them and return the cluster to 200s without
+//	              any restart.
+//
+// The gate is qualitative, not throughput-based, so it means the same
+// thing on any machine: correct status codes per phase, a successful
+// probe recorded, and recovery within the deadline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"spatialdom/internal/cluster"
+	"spatialdom/internal/clusterfault"
+	"spatialdom/internal/datagen"
+	"spatialdom/internal/faults"
+)
+
+// ClusterDrillOptions configures one drill. Zero fields take defaults.
+type ClusterDrillOptions struct {
+	Shards   int    // shard count (default 3)
+	Replicas int    // replicas per shard (default 2)
+	Conns    int    // concurrent workers (default 8)
+	Requests int    // requests per phase (default 120)
+	Operator string // wire operator (default "PSD")
+	K        int    // k-NN candidates (default 2)
+	Seed     int64  // workload seed (default 1)
+	// RecoveryWait bounds the recovery phase (default 10s).
+	RecoveryWait time.Duration
+}
+
+func (o *ClusterDrillOptions) defaults() {
+	if o.Shards <= 0 {
+		o.Shards = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 120
+	}
+	if o.Operator == "" {
+		o.Operator = "PSD"
+	}
+	if o.K <= 0 {
+		o.K = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RecoveryWait <= 0 {
+		o.RecoveryWait = 10 * time.Second
+	}
+}
+
+// ClusterPhase is one drill phase's outcome.
+type ClusterPhase struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`      // 200s
+	Partial     int     `json:"partial"` // flagged 206s
+	Errors      int     `json:"errors"`  // transport errors and 5xx
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// ClusterDrillReport is the machine-readable outcome (BENCH_cluster.json).
+type ClusterDrillReport struct {
+	Shards          int            `json:"shards"`
+	Replicas        int            `json:"replicas"`
+	Seed            int64          `json:"seed"`
+	Phases          []ClusterPhase `json:"phases"`
+	RecoverySeconds float64        `json:"recovery_seconds"`
+	RouterStats     cluster.Stats  `json:"router_stats"`
+}
+
+// Phase returns a phase by name (nil if the drill never ran it).
+func (r *ClusterDrillReport) Phase(name string) *ClusterPhase {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// GateErrors evaluates the drill's acceptance gate.
+func (r *ClusterDrillReport) GateErrors() []string {
+	var errs []string
+	check := func(name string, f func(p *ClusterPhase) string) {
+		p := r.Phase(name)
+		if p == nil {
+			errs = append(errs, name+": phase missing")
+			return
+		}
+		if msg := f(p); msg != "" {
+			errs = append(errs, name+": "+msg)
+		}
+	}
+	allOK := func(p *ClusterPhase) string {
+		if p.OK != p.Requests {
+			return fmt.Sprintf("%d/%d answers were 200 (partial=%d errors=%d)", p.OK, p.Requests, p.Partial, p.Errors)
+		}
+		return ""
+	}
+	check("steady", allOK)
+	check("replica_down", allOK)
+	check("shard_down", func(p *ClusterPhase) string {
+		if p.Errors > 0 {
+			return fmt.Sprintf("%d hard errors; a dead shard must degrade, not fail", p.Errors)
+		}
+		if p.Partial == 0 {
+			return "no 206 partials recorded; the dead shard went unnoticed"
+		}
+		return ""
+	})
+	check("recovery", allOK)
+	if r.RouterStats.ProbeOK == 0 {
+		errs = append(errs, "recovery happened without a successful half-open probe")
+	}
+	if r.RouterStats.Failovers == 0 && r.RouterStats.Retries == 0 {
+		errs = append(errs, "replica_down left no failover/retry trace")
+	}
+	return errs
+}
+
+// WriteText prints the drill in a human-readable table.
+func (r *ClusterDrillReport) WriteText(w *os.File) error {
+	fmt.Fprintf(w, "cluster drill: %d shards x %d replicas, seed %d\n", r.Shards, r.Replicas, r.Seed)
+	fmt.Fprintf(w, "%-14s %8s %6s %8s %7s %8s\n", "phase", "requests", "ok", "partial", "errors", "wall(s)")
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "%-14s %8d %6d %8d %7d %8.2f\n", p.Name, p.Requests, p.OK, p.Partial, p.Errors, p.WallSeconds)
+	}
+	fmt.Fprintf(w, "recovered in %.2fs; router: %d retries, %d hedges (%d won), %d failovers, %d breaker opens, %d/%d probes ok\n",
+		r.RecoverySeconds, r.RouterStats.Retries, r.RouterStats.Hedges, r.RouterStats.HedgeWins,
+		r.RouterStats.Failovers, r.RouterStats.BreakerOpens, r.RouterStats.ProbeOK, r.RouterStats.ProbeOK+r.RouterStats.ProbeFail)
+	return nil
+}
+
+// WriteJSON writes the report artifact.
+func (r *ClusterDrillReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunClusterDrill boots an in-process fleet over ds and drives the four
+// phases.
+func RunClusterDrill(ds *datagen.Dataset, opts ClusterDrillOptions) (*ClusterDrillReport, error) {
+	opts.defaults()
+	c, err := clusterfault.Start(ds.Objects, clusterfault.Options{
+		ShardCount: opts.Shards,
+		Replicas:   opts.Replicas,
+		Seed:       uint64(opts.Seed),
+		Router: cluster.Config{
+			ShardTimeout:     2 * time.Second,
+			Retry:            faults.Retry{Max: 3, Base: 5 * time.Millisecond, Cap: 100 * time.Millisecond},
+			BreakerThreshold: 3,
+			BreakerCooldown:  500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	queries := ds.Queries(32, 4, 200, opts.Seed+100)
+	rep := &ClusterDrillReport{Shards: opts.Shards, Replicas: opts.Replicas, Seed: opts.Seed}
+
+	runPhase := func(name string) ClusterPhase {
+		p := ClusterPhase{Name: name, Requests: opts.Requests}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		per := opts.Requests / opts.Conns
+		extra := opts.Requests % opts.Conns
+		for w := 0; w < opts.Conns; w++ {
+			n := per
+			if w < extra {
+				n++
+			}
+			wg.Add(1)
+			go func(worker, n int) {
+				defer wg.Done()
+				var ok, partial, errors int
+				for i := 0; i < n; i++ {
+					q := queries[(worker*31+i)%len(queries)]
+					resp, err := clusterfault.PostQuery(c.Front.URL, clusterfault.QueryBody(q, opts.Operator, opts.K))
+					switch {
+					case err != nil:
+						errors++
+					case resp.Status == http.StatusOK && !resp.Incomplete:
+						ok++
+					case resp.Status == http.StatusPartialContent && resp.Incomplete:
+						partial++
+					default:
+						errors++
+					}
+				}
+				mu.Lock()
+				p.OK += ok
+				p.Partial += partial
+				p.Errors += errors
+				mu.Unlock()
+			}(w, n)
+		}
+		wg.Wait()
+		p.WallSeconds = time.Since(start).Seconds()
+		return p
+	}
+
+	rep.Phases = append(rep.Phases, runPhase("steady"))
+
+	c.KillReplica(0, 0)
+	rep.Phases = append(rep.Phases, runPhase("replica_down"))
+
+	c.KillShard(0)
+	rep.Phases = append(rep.Phases, runPhase("shard_down"))
+
+	// Recovery: restore the shard and poll until a 200 comes back, then
+	// run the measured phase over the healed cluster.
+	c.RestoreShard(0)
+	probe := queries[0]
+	healStart := time.Now()
+	deadline := healStart.Add(opts.RecoveryWait)
+	for {
+		resp, err := clusterfault.PostQuery(c.Front.URL, clusterfault.QueryBody(probe, opts.Operator, opts.K))
+		if err == nil && resp.Status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			break // the recovery phase's gate will report the failure
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	rep.RecoverySeconds = time.Since(healStart).Seconds()
+	rep.Phases = append(rep.Phases, runPhase("recovery"))
+
+	rep.RouterStats = c.Router.Stats()
+	return rep, nil
+}

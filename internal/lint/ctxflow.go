@@ -99,7 +99,8 @@ func checkCtxFlow(prog *Program, r *Reporter) {
 func ctxScopedPkg(path string) bool {
 	seg := path[strings.LastIndex(path, "/")+1:]
 	return seg == "core" || seg == "diskindex" || seg == "server" || seg == "front" ||
-		seg == "lint" || strings.Contains(path, "ctxflow")
+		seg == "cluster" || seg == "lint" ||
+		strings.Contains(path, "ctxflow") || strings.Contains(path, "clusterctx")
 }
 
 // sleepScopedPkg widens the ctx-scoped set with the storage substrate,
@@ -110,8 +111,24 @@ func sleepScopedPkg(path string) bool {
 	return ctxScopedPkg(path) || seg == "pager" || seg == "faults"
 }
 
+// httpClientMethods are net/http's blocking request entry points. A shard
+// RPC is I/O exactly like a page read: issuing one without the caller's
+// context means a dead replica pins the query past its deadline, so the
+// ctx-flow reachability treats them as direct I/O. RoundTrip covers
+// custom transports; the package-level Get/Post/Head convenience
+// functions resolve through Uses rather than Selections.
+var httpClientMethods = map[string]bool{
+	"Do":        true,
+	"Get":       true,
+	"Post":      true,
+	"PostForm":  true,
+	"Head":      true,
+	"RoundTrip": true,
+}
+
 // directIO reports whether the function body itself calls a storage
-// primitive (pager page/file transfer or store record access).
+// primitive (pager page/file transfer or store record access) or issues
+// an HTTP request (a shard RPC).
 func directIO(fi *FuncInfo) bool {
 	if fi.Decl.Body == nil {
 		return false
@@ -127,19 +144,29 @@ func directIO(fi *FuncInfo) bool {
 			return true
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || !ioMethods[sel.Sel.Name] {
-			return true
-		}
-		selection, ok := info.Selections[sel]
 		if !ok {
 			return true
 		}
-		fn, ok := selection.Obj().(*types.Func)
-		if !ok || fn.Pkg() == nil {
+		name := sel.Sel.Name
+		if !ioMethods[name] && !httpClientMethods[name] {
+			return true
+		}
+		var fn *types.Func
+		if selection, ok := info.Selections[sel]; ok {
+			fn, _ = selection.Obj().(*types.Func)
+		} else {
+			// Package-qualified call (http.Get, http.Post, ...).
+			fn, _ = info.Uses[sel.Sel].(*types.Func)
+		}
+		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
 		path := fn.Pkg().Path()
-		if strings.Contains(path, "/pager") || strings.Contains(path, "/diskindex") || strings.Contains(path, "ctxflow") {
+		switch {
+		case ioMethods[name] &&
+			(strings.Contains(path, "/pager") || strings.Contains(path, "/diskindex") || strings.Contains(path, "ctxflow")):
+			found = true
+		case httpClientMethods[name] && (path == "net/http" || strings.Contains(path, "clusterctx")):
 			found = true
 		}
 		return true

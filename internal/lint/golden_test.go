@@ -23,6 +23,10 @@ var corpusCases = []struct {
 	{"walorder", "wal-order"},
 	{"snapshotlifecycle", "snapshot-lifecycle"},
 	{"goroutinelifecycle", "goroutine-lifecycle"},
+	// The scatter-gather corpora: HTTP shard RPCs as ctx-carried I/O, and
+	// fan-out/hedge/probe goroutine shapes.
+	{"clusterctx", "ctx-flow"},
+	{"clusterfanout", "goroutine-lifecycle"},
 	{"errtaxonomy", "error-taxonomy"},
 	{"atomicpublish", "atomic-publish"},
 	// multifile re-runs hotpath-alloc over a package whose root,

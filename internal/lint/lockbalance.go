@@ -44,6 +44,7 @@ func checkLockBalance(prog *Program, r *Reporter) {
 func lockScopedPkg(path string) bool {
 	seg := path[strings.LastIndex(path, "/")+1:]
 	return seg == "pager" || seg == "diskindex" || seg == "wal" || seg == "front" ||
+		seg == "cluster" ||
 		strings.Contains(path, "lockbalance") // testdata corpora
 }
 
@@ -73,6 +74,12 @@ var ioMethods = map[string]bool{
 // reclassified as direct storage I/O.
 var lockIOMethods = map[string]bool{
 	"SearchKCtx": true,
+	// The router's shard RPCs: a replica call or health probe is a full
+	// network round trip — held across the latency-window or breaker
+	// mutex it would serialize every concurrent fan-out behind one slow
+	// replica.
+	"ShardQuery":  true,
+	"ProbeHealth": true,
 }
 
 type heldLock struct {
@@ -321,7 +328,7 @@ func (w *lockWalker) scanIOUnderLock(n ast.Node) {
 		path := fn.Pkg().Path()
 		if !strings.Contains(path, "/pager") && !strings.Contains(path, "/diskindex") &&
 			!strings.Contains(path, "/wal") && !strings.Contains(path, "/server") &&
-			!strings.Contains(path, "lockbalance") {
+			!strings.Contains(path, "/cluster") && !strings.Contains(path, "lockbalance") {
 			return true
 		}
 		w.r.Report(call.Pos(), "lock-balance",

@@ -1,0 +1,81 @@
+// Package clusterctx is the seeded-violation corpus for the ctx-flow
+// check's HTTP-RPC classification: a shard RPC (http.Client.Do, the
+// package-level convenience functions, a custom RoundTrip) is I/O exactly
+// like a page read, so exported entry points that issue one must take and
+// forward a context.Context.
+package clusterctx
+
+import (
+	"context"
+	"net/http"
+)
+
+type Replica struct {
+	url string
+	hc  *http.Client
+}
+
+// call performs the raw round trip; unexported, so it may stay ctx-free.
+func (r *Replica) call(req *http.Request) (*http.Response, error) {
+	return r.hc.Do(req)
+}
+
+// Query issues a shard RPC with no context: a dead replica pins the
+// caller until the transport default times out, long past any deadline.
+func (r *Replica) Query(body []byte) error { //wantlint ctx-flow: takes no context.Context
+	req, err := http.NewRequest(http.MethodPost, r.url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.call(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// QueryCtx is the compliant shape: the request rides the caller's ctx.
+func (r *Replica) QueryCtx(ctx context.Context, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.call(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Probe hits the package-level convenience entry point (resolved through
+// Uses, not Selections) with no ctx to forward.
+func Probe(url string) error { //wantlint ctx-flow: takes no context.Context
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// ProbeSevered has a ctx but builds the request on a fresh one: the
+// cancellation chain is cut exactly where it matters.
+func (r *Replica) ProbeSevered(ctx context.Context, url string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil) //wantlint ctx-flow: severs the cancellation chain
+	if err != nil {
+		return err
+	}
+	resp, err := r.call(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Discover reaches the RPC only transitively, through the unexported
+// helper — reachability must still flag it.
+func (r *Replica) Discover(url string) error { //wantlint ctx-flow: takes no context.Context
+	return Probe(url)
+}

@@ -1,0 +1,77 @@
+// Package clusterfanout is the seeded-violation corpus for the
+// goroutine-lifecycle check over the scatter-gather shapes: per-shard
+// fan-out goroutines, hedged duplicate requests, and breaker probe loops.
+// Every spawn needs a ctx.Done select, a WaitGroup/channel join, or an
+// explained //nnc:detached annotation.
+package clusterfanout
+
+import (
+	"context"
+	"sync"
+)
+
+type answer struct {
+	idx int
+	err error
+}
+
+func callShard(i int) error { return nil }
+
+// FanOut is the compliant scatter: every shard goroutine is joined by the
+// WaitGroup before the merge reads the slots.
+func FanOut(n int) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = callShard(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Hedge is the compliant hedged-request shape: the attempt goroutine
+// either delivers its answer or observes the attempt ctx die — the send
+// can never block forever, and cancellation reaches the loser.
+func Hedge(actx context.Context, primary, hedged int) answer {
+	ch := make(chan answer)
+	launch := func(i int) {
+		go func() {
+			select {
+			case ch <- answer{idx: i, err: callShard(i)}:
+			case <-actx.Done():
+			}
+		}()
+	}
+	launch(primary)
+	launch(hedged)
+	select {
+	case a := <-ch:
+		return a
+	case <-actx.Done():
+		return answer{err: actx.Err()}
+	}
+}
+
+// FireAndForgetRetry resends on a goroutine nothing can stop: no join, no
+// ctx, the spawn outlives every deadline.
+func FireAndForgetRetry(i int) {
+	go func() { //wantlint goroutine-lifecycle: no teardown path
+		callShard(i)
+	}()
+}
+
+func probeLoop() {
+	for {
+		callShard(0)
+	}
+}
+
+// StartProbing launches an unbounded probe loop with no teardown: a
+// breaker revival loop must select on ctx.Done or be declared detached.
+func StartProbing() {
+	go probeLoop() //wantlint goroutine-lifecycle: no teardown path
+}

@@ -141,3 +141,38 @@ func (c *cacheShard) LeakOnMiss(key string) (int, bool) {
 	c.mu.Unlock()
 	return v, true
 }
+
+// --- shard-RPC-under-lock cases (lockIOMethods: ShardQuery/ProbeHealth) ------
+
+type shardReplica struct{}
+
+func (shardReplica) ShardQuery(body []byte) error { return nil }
+func (shardReplica) ProbeHealth() error           { return nil }
+
+type routerShard struct {
+	mu  sync.Mutex
+	rep shardReplica
+}
+
+// RPCUnderLock holds the shard mutex across a full network round trip:
+// every concurrent fan-out serializes behind one slow replica.
+func (r *routerShard) RPCUnderLock(body []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rep.ShardQuery(body) //wantlint lock-balance: performs storage I/O while
+}
+
+// ProbeUnderLock is the same violation through the health probe.
+func (r *routerShard) ProbeUnderLock() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rep.ProbeHealth() //wantlint lock-balance: performs storage I/O while
+}
+
+// RPCOutsideLock snapshots under the lock and calls outside it: clean.
+func (r *routerShard) RPCOutsideLock(body []byte) error {
+	r.mu.Lock()
+	rep := r.rep
+	r.mu.Unlock()
+	return rep.ShardQuery(body)
+}

@@ -223,6 +223,31 @@ func strPackEntries(entries []Entry, dim, capacity int) []*Node {
 	return leaves
 }
 
+// STROrder returns the indices of rects permuted into Sort-Tile-Recursive
+// order with the given tile capacity: the exact ordering Bulk packs leaves
+// in, exposed so a range partitioner (internal/cluster) can cut the same
+// spatially coherent tiles into shards. capacity controls tile granularity;
+// a partitioner slicing the returned order into N contiguous runs gets
+// shards whose MBRs overlap no more than the tree's own leaves do.
+func STROrder(rects []geom.Rect, capacity int) []int {
+	idx := make([]int, len(rects))
+	for i := range idx {
+		idx[i] = i
+	}
+	if len(rects) == 0 {
+		return idx
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	centers := make([]geom.Point, len(rects))
+	for i, r := range rects {
+		centers[i] = r.Center()
+	}
+	strTile(idx, centers, 0, rects[0].Dim(), capacity)
+	return idx
+}
+
 // strPackNodes tiles child nodes into parent nodes of capacity cap.
 func strPackNodes(nodes []*Node, dim, capacity int) []*Node {
 	centers := make([]geom.Point, len(nodes))

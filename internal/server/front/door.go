@@ -64,6 +64,13 @@ type Door struct {
 	coalesceHits    atomic.Int64
 	coalesceLeaders atomic.Int64
 	bypasses        atomic.Int64
+	// negativeHits counts cache hits that served an empty candidate set.
+	// Empty answers are cached like any other (the k-skyband of a region
+	// the dataset does not reach is a real, provable answer, shielded and
+	// invalidated the same way) — the separate counter exists because a
+	// high negative rate is an operational signal: clients probing space
+	// the deployment does not cover.
+	negativeHits atomic.Int64
 }
 
 // epocher is the optional inner-backend epoch capability (the mutable
@@ -125,6 +132,9 @@ func (d *Door) SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Oper
 
 	if d.cache != nil {
 		if res, ok := d.cache.get(key, e); ok {
+			if len(res.Candidates) == 0 {
+				d.negativeHits.Add(1)
+			}
 			return res, nil
 		}
 	}
@@ -265,6 +275,7 @@ type DoorStats struct {
 	CoalesceHits    int64      `json:"coalesce_hits"`
 	CoalesceLeaders int64      `json:"coalesce_leaders"`
 	Bypasses        int64      `json:"bypasses"`
+	NegativeHits    int64      `json:"negative_hits"`
 	Epoch           uint64     `json:"epoch"`
 }
 
@@ -275,6 +286,7 @@ func (d *Door) Stats() DoorStats {
 		CoalesceHits:    d.coalesceHits.Load(),
 		CoalesceLeaders: d.coalesceLeaders.Load(),
 		Bypasses:        d.bypasses.Load(),
+		NegativeHits:    d.negativeHits.Load(),
 		Epoch:           d.epoch.Load(),
 	}
 	if d.cache != nil {

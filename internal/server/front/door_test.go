@@ -417,3 +417,69 @@ func assertSameAnswer(t *testing.T, got, want *core.Result) {
 		}
 	}
 }
+
+// emptyBackend answers every search with an empty candidate set — the
+// provable answer for a region the dataset does not reach.
+type emptyBackend struct{ searches atomic.Int64 }
+
+func (e *emptyBackend) Len() int { return 0 }
+func (e *emptyBackend) Dim() int { return 2 }
+
+func (e *emptyBackend) SearchKCtx(ctx context.Context, q *uncertain.Object, op core.Operator, k int, opts core.SearchOptions) (*core.Result, error) {
+	e.searches.Add(1)
+	return &core.Result{Operator: op}, nil
+}
+
+func TestDoorCachesNegativeResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	be := &emptyBackend{}
+	d := NewDoor(be, DoorConfig{})
+	q := testQuery(rng, 50)
+
+	r1, err := d.SearchKCtx(context.Background(), q, core.PSD, 2, allOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Candidates) != 0 {
+		t.Fatalf("backend produced %d candidates, want 0", len(r1.Candidates))
+	}
+	// Same logical query again: must be served from cache, counted as a
+	// negative hit, and never reach the backend.
+	q2 := uncertain.MustNew(0, q.Points(), nil)
+	r2, err := d.SearchKCtx(context.Background(), q2, core.PSD, 2, allOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("negative result was not served from cache")
+	}
+	if got := be.searches.Load(); got != 1 {
+		t.Fatalf("backend searched %d times, want 1", got)
+	}
+	st := d.Stats()
+	if st.NegativeHits != 1 {
+		t.Fatalf("negative_hits = %d, want 1", st.NegativeHits)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Fills != 1 {
+		t.Fatalf("cache stats = %+v", st.Cache)
+	}
+
+	// A non-empty answer's hit must NOT count as negative: total hits
+	// grow, the negative counter stays put.
+	store, err := NewMemStore(testObjects(rng, 30, 4, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDoor(store, DoorConfig{})
+	q3 := testQuery(rng, 50)
+	if _, err := d2.SearchKCtx(context.Background(), q3, core.PSD, 2, allOpts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.SearchKCtx(context.Background(), q3, core.PSD, 2, allOpts); err != nil {
+		t.Fatal(err)
+	}
+	st2 := d2.Stats()
+	if st2.Cache.Hits != 1 || st2.NegativeHits != 0 {
+		t.Fatalf("non-empty hit miscounted: hits=%d negative=%d", st2.Cache.Hits, st2.NegativeHits)
+	}
+}

@@ -170,6 +170,8 @@ func (h *Handler) AttachDoor(door *Door) {
 		func() float64 { return float64(door.Stats().Cache.Entries) })
 	r.CounterFunc("sd_coalesce_hits_total", "Searches answered by joining an in-flight identical search.", nil,
 		func() float64 { return float64(door.Stats().CoalesceHits) })
+	r.CounterFunc("sd_cache_negative_hits_total", "Cache hits that served an empty candidate set.", nil,
+		func() float64 { return float64(door.Stats().NegativeHits) })
 	r.CounterFunc("sd_mutation_epoch", "Door mutation clock.", nil,
 		func() float64 { return float64(door.Stats().Epoch) })
 }
@@ -326,6 +328,7 @@ func (h *Handler) FrontStats() server.FrontStats {
 		fs.CacheBytes = ds.Cache.Bytes
 		fs.CacheEntries = ds.Cache.Entries
 		fs.CoalesceHits = ds.CoalesceHits
+		fs.CacheNegativeHits = ds.NegativeHits
 		fs.Epoch = ds.Epoch
 	}
 	return fs

@@ -97,6 +97,16 @@ type (
 	AccessReporter interface {
 		AccessStats() core.IOStats
 	}
+	// RouterReporter exposes a scatter-gather router's per-shard health
+	// (breaker states, retries, hedges) for /healthz. Defined here rather
+	// than importing internal/cluster so the dependency keeps pointing
+	// cluster → server.
+	RouterReporter interface {
+		RouterHealth() any
+		// Degraded reports the number of shards currently unreachable
+		// (every replica's breaker open), so /healthz can flip status.
+		DegradedShards() int
+	}
 )
 
 // BackendWrapper is implemented by decorating backends (the front
@@ -138,6 +148,7 @@ type FrontStats struct {
 	CacheBytes         int64  `json:"cache_bytes"`
 	CacheEntries       int64  `json:"cache_entries"`
 	CoalesceHits       int64  `json:"coalesce_hits"`
+	CacheNegativeHits  int64  `json:"cache_negative_hits"`
 	ShedRateLimited    int64  `json:"shed_rate_limited"`
 	ShedCapacity       int64  `json:"shed_capacity"`
 	InFlight           int64  `json:"in_flight"`
@@ -226,6 +237,7 @@ func newServer(warmReason string) *Server {
 	s.mux.HandleFunc("/objects", s.handleObjects)
 	s.mux.HandleFunc("/objects/", s.handleObject)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/shard/query", s.handleShardQuery)
 	s.mux.HandleFunc("/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/insert", s.handleInsert)
@@ -325,6 +337,9 @@ type QueryResponse struct {
 	// object records the search had to skip (only set when Incomplete).
 	UnreadableNodes   int `json:"unreadable_nodes,omitempty"`
 	UnreadableObjects int `json:"unreadable_objects,omitempty"`
+	// UnreachableShards counts cluster shards (all replicas down) whose
+	// candidates are missing — only ever set by a router-backed server.
+	UnreachableShards int `json:"unreachable_shards,omitempty"`
 }
 
 // ObjectJSON is the wire form of an object.
@@ -396,6 +411,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if fr, ok := capability[FaultReporter](b); ok {
 		body["faults"] = fr.FaultStats()
+	}
+	if rr, ok := capability[RouterReporter](b); ok {
+		body["cluster"] = rr.RouterHealth()
+		if n := rr.DegradedShards(); n > 0 {
+			body["unreachable_shards"] = n
+			reasons = append(reasons, "unreachable_shards")
+		}
 	}
 	if ar, ok := capability[AccessReporter](b); ok {
 		st := ar.AccessStats()
@@ -572,12 +594,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if isPartial {
 		// Degraded, not failed: the traversal completed around quarantined
-		// pages. 206 + the flag, so clients never mistake a shrunken
-		// candidate set for a complete answer.
+		// pages (or, behind a router, dead shards). 206 + the flag, so
+		// clients never mistake a shrunken candidate set for a complete
+		// answer. When the producer knows when the missing capacity comes
+		// back (a shard breaker's half-open probe time) the advice rides
+		// on Retry-After so clients re-ask for the complete answer then.
 		status = http.StatusPartialContent
 		resp.Incomplete = true
 		resp.UnreadableNodes = partial.UnreadableNodes
 		resp.UnreadableObjects = partial.UnreadableObjects
+		resp.UnreachableShards = partial.UnreachableShards
+		if partial.RetryAfterHint > 0 {
+			secs := int(partial.RetryAfterHint / time.Second)
+			if partial.RetryAfterHint%time.Second != 0 || secs < 1 {
+				secs++
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 	}
 	for _, c := range res.Candidates {
 		resp.Candidates = append(resp.Candidates, QueryCandidate{

@@ -1,0 +1,201 @@
+package server
+
+// The shard face of the scatter-gather cluster: POST /shard/query is what
+// the router (internal/cluster) calls instead of /query. It differs from
+// the public endpoint in exactly the ways the cross-shard merge needs:
+//
+//   - k may exceed the shard's object count. A shard holds an arbitrary
+//     slice of the global dataset, and a shard with n <= k objects answers
+//     with all of them (every object has at most n-1 < k local
+//     dominators) — the public endpoint's k > Len() 400 would wrongly
+//     reject the fleet's small shards.
+//   - Candidates carry their full instance data (points + probabilities),
+//     not just id/min_dist: the router re-runs the dominance checker over
+//     the union of shard k-skybands, so it must reconstruct each object
+//     bit-for-bit.
+//   - The query's probabilities arrive already normalized ("normalized":
+//     true) and are decoded with uncertain.FromNormalized: the router
+//     normalized the client's weights exactly once, and a second w/Σw pass
+//     here would perturb the low bits and with them dominance decisions,
+//     breaking the sharded == single-node byte-equality invariant.
+//
+// Degradation composes: a shard whose own backend skipped quarantined
+// pages answers 206 with the skip counts, and the router folds those into
+// the cluster-level PartialResultError alongside its unreachable-shard
+// counts.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"spatialdom/internal/core"
+	"spatialdom/internal/geom"
+	"spatialdom/internal/uncertain"
+)
+
+// ShardQueryRequest is the POST /shard/query body. Probs must be the
+// already-normalized probabilities when Normalized is set; otherwise they
+// are treated as weights and normalized here (useful for debugging a
+// shard directly).
+type ShardQueryRequest struct {
+	Instances  [][]float64   `json:"instances"`
+	Probs      []float64     `json:"probs,omitempty"`
+	Normalized bool          `json:"normalized,omitempty"`
+	Operator   string        `json:"operator"`
+	K          int           `json:"k,omitempty"`
+	Metric     string        `json:"metric,omitempty"`
+	Filters    *ShardFilters `json:"filters,omitempty"`
+}
+
+// ShardFilters mirrors core.FilterConfig on the wire; nil means AllFilters.
+type ShardFilters struct {
+	LevelByLevel     bool `json:"level_by_level"`
+	StatPruning      bool `json:"stat_pruning"`
+	Geometric        bool `json:"geometric"`
+	SphereValidation bool `json:"sphere_validation"`
+}
+
+// Config converts the wire form back to the engine's.
+func (f *ShardFilters) Config() core.FilterConfig {
+	if f == nil {
+		return core.AllFilters
+	}
+	return core.FilterConfig{
+		LevelByLevel:     f.LevelByLevel,
+		StatPruning:      f.StatPruning,
+		Geometric:        f.Geometric,
+		SphereValidation: f.SphereValidation,
+	}
+}
+
+// ShardFiltersFrom converts a core.FilterConfig to its wire form.
+func ShardFiltersFrom(cfg core.FilterConfig) *ShardFilters {
+	return &ShardFilters{
+		LevelByLevel:     cfg.LevelByLevel,
+		StatPruning:      cfg.StatPruning,
+		Geometric:        cfg.Geometric,
+		SphereValidation: cfg.SphereValidation,
+	}
+}
+
+// ShardCandidate is one k-skyband member with full instance data, enough
+// for the router to rebuild the object exactly (JSON float64 encoding
+// round-trips bit-for-bit).
+type ShardCandidate struct {
+	ID        int         `json:"id"`
+	Label     string      `json:"label,omitempty"`
+	Instances [][]float64 `json:"instances"`
+	Probs     []float64   `json:"probs"`
+}
+
+// ShardQueryResponse is the POST /shard/query response. Incomplete plus
+// the skip counts flag a shard that itself degraded (quarantined pages);
+// the router folds them into the cluster answer.
+type ShardQueryResponse struct {
+	Candidates        []ShardCandidate `json:"candidates"`
+	Objects           int              `json:"objects"`
+	Examined          int              `json:"examined"`
+	Checks            int64            `json:"dominance_checks"`
+	Incomplete        bool             `json:"incomplete,omitempty"`
+	UnreadableNodes   int              `json:"unreadable_nodes,omitempty"`
+	UnreadableObjects int              `json:"unreadable_objects,omitempty"`
+}
+
+func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	b := s.serving(w)
+	if b == nil {
+		return
+	}
+	var req ShardQueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	op, err := parseOperator(req.Operator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range", k))
+		return
+	}
+	pts := make([]geom.Point, len(req.Instances))
+	for i, row := range req.Instances {
+		pts[i] = geom.Point(row)
+	}
+	var q *uncertain.Object
+	if req.Normalized {
+		q, err = uncertain.FromNormalized(0, pts, req.Probs)
+	} else {
+		q, err = uncertain.New(0, pts, req.Probs)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("building query object: %w", err))
+		return
+	}
+	if q.Dim() != b.Dim() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("query dim %d != shard dim %d", q.Dim(), b.Dim()))
+		return
+	}
+	res, err := b.SearchKCtx(r.Context(), q, op, k, core.SearchOptions{
+		Filters: req.Filters.Config(),
+		Metric:  metric,
+	})
+	status := http.StatusOK
+	partial, isPartial := core.AsPartial(err)
+	if err != nil && !isPartial {
+		if r.Context().Err() != nil {
+			// The router is gone (deadline or hedge winner); nothing to say.
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := ShardQueryResponse{
+		Objects:  b.Len(),
+		Examined: res.Examined,
+		Checks:   res.Stats.DominanceChecks,
+	}
+	if isPartial {
+		status = http.StatusPartialContent
+		resp.Incomplete = true
+		resp.UnreadableNodes = partial.UnreadableNodes
+		resp.UnreadableObjects = partial.UnreadableObjects
+	}
+	resp.Candidates = make([]ShardCandidate, 0, len(res.Candidates))
+	for _, c := range res.Candidates {
+		o := c.Object
+		inst := make([][]float64, o.Len())
+		probs := make([]float64, o.Len())
+		for i := 0; i < o.Len(); i++ {
+			inst[i] = append([]float64(nil), o.Instance(i)...)
+			probs[i] = o.Prob(i)
+		}
+		resp.Candidates = append(resp.Candidates, ShardCandidate{
+			ID:        o.ID(),
+			Label:     o.Label(),
+			Instances: inst,
+			Probs:     probs,
+		})
+	}
+	writeJSON(w, status, resp)
+}

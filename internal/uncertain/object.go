@@ -117,6 +117,54 @@ func New(id int, pts []geom.Point, weights []float64) (*Object, error) {
 	}, nil
 }
 
+// FromNormalized builds an object from instances whose probabilities are
+// already normalized, copying the probability bits verbatim — no ÷mass
+// renormalization. This is the wire-decode constructor: a router
+// reassembling shard answers (or forwarding a query) must reproduce the
+// exact float64 values the shard engine computed with, and New's
+// renormalization (w/Σw with Σw ≈ 1 but rarely exactly 1) would perturb
+// the low bits and with them every downstream dominance decision. The
+// probabilities must be finite and non-negative; their sum is trusted,
+// and Mass reports 1.
+func FromNormalized(id int, pts []geom.Point, probs []float64) (*Object, error) {
+	if len(pts) == 0 {
+		return nil, ErrNoInstances
+	}
+	if len(probs) != len(pts) {
+		return nil, fmt.Errorf("%w: %d probabilities for %d instances", ErrWeightCount, len(probs), len(pts))
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, ErrDimMismatch
+	}
+	cp := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("%w: instance %d has dim %d, want %d", ErrDimMismatch, i, len(p), d)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: instance %d", ErrBadCoordinate, i)
+			}
+		}
+		cp[i] = p.Clone()
+	}
+	pc := make([]float64, len(probs))
+	for i, w := range probs {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("%w: probability %d = %g", ErrBadWeight, i, w)
+		}
+		pc[i] = w
+	}
+	return &Object{
+		id:    id,
+		pts:   cp,
+		probs: pc,
+		mass:  1,
+		mbr:   geom.BoundingRect(cp),
+	}, nil
+}
+
 // MustNew is New that panics on error; intended for tests and examples.
 func MustNew(id int, pts []geom.Point, weights []float64) *Object {
 	o, err := New(id, pts, weights)
